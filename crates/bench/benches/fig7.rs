@@ -1,0 +1,73 @@
+//! Regenerates the paper's **Fig. 7** (yield with enlarged random
+//! variation: every path sigma grows 10% while cross-path covariances stay
+//! fixed) and benchmarks the inflated-model sampling.
+//!
+//! Three series per circuit, as in the figure: yield without buffers,
+//! yield with the proposed flow, and yield with ideal delay measurement.
+//! An ASCII bar rendering approximates the figure.
+
+use criterion::{criterion_group, Criterion};
+use effitest_bench::bench_config;
+use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+use effitest_core::experiments::fig7_row;
+use effitest_ssta::{TimingModel, VariationConfig};
+use std::hint::black_box;
+
+fn bar(fraction: f64) -> String {
+    let width = 30;
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+fn print_fig7() {
+    let config = bench_config(80);
+    println!("\nFig. 7: Yield with enlarged random variation (+10% sigma)");
+    println!("(chips per circuit: {})", config.n_chips);
+    let header = format!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "circuit", "no-buffer", "proposed", "ideal"
+    );
+    println!("{header}");
+    effitest_bench::rule(&header);
+    for spec in BenchmarkSpec::all_paper_circuits() {
+        let r = fig7_row(&spec, &config);
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>10.3}",
+            r.name, r.no_buffer, r.proposed, r.ideal
+        );
+        println!("  no-buffer |{}|", bar(r.no_buffer));
+        println!("  proposed  |{}|", bar(r.proposed));
+        println!("  ideal     |{}|", bar(r.ideal));
+    }
+    println!();
+}
+
+fn bench_inflation(c: &mut Criterion) {
+    let spec = BenchmarkSpec::iscas89_s9234();
+    let bench = GeneratedBenchmark::generate(&spec, 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+
+    c.bench_function("fig7/with_inflated_sigma/s9234", |b| {
+        b.iter(|| black_box(model.with_inflated_sigma(1.1).path_sigma(0)))
+    });
+    let inflated = model.with_inflated_sigma(1.1);
+    c.bench_function("fig7/sample_chip_inflated/s9234", |b| {
+        let mut seed = 0_u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(inflated.sample_chip(seed).min_period_untuned())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inflation
+}
+
+fn main() {
+    print_fig7();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

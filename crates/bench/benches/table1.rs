@@ -1,0 +1,77 @@
+//! Regenerates the paper's **Table 1** (test cost with delay alignment and
+//! statistical prediction) and benchmarks the per-chip flow.
+//!
+//! Columns, as in the paper: `ns, ng, nb, np` (circuit statistics),
+//! `npt` (paths actually tested), `ta` (frequency-stepping iterations per
+//! chip, proposed), `tv = ta/npt`, `t'a` (iterations per chip, path-wise
+//! baseline), `t'v = t'a/np`, reduction ratios `ra`, `rv`, and runtimes
+//! `Tp` (offline preparation), `Tt` (per-chip alignment solving), `Ts`
+//! (per-chip configuration).
+//!
+//! Run with `EFFITEST_CHIPS=<n>` to change the Monte-Carlo population
+//! (default here: 30; the paper used 10 000).
+
+use criterion::{criterion_group, Criterion};
+use effitest_bench::bench_config;
+use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+use effitest_core::experiments::table1_row;
+use effitest_core::{EffiTestFlow, FlowConfig};
+use effitest_ssta::{TimingModel, VariationConfig};
+use std::hint::black_box;
+
+fn print_table1() {
+    let config = bench_config(30);
+    let header = format!(
+        "{:<14} {:>5} {:>6} {:>4} {:>5} {:>5} {:>8} {:>6} {:>9} {:>6} {:>7} {:>7} {:>8} {:>8} {:>8}",
+        "circuit", "ns", "ng", "nb", "np", "npt", "ta", "tv", "t'a", "t'v", "ra(%)",
+        "rv(%)", "Tp(s)", "Tt(s)", "Ts(s)"
+    );
+    println!("\nTable 1: Test Results With Delay Alignment and Statistical Prediction");
+    println!("(chips per circuit: {})", config.n_chips);
+    println!("{header}");
+    effitest_bench::rule(&header);
+    for spec in BenchmarkSpec::all_paper_circuits() {
+        let r = table1_row(&spec, &config);
+        println!(
+            "{:<14} {:>5} {:>6} {:>4} {:>5} {:>5} {:>8.1} {:>6.2} {:>9.0} {:>6.2} {:>7.2} {:>7.2} {:>8.2} {:>8.4} {:>8.4}",
+            r.name, r.ns, r.ng, r.nb, r.np, r.npt, r.ta, r.tv, r.ta_prime, r.tv_prime,
+            r.ra, r.rv, r.tp_s, r.tt_s, r.ts_s
+        );
+    }
+    println!();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let spec = BenchmarkSpec::iscas89_s9234();
+    let bench = GeneratedBenchmark::generate(&spec, 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let td = model.nominal_period();
+    let chip = model.sample_chip(7);
+
+    c.bench_function("table1/run_chip/s9234", |b| {
+        b.iter(|| {
+            let outcome = flow.run_chip(&prepared, black_box(&chip), td).expect("matched");
+            black_box(outcome.iterations)
+        })
+    });
+    c.bench_function("table1/path_wise_baseline/s9234", |b| {
+        b.iter(|| black_box(flow.run_chip_path_wise(&prepared, black_box(&chip)).iterations))
+    });
+    c.bench_function("table1/prepare/s9234", |b| {
+        b.iter(|| black_box(flow.prepare(&bench, &model).expect("ok").tested_path_count()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flow
+}
+
+fn main() {
+    print_table1();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

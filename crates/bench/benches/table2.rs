@@ -1,0 +1,84 @@
+//! Regenerates the paper's **Table 2** (yield comparison) and benchmarks
+//! the configuration step.
+//!
+//! For each circuit, the designated clock periods `T1` / `T2` are the 50%
+//! and 84.13% quantiles of the untuned chip population (the paper's
+//! "original yields without buffers were 50% and 84.13%"). Columns: `yi`
+//! (yield with perfect delay measurement), `yt` (yield with the proposed
+//! flow), `yr = yi - yt` (drop from test/prediction inaccuracy).
+//!
+//! `EFFITEST_CHIPS` controls the population (default 80 here for bench
+//! wall-clock; the paper used 10 000).
+
+use criterion::{criterion_group, Criterion};
+use effitest_bench::bench_config;
+use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+use effitest_core::experiments::table2_row;
+use effitest_core::{EffiTestFlow, FlowConfig};
+use effitest_ssta::{TimingModel, VariationConfig};
+use std::hint::black_box;
+
+fn print_table2() {
+    let config = bench_config(80);
+    println!("\nTable 2: Yield Comparison");
+    println!("(chips per circuit: {})", config.n_chips);
+    let header = format!(
+        "{:<14} {:>9} {:>7} {:>7} {:>6} {:>9} {:>7} {:>7} {:>6}",
+        "circuit", "T1(ps)", "yi(%)", "yt(%)", "yr(%)", "T2(ps)", "yi(%)", "yt(%)", "yr(%)"
+    );
+    println!("{header}");
+    effitest_bench::rule(&header);
+    for spec in BenchmarkSpec::all_paper_circuits() {
+        let r = table2_row(&spec, &config);
+        println!(
+            "{:<14} {:>9.1} {:>7.2} {:>7.2} {:>6.2} {:>9.1} {:>7.2} {:>7.2} {:>6.2}",
+            r.name, r.t1, r.yi1, r.yt1, r.yr1, r.t2, r.yi2, r.yt2, r.yr2
+        );
+    }
+    println!();
+}
+
+fn bench_configuration(c: &mut Criterion) {
+    let spec = BenchmarkSpec::iscas89_s13207();
+    let bench = GeneratedBenchmark::generate(&spec, 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let chip = model.sample_chip(3);
+    let (predicted, _, _) = flow.test_and_predict(&prepared, &chip);
+    let td = model.nominal_period();
+
+    c.bench_function("table2/configure_and_check/s13207", |b| {
+        b.iter(|| {
+            let (_, passes, _) = flow.configure_and_check(
+                &prepared,
+                black_box(&chip),
+                &predicted.ranges,
+                td,
+            );
+            black_box(passes)
+        })
+    });
+    c.bench_function("table2/ideal_configure/s13207", |b| {
+        b.iter(|| {
+            black_box(effitest_core::configure::ideal_configure_and_check(
+                &model,
+                &prepared.buffers,
+                black_box(&chip),
+                td,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_configuration
+}
+
+fn main() {
+    print_table2();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

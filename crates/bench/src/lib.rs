@@ -1,0 +1,23 @@
+//! Shared helpers for the EffiTest benchmark harness.
+//!
+//! Each bench binary regenerates one table or figure of the paper (printing
+//! the rows in the paper's format) and then runs Criterion measurements of
+//! the underlying kernels. Chip counts default to bench-friendly values;
+//! set `EFFITEST_CHIPS` to raise them (the paper used 10 000).
+
+use effitest_core::experiments::ExperimentConfig;
+
+/// Experiment configuration for benches: `EFFITEST_CHIPS` override with a
+/// bench-appropriate default.
+pub fn bench_config(default_chips: usize) -> ExperimentConfig {
+    let mut config = ExperimentConfig::from_env();
+    if std::env::var("EFFITEST_CHIPS").is_err() {
+        config.n_chips = default_chips;
+    }
+    config
+}
+
+/// Prints a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}

@@ -1,0 +1,192 @@
+use std::fmt;
+
+/// Configuration range of a post-silicon tunable clock buffer.
+///
+/// Paper eq. (3): the buffer delay `x_i` satisfies
+/// `r_i <= x_i <= r_i + tau_i` and may only take `steps` discrete values
+/// spread uniformly over that range. Delays are defined *relative to the
+/// reference clock*, so negative values are meaningful (they advance the
+/// clock edge).
+///
+/// The paper (following Tam et al. \[19\]) uses a range of 1/8 of the clock
+/// period, centered, with 20 discrete steps.
+///
+/// # Example
+///
+/// ```
+/// use effitest_circuit::TuningBufferSpec;
+///
+/// let spec = TuningBufferSpec::centered(8.0, 20); // range 8 ps, 20 steps
+/// assert_eq!(spec.min(), -4.0);
+/// assert_eq!(spec.max(), 4.0);
+/// assert_eq!(spec.value(0), -4.0);
+/// assert_eq!(spec.value(19), 4.0);
+/// assert_eq!(spec.snap(0.13), spec.value(spec.nearest_step(0.13)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningBufferSpec {
+    /// Lower end of the configurable delay range (`r_i`).
+    min: f64,
+    /// Width of the configurable delay range (`tau_i`).
+    width: f64,
+    /// Number of discrete settings (>= 2).
+    steps: u32,
+}
+
+impl TuningBufferSpec {
+    /// Creates a spec from the lower bound `min = r_i`, range `width =
+    /// tau_i`, and number of discrete `steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 0` or `steps < 2`.
+    pub fn new(min: f64, width: f64, steps: u32) -> Self {
+        assert!(width >= 0.0, "buffer range width must be non-negative");
+        assert!(steps >= 2, "buffers need at least two discrete settings");
+        TuningBufferSpec { min, width, steps }
+    }
+
+    /// A spec symmetric around zero with total range `width`.
+    pub fn centered(width: f64, steps: u32) -> Self {
+        Self::new(-0.5 * width, width, steps)
+    }
+
+    /// Lower end of the range (`r_i`).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Width of the range (`tau_i`).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Upper end of the range (`r_i + tau_i`).
+    pub fn max(&self) -> f64 {
+        self.min + self.width
+    }
+
+    /// Number of discrete settings.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Spacing between adjacent settings.
+    pub fn step_size(&self) -> f64 {
+        self.width / (self.steps - 1) as f64
+    }
+
+    /// Delay value of discrete setting `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.steps()`.
+    pub fn value(&self, k: u32) -> f64 {
+        assert!(k < self.steps, "buffer step {k} out of range (steps {})", self.steps);
+        if self.steps == 1 {
+            return self.min;
+        }
+        self.min + self.width * k as f64 / (self.steps - 1) as f64
+    }
+
+    /// The discrete setting whose value is nearest to `x` (after clamping
+    /// `x` into the range).
+    pub fn nearest_step(&self, x: f64) -> u32 {
+        if self.width == 0.0 {
+            return 0;
+        }
+        let clamped = x.clamp(self.min, self.max());
+        let frac = (clamped - self.min) / self.width;
+        let k = (frac * (self.steps - 1) as f64).round() as u32;
+        k.min(self.steps - 1)
+    }
+
+    /// Snaps `x` to the nearest representable delay value.
+    pub fn snap(&self, x: f64) -> f64 {
+        self.value(self.nearest_step(x))
+    }
+
+    /// `true` if `x` is within the configurable range (inclusive, with a
+    /// small tolerance for round-off).
+    pub fn admits(&self, x: f64) -> bool {
+        let tol = 1e-9 * (1.0 + self.width.abs() + self.min.abs());
+        x >= self.min - tol && x <= self.max() + tol
+    }
+
+    /// Iterates over all representable delay values, ascending.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.steps).map(move |k| self.value(k))
+    }
+}
+
+impl fmt::Display for TuningBufferSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}] / {}", self.min, self.max(), self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_is_symmetric() {
+        let s = TuningBufferSpec::centered(10.0, 21);
+        assert_eq!(s.min(), -5.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.value(10), 0.0);
+        assert_eq!(s.step_size(), 0.5);
+    }
+
+    #[test]
+    fn twenty_steps_as_in_paper() {
+        let s = TuningBufferSpec::centered(1.0, 20);
+        let values: Vec<f64> = s.values().collect();
+        assert_eq!(values.len(), 20);
+        assert!((values[0] + 0.5).abs() < 1e-12);
+        assert!((values[19] - 0.5).abs() < 1e-12);
+        // Uniform spacing.
+        for w in values.windows(2) {
+            assert!((w[1] - w[0] - s.step_size()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snapping_clamps_and_rounds() {
+        let s = TuningBufferSpec::new(0.0, 2.0, 5); // values 0, .5, 1, 1.5, 2
+        assert_eq!(s.snap(0.2), 0.0);
+        assert_eq!(s.snap(0.3), 0.5);
+        assert_eq!(s.snap(99.0), 2.0);
+        assert_eq!(s.snap(-99.0), 0.0);
+        assert_eq!(s.nearest_step(1.1), 2);
+    }
+
+    #[test]
+    fn admits_has_tolerance() {
+        let s = TuningBufferSpec::centered(1.0, 20);
+        assert!(s.admits(0.5));
+        assert!(s.admits(0.5 + 1e-12));
+        assert!(!s.admits(0.6));
+        assert!(s.admits(-0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_step() {
+        TuningBufferSpec::new(0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn value_bounds_checked() {
+        TuningBufferSpec::centered(1.0, 4).value(4);
+    }
+
+    #[test]
+    fn zero_width_is_degenerate_but_valid() {
+        let s = TuningBufferSpec::new(0.25, 0.0, 2);
+        assert_eq!(s.snap(123.0), 0.25);
+        assert_eq!(s.nearest_step(-5.0), 0);
+        assert!(s.admits(0.25));
+    }
+}

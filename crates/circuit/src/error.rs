@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{FlipFlopId, GateId, PathId};
+
+/// Errors produced by the circuit substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A signal referenced a flip-flop that does not exist.
+    UnknownFlipFlop {
+        /// The offending id.
+        id: FlipFlopId,
+        /// Number of flip-flops in the netlist.
+        count: usize,
+    },
+    /// A signal referenced a gate that does not exist.
+    UnknownGate {
+        /// The offending id.
+        id: GateId,
+        /// Number of gates in the netlist.
+        count: usize,
+    },
+    /// A gate has the wrong number of inputs for its kind.
+    BadInputCount {
+        /// The offending gate.
+        gate: GateId,
+        /// Inputs required by the gate kind.
+        expected: usize,
+        /// Inputs actually present.
+        found: usize,
+    },
+    /// A gate's input refers to itself or a later gate (netlists must be
+    /// topologically ordered).
+    ForwardReference {
+        /// The offending gate.
+        gate: GateId,
+        /// The input gate it refers to.
+        input: GateId,
+    },
+    /// A path's gate chain is not connected in the netlist.
+    BrokenPathChain {
+        /// The offending path.
+        path: PathId,
+        /// Position in the chain where connectivity fails (0 = source link).
+        position: usize,
+    },
+    /// A path is empty (no gates).
+    EmptyPath {
+        /// The offending path.
+        path: PathId,
+    },
+    /// A flip-flop location falls outside the die.
+    OffDie {
+        /// The offending flip-flop.
+        ff: FlipFlopId,
+    },
+    /// Text-format parsing failed.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownFlipFlop { id, count } => {
+                write!(f, "unknown flip-flop {id} (netlist has {count})")
+            }
+            CircuitError::UnknownGate { id, count } => {
+                write!(f, "unknown gate {id} (netlist has {count})")
+            }
+            CircuitError::BadInputCount { gate, expected, found } => {
+                write!(f, "gate {gate} needs {expected} inputs, found {found}")
+            }
+            CircuitError::ForwardReference { gate, input } => {
+                write!(f, "gate {gate} references non-earlier gate {input}")
+            }
+            CircuitError::BrokenPathChain { path, position } => {
+                write!(f, "path {path} chain is broken at position {position}")
+            }
+            CircuitError::EmptyPath { path } => write!(f, "path {path} has no gates"),
+            CircuitError::OffDie { ff } => write!(f, "flip-flop {ff} is placed outside the die"),
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::UnknownGate { id: GateId::new(7), count: 3 };
+        assert_eq!(e.to_string(), "unknown gate g7 (netlist has 3)");
+        let e = CircuitError::Parse { line: 2, message: "bad token".into() };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn is_error_trait_object_safe() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CircuitError>();
+    }
+}

@@ -1,0 +1,274 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{CircuitError, Point, Signal};
+
+/// Relative delay sensitivities of a gate to the three process parameters
+/// the paper varies: transistor length, oxide thickness, and threshold
+/// voltage.
+///
+/// A sensitivity of `s` means that a one-sigma excursion of the (relative)
+/// parameter moves the gate delay by `s * sigma_rel * d_nominal`. The signs
+/// follow first-order MOSFET behaviour: longer channel, thicker oxide, and
+/// higher threshold all slow the gate down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// Sensitivity to transistor length variation.
+    pub length: f64,
+    /// Sensitivity to oxide thickness variation.
+    pub oxide: f64,
+    /// Sensitivity to threshold voltage variation.
+    pub threshold: f64,
+}
+
+/// The combinational gate kinds of the (synthetic) standard-cell library.
+///
+/// Nominal delays are loosely modeled after a 45 nm-class library in
+/// picoseconds; the statistical experiments only depend on delay *ratios*
+/// and the variation model, never on the absolute scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+}
+
+impl GateKind {
+    /// All gate kinds, in a stable order.
+    pub const ALL: [GateKind; 7] = [
+        GateKind::Inv,
+        GateKind::Buf,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Xor2,
+    ];
+
+    /// Nominal propagation delay in picoseconds.
+    pub fn nominal_delay(self) -> f64 {
+        match self {
+            GateKind::Inv => 8.0,
+            GateKind::Buf => 10.0,
+            GateKind::Nand2 => 12.0,
+            GateKind::Nor2 => 14.0,
+            GateKind::And2 => 16.0,
+            GateKind::Or2 => 18.0,
+            GateKind::Xor2 => 22.0,
+        }
+    }
+
+    /// Number of logic inputs.
+    pub fn input_count(self) -> usize {
+        match self {
+            GateKind::Inv | GateKind::Buf => 1,
+            _ => 2,
+        }
+    }
+
+    /// The controlling input value, if the gate has one.
+    ///
+    /// A controlling value on a side input blocks propagation through the
+    /// gate (e.g. a `0` on one NAND input pins the output to `1`). XOR has
+    /// no controlling value — every input change propagates.
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::Nand2 | GateKind::And2 => Some(false),
+            GateKind::Nor2 | GateKind::Or2 => Some(true),
+            GateKind::Inv | GateKind::Buf | GateKind::Xor2 => None,
+        }
+    }
+
+    /// The non-controlling side-input value a test vector must apply to
+    /// sensitize a path through this gate, if constrained.
+    pub fn non_controlling_value(self) -> Option<bool> {
+        self.controlling_value().map(|v| !v)
+    }
+
+    /// Process-variation sensitivities of this gate kind.
+    ///
+    /// More complex gates (stacked transistors) are slightly more sensitive
+    /// to length and threshold variation, which is the qualitative behaviour
+    /// SSTA libraries exhibit.
+    pub fn sensitivity(self) -> Sensitivity {
+        match self {
+            GateKind::Inv => Sensitivity { length: 0.90, oxide: 0.50, threshold: 0.70 },
+            GateKind::Buf => Sensitivity { length: 0.85, oxide: 0.50, threshold: 0.65 },
+            GateKind::Nand2 => Sensitivity { length: 1.00, oxide: 0.55, threshold: 0.80 },
+            GateKind::Nor2 => Sensitivity { length: 1.05, oxide: 0.55, threshold: 0.85 },
+            GateKind::And2 => Sensitivity { length: 1.00, oxide: 0.60, threshold: 0.80 },
+            GateKind::Or2 => Sensitivity { length: 1.05, oxide: 0.60, threshold: 0.85 },
+            GateKind::Xor2 => Sensitivity { length: 1.15, oxide: 0.65, threshold: 0.95 },
+        }
+    }
+
+    /// Evaluates the boolean function of the gate.
+    ///
+    /// `inputs` must have exactly [`input_count`](Self::input_count)
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count is wrong.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.input_count(), "wrong input count for {self}");
+        match self {
+            GateKind::Inv => !inputs[0],
+            GateKind::Buf => inputs[0],
+            GateKind::Nand2 => !(inputs[0] && inputs[1]),
+            GateKind::Nor2 => !(inputs[0] || inputs[1]),
+            GateKind::And2 => inputs[0] && inputs[1],
+            GateKind::Or2 => inputs[0] || inputs[1],
+            GateKind::Xor2 => inputs[0] ^ inputs[1],
+        }
+    }
+
+    /// `true` if the gate inverts the on-path input when the side input is
+    /// non-controlling.
+    pub fn inverts(self) -> bool {
+        matches!(self, GateKind::Inv | GateKind::Nand2 | GateKind::Nor2)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Inv => "INV",
+            GateKind::Buf => "BUF",
+            GateKind::Nand2 => "NAND2",
+            GateKind::Nor2 => "NOR2",
+            GateKind::And2 => "AND2",
+            GateKind::Or2 => "OR2",
+            GateKind::Xor2 => "XOR2",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = CircuitError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "INV" => Ok(GateKind::Inv),
+            "BUF" => Ok(GateKind::Buf),
+            "NAND2" => Ok(GateKind::Nand2),
+            "NOR2" => Ok(GateKind::Nor2),
+            "AND2" => Ok(GateKind::And2),
+            "OR2" => Ok(GateKind::Or2),
+            "XOR2" => Ok(GateKind::Xor2),
+            other => Err(CircuitError::Parse {
+                line: 0,
+                message: format!("unknown gate kind `{other}`"),
+            }),
+        }
+    }
+}
+
+/// A combinational gate instance: kind, placement, and input connections.
+///
+/// The gate's output is implicit — other gates (or flip-flop D inputs) refer
+/// to it by [`crate::GateId`]. Inputs are ordered; by convention input 0 is
+/// the "on-path" input for chains built by the benchmark generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Cell kind.
+    pub kind: GateKind,
+    /// Placement location on the die.
+    pub location: Point,
+    /// Input connections (length must equal `kind.input_count()`).
+    pub inputs: Vec<Signal>,
+}
+
+impl Gate {
+    /// Creates a gate.
+    pub fn new(kind: GateKind, location: Point, inputs: Vec<Signal>) -> Self {
+        Gate { kind, location, inputs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_positive_and_distinct_enough() {
+        for kind in GateKind::ALL {
+            assert!(kind.nominal_delay() > 0.0);
+        }
+        assert!(GateKind::Xor2.nominal_delay() > GateKind::Inv.nominal_delay());
+    }
+
+    #[test]
+    fn controlling_values_match_logic() {
+        // A controlling side input must pin the output regardless of the
+        // other input.
+        for kind in GateKind::ALL {
+            if let Some(cv) = kind.controlling_value() {
+                let a = kind.eval(&[true, cv]);
+                let b = kind.eval(&[false, cv]);
+                assert_eq!(a, b, "{kind} output must be pinned by controlling value");
+                // And the non-controlling value must propagate changes.
+                let ncv = kind.non_controlling_value().unwrap();
+                let c = kind.eval(&[true, ncv]);
+                let d = kind.eval(&[false, ncv]);
+                assert_ne!(c, d, "{kind} must propagate with non-controlling side");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        assert!(GateKind::Inv.eval(&[false]));
+        assert!(!GateKind::Inv.eval(&[true]));
+        assert!(GateKind::Nand2.eval(&[true, false]));
+        assert!(!GateKind::Nand2.eval(&[true, true]));
+        assert!(GateKind::Nor2.eval(&[false, false]));
+        assert!(!GateKind::Nor2.eval(&[true, false]));
+        assert!(GateKind::Xor2.eval(&[true, false]));
+        assert!(!GateKind::Xor2.eval(&[true, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input count")]
+    fn eval_rejects_wrong_arity() {
+        GateKind::Nand2.eval(&[true]);
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for kind in GateKind::ALL {
+            let parsed: GateKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("FOO".parse::<GateKind>().is_err());
+        assert_eq!("nand2".parse::<GateKind>().unwrap(), GateKind::Nand2);
+    }
+
+    #[test]
+    fn inversion_flags() {
+        assert!(GateKind::Inv.inverts());
+        assert!(GateKind::Nand2.inverts());
+        assert!(!GateKind::Buf.inverts());
+        assert!(!GateKind::And2.inverts());
+    }
+
+    #[test]
+    fn sensitivities_are_positive() {
+        for kind in GateKind::ALL {
+            let s = kind.sensitivity();
+            assert!(s.length > 0.0 && s.oxide > 0.0 && s.threshold > 0.0);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+use std::fmt;
+
+/// A location on the die, in micrometers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (um).
+    pub x: f64,
+    /// Vertical coordinate (um).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle on the die, in micrometers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; coordinates are normalized so `x0 <= x1`,
+    /// `y0 <= y1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// The point inside the rectangle at fractional coordinates
+    /// `(fx, fy)` in `[0, 1]^2`.
+    pub fn lerp(&self, fx: f64, fy: f64) -> Point {
+        Point::new(self.x0 + fx * self.width(), self.y0 + fy * self.height())
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.1},{:.1}]x[{:.1},{:.1}]", self.x0, self.x1, self.y0, self.y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(10.0, 20.0, 0.0, 5.0);
+        assert_eq!(r.x0, 0.0);
+        assert_eq!(r.y1, 20.0);
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 15.0);
+    }
+
+    #[test]
+    fn contains_and_center() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(&Point::new(5.0, 5.0)));
+        assert!(r.contains(&Point::new(0.0, 10.0)));
+        assert!(!r.contains(&Point::new(-0.1, 5.0)));
+        assert_eq!(r.center(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn lerp_spans_the_rect() {
+        let r = Rect::new(2.0, 4.0, 6.0, 8.0);
+        assert_eq!(r.lerp(0.0, 0.0), Point::new(2.0, 4.0));
+        assert_eq!(r.lerp(1.0, 1.0), Point::new(6.0, 8.0));
+        assert_eq!(r.lerp(0.5, 0.5), r.center());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1.00, 2.00)");
+        assert!(!Rect::new(0.0, 0.0, 1.0, 1.0).to_string().is_empty());
+    }
+}

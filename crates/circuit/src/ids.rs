@@ -1,0 +1,89 @@
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a flip-flop within a [`crate::Netlist`].
+    ///
+    /// Flip-flop ids are dense indices assigned in insertion order.
+    FlipFlopId,
+    "ff"
+);
+
+id_type!(
+    /// Identifier of a combinational gate within a [`crate::Netlist`].
+    GateId,
+    "g"
+);
+
+id_type!(
+    /// Identifier of a timed path within a [`crate::PathSet`].
+    PathId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let ff = FlipFlopId::new(3);
+        assert_eq!(ff.index(), 3);
+        assert_eq!(ff.to_string(), "ff3");
+        assert_eq!(FlipFlopId::from(3_u32), ff);
+        assert_eq!(usize::from(ff), 3);
+
+        let g = GateId::new(17);
+        assert_eq!(g.to_string(), "g17");
+        let p = PathId::new(0);
+        assert_eq!(p.to_string(), "p0");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(GateId::new(1));
+        set.insert(GateId::new(1));
+        set.insert(GateId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(GateId::new(1) < GateId::new(2));
+    }
+}

@@ -1,0 +1,311 @@
+use std::collections::HashMap;
+
+use crate::{CircuitError, FlipFlopId, GateId, Netlist, PathId, Result, Signal};
+
+/// Whether a path carries a setup-relevant maximum delay or a hold-relevant
+/// minimum delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathKind {
+    /// Longest (critical) combinational path between the flip-flop pair;
+    /// constrains setup timing (paper eq. 1).
+    Max,
+    /// Shortest combinational path between the flip-flop pair; constrains
+    /// hold timing (paper eq. 2).
+    Min,
+}
+
+/// A register-to-register combinational path.
+///
+/// The gate chain is ordered from source to sink: gate 0 is fed (directly or
+/// through a side input) by the source flip-flop, each later gate is fed by
+/// its predecessor, and the sink flip-flop's D input is driven by the last
+/// gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedPath {
+    /// Identifier within the owning [`PathSet`].
+    pub id: PathId,
+    /// Launching flip-flop `i`.
+    pub source: FlipFlopId,
+    /// Capturing flip-flop `j`.
+    pub sink: FlipFlopId,
+    /// Gate chain from source to sink.
+    pub gates: Vec<GateId>,
+    /// Max (setup) or min (hold) path.
+    pub kind: PathKind,
+}
+
+impl TimedPath {
+    /// Number of gates on the path.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` if the path has no gates (invalid; rejected by validation).
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The `(source, sink)` flip-flop pair this path connects.
+    pub fn endpoints(&self) -> (FlipFlopId, FlipFlopId) {
+        (self.source, self.sink)
+    }
+
+    /// `true` if the path touches the given flip-flop as source or sink.
+    pub fn touches(&self, ff: FlipFlopId) -> bool {
+        self.source == ff || self.sink == ff
+    }
+
+    /// `true` if two paths cannot be measured in the same test batch
+    /// (paper §3.2): they *converge at* the same flip-flop (shared sink — a
+    /// latching failure could not be attributed to either path) or *leave
+    /// from* the same flip-flop (shared source — one launch transition
+    /// cannot serve two measured paths).
+    ///
+    /// Chained paths where one path's sink is another's source are fine:
+    /// that is exactly the paper's "arranged in series" batch (its Fig. 5
+    /// example `p14, p46, p67, ...`), because the launch value is scanned
+    /// in while the capture is observed per sink.
+    pub fn conflicts_with(&self, other: &TimedPath) -> bool {
+        self.source == other.source || self.sink == other.sink
+    }
+}
+
+/// An indexed collection of [`TimedPath`]s over one netlist.
+///
+/// Provides the per-flip-flop incidence queries used by test multiplexing
+/// and validates chain connectivity against the netlist.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathSet {
+    paths: Vec<TimedPath>,
+}
+
+impl PathSet {
+    /// Creates an empty path set.
+    pub fn new() -> Self {
+        PathSet { paths: Vec::new() }
+    }
+
+    /// Adds a path, assigning and returning its id.
+    pub fn add(
+        &mut self,
+        source: FlipFlopId,
+        sink: FlipFlopId,
+        gates: Vec<GateId>,
+        kind: PathKind,
+    ) -> PathId {
+        let id = PathId::new(self.paths.len() as u32);
+        self.paths.push(TimedPath { id, source, sink, gates, kind });
+        id
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` if the set contains no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Looks up a path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (path ids are only minted by
+    /// [`add`](Self::add), so an invalid id is a logic error).
+    pub fn path(&self, id: PathId) -> &TimedPath {
+        &self.paths[id.index()]
+    }
+
+    /// Iterates over all paths.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedPath> {
+        self.paths.iter()
+    }
+
+    /// Ids of all paths, in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        (0..self.paths.len() as u32).map(PathId::new)
+    }
+
+    /// Paths of the given kind.
+    pub fn of_kind(&self, kind: PathKind) -> Vec<PathId> {
+        self.paths.iter().filter(|p| p.kind == kind).map(|p| p.id).collect()
+    }
+
+    /// Map from flip-flop to the paths touching it (as source or sink).
+    pub fn incidence(&self) -> HashMap<FlipFlopId, Vec<PathId>> {
+        let mut map: HashMap<FlipFlopId, Vec<PathId>> = HashMap::new();
+        for p in &self.paths {
+            map.entry(p.source).or_default().push(p.id);
+            if p.sink != p.source {
+                map.entry(p.sink).or_default().push(p.id);
+            }
+        }
+        map
+    }
+
+    /// Validates every path against the netlist: non-empty chains, valid
+    /// ids, and connectivity (each gate after the first takes its
+    /// predecessor as an input; the first gate takes the source flip-flop
+    /// as an input).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, netlist: &Netlist) -> Result<()> {
+        for p in &self.paths {
+            if p.gates.is_empty() {
+                return Err(CircuitError::EmptyPath { path: p.id });
+            }
+            netlist.flip_flop(p.source)?;
+            netlist.flip_flop(p.sink)?;
+            // Source link: first gate must see the source flip-flop.
+            let first = netlist.gate(p.gates[0])?;
+            if !first.inputs.contains(&Signal::Ff(p.source)) {
+                return Err(CircuitError::BrokenPathChain { path: p.id, position: 0 });
+            }
+            // Internal links.
+            for (pos, pair) in p.gates.windows(2).enumerate() {
+                let next = netlist.gate(pair[1])?;
+                if !next.inputs.contains(&Signal::Gate(pair[0])) {
+                    return Err(CircuitError::BrokenPathChain { path: p.id, position: pos + 1 });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<TimedPath> for PathSet {
+    /// Collects paths, reassigning dense ids in iteration order.
+    fn from_iter<T: IntoIterator<Item = TimedPath>>(iter: T) -> Self {
+        let mut set = PathSet::new();
+        for p in iter {
+            set.add(p.source, p.sink, p.gates, p.kind);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlipFlop, Gate, GateKind, Netlist, Point, Rect};
+
+    fn fixture() -> (Netlist, Vec<FlipFlopId>, Vec<GateId>) {
+        let mut n = Netlist::new("t", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let ffs: Vec<FlipFlopId> = (0..3)
+            .map(|i| {
+                n.add_flip_flop(FlipFlop::new(format!("ff{i}"), Point::new(i as f64, 0.0)))
+            })
+            .collect();
+        let g0 = n.add_gate(Gate::new(
+            GateKind::Inv,
+            Point::new(0.0, 1.0),
+            vec![Signal::Ff(ffs[0])],
+        ));
+        let g1 = n.add_gate(Gate::new(
+            GateKind::Nand2,
+            Point::new(1.0, 1.0),
+            vec![Signal::Gate(g0), Signal::Ff(ffs[2])],
+        ));
+        (n, ffs, vec![g0, g1])
+    }
+
+    #[test]
+    fn add_assigns_dense_ids() {
+        let (_, ffs, gates) = fixture();
+        let mut set = PathSet::new();
+        let p0 = set.add(ffs[0], ffs[1], vec![gates[0]], PathKind::Max);
+        let p1 = set.add(ffs[1], ffs[2], vec![gates[1]], PathKind::Max);
+        assert_eq!(p0.index(), 0);
+        assert_eq!(p1.index(), 1);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.path(p1).source, ffs[1]);
+    }
+
+    #[test]
+    fn conflict_detection_follows_series_rule() {
+        let (_, ffs, gates) = fixture();
+        let mut set = PathSet::new();
+        let a = set.add(ffs[0], ffs[1], vec![gates[0]], PathKind::Max);
+        let b = set.add(ffs[1], ffs[2], vec![gates[1]], PathKind::Max);
+        let c = set.add(ffs[2], ffs[0], vec![gates[0]], PathKind::Max);
+        // A ring of chained paths is a valid series batch: no conflicts.
+        assert!(!set.path(a).conflicts_with(set.path(b)));
+        assert!(!set.path(b).conflicts_with(set.path(c)));
+        assert!(!set.path(a).conflicts_with(set.path(c)));
+        // Same sink conflicts (the paper's p14 vs p34 case).
+        let d = set.add(ffs[2], ffs[1], vec![gates[1]], PathKind::Max);
+        assert!(set.path(a).conflicts_with(set.path(d)));
+        // Same source conflicts too (one launch cannot serve two paths).
+        let e = set.add(ffs[0], ffs[2], vec![gates[0]], PathKind::Max);
+        assert!(set.path(a).conflicts_with(set.path(e)));
+        // Identical endpoints conflict trivially.
+        let f = set.add(ffs[0], ffs[1], vec![gates[0]], PathKind::Max);
+        assert!(set.path(a).conflicts_with(set.path(f)));
+    }
+
+    #[test]
+    fn validate_accepts_connected_chain() {
+        let (n, ffs, gates) = fixture();
+        let mut set = PathSet::new();
+        set.add(ffs[0], ffs[1], vec![gates[0], gates[1]], PathKind::Max);
+        set.validate(&n).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_broken_chain() {
+        let (n, ffs, gates) = fixture();
+        let mut set = PathSet::new();
+        // gates[1] does not take ff1 as an input, so starting there breaks
+        // the source link.
+        set.add(ffs[1], ffs[0], vec![gates[1]], PathKind::Max);
+        assert!(matches!(
+            set.validate(&n),
+            Err(CircuitError::BrokenPathChain { position: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty_path() {
+        let (n, ffs, _) = fixture();
+        let mut set = PathSet::new();
+        set.add(ffs[0], ffs[1], vec![], PathKind::Max);
+        assert!(matches!(set.validate(&n), Err(CircuitError::EmptyPath { .. })));
+    }
+
+    #[test]
+    fn incidence_counts_paths_per_ff() {
+        let (_, ffs, gates) = fixture();
+        let mut set = PathSet::new();
+        set.add(ffs[0], ffs[1], vec![gates[0]], PathKind::Max);
+        set.add(ffs[0], ffs[2], vec![gates[0]], PathKind::Max);
+        let inc = set.incidence();
+        assert_eq!(inc[&ffs[0]].len(), 2);
+        assert_eq!(inc[&ffs[1]].len(), 1);
+        assert_eq!(inc[&ffs[2]].len(), 1);
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let (_, ffs, gates) = fixture();
+        let mut set = PathSet::new();
+        set.add(ffs[0], ffs[1], vec![gates[0]], PathKind::Max);
+        let m = set.add(ffs[0], ffs[1], vec![gates[0]], PathKind::Min);
+        assert_eq!(set.of_kind(PathKind::Min), vec![m]);
+        assert_eq!(set.of_kind(PathKind::Max).len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_reassigns_ids() {
+        let (_, ffs, gates) = fixture();
+        let mut set = PathSet::new();
+        set.add(ffs[0], ffs[1], vec![gates[0]], PathKind::Max);
+        set.add(ffs[1], ffs[2], vec![gates[1]], PathKind::Max);
+        let rebuilt: PathSet = set.iter().skip(1).cloned().collect();
+        assert_eq!(rebuilt.len(), 1);
+        assert_eq!(rebuilt.path(PathId::new(0)).source, ffs[1]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Lightweight path sensitization: which paths can share a test vector?
+//!
+//! To measure a path's delay with frequency stepping, ATPG must *sensitize*
+//! it: launch a transition at the source flip-flop and justify every side
+//! input along the chain to its non-controlling value so the transition
+//! propagates to the sink. The paper (§3.2) notes that some paths in a test
+//! batch "cannot be activated by ATPG vectors at the same time due to logic
+//! masking"; such pairs are marked mutually exclusive and placed in
+//! different batches.
+//!
+//! This module derives those mutual exclusions from netlist structure with a
+//! conservative three-rule model. For each path we compute
+//! [`PathRequirements`]:
+//!
+//! * **through** — the gates the transition propagates through;
+//! * **stable** — side-input signals that must hold a fixed value
+//!   (the non-controlling value for AND/OR-family gates, any stable value
+//!   for XOR side inputs).
+//!
+//! Two paths are incompatible when (1) one needs a signal stable that the
+//! other toggles, or (2) both need the same signal stable at *different*
+//! values, or (3) their through-gate sets overlap (a shared gate would see
+//! two interfering transitions). The model is conservative — real ATPG
+//! might still find a vector for some pairs we reject — which only costs a
+//! few extra batches, never a wrong measurement.
+
+use std::collections::HashMap;
+
+use crate::{GateId, Netlist, Result, Signal, TimedPath};
+
+/// A stability requirement on a side-input signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StableValue {
+    /// Must hold logic 0.
+    Zero,
+    /// Must hold logic 1.
+    One,
+    /// Must merely be stable (XOR side inputs): any value, no toggling.
+    Any,
+}
+
+impl StableValue {
+    fn from_bool(v: bool) -> Self {
+        if v {
+            StableValue::One
+        } else {
+            StableValue::Zero
+        }
+    }
+
+    /// `true` if the two requirements can be satisfied simultaneously.
+    pub fn compatible(self, other: StableValue) -> bool {
+        !matches!(
+            (self, other),
+            (StableValue::Zero, StableValue::One) | (StableValue::One, StableValue::Zero)
+        )
+    }
+}
+
+/// The sensitization requirements of one path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathRequirements {
+    /// Gates the transition passes through, ascending by id.
+    through: Vec<GateId>,
+    /// Signals that must be held stable, with the required value.
+    stable: Vec<(Signal, StableValue)>,
+}
+
+impl PathRequirements {
+    /// Computes the requirements of `path` against `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates id-validation errors for paths that do not belong to the
+    /// netlist.
+    pub fn compute(netlist: &Netlist, path: &TimedPath) -> Result<Self> {
+        let mut through = path.gates.clone();
+        through.sort_unstable();
+        let mut stable_map: HashMap<Signal, StableValue> = HashMap::new();
+
+        for (pos, &gid) in path.gates.iter().enumerate() {
+            let gate = netlist.gate(gid)?;
+            // The on-path input: the predecessor gate, or the source
+            // flip-flop for the first gate.
+            let on_path = if pos == 0 {
+                Signal::Ff(path.source)
+            } else {
+                Signal::Gate(path.gates[pos - 1])
+            };
+            for &input in &gate.inputs {
+                if input == on_path {
+                    continue;
+                }
+                let req = match gate.kind.non_controlling_value() {
+                    Some(v) => StableValue::from_bool(v),
+                    // XOR (or any gate without a controlling value): the
+                    // side input only needs to be stable.
+                    None => StableValue::Any,
+                };
+                merge_requirement(&mut stable_map, input, req);
+            }
+        }
+        // A path never requires its own through-gates stable (can happen
+        // when a side input taps an earlier on-path gate, e.g. a gate
+        // feeding both inputs of a successor); propagation wins. Likewise
+        // its own source flip-flop: the launch polarity is chosen by the
+        // test vector, so a source that also side-feeds a later on-path
+        // gate is handled by picking the transition direction, not by
+        // holding the source stable.
+        let mut stable: Vec<(Signal, StableValue)> = stable_map
+            .into_iter()
+            .filter(|(sig, _)| match sig {
+                Signal::Gate(g) => through.binary_search(g).is_err(),
+                Signal::Ff(f) => *f != path.source,
+            })
+            .collect();
+        stable.sort_unstable_by_key(|(sig, _)| signal_key(*sig));
+        Ok(PathRequirements { through, stable })
+    }
+
+    /// Gates the transition passes through.
+    pub fn through(&self) -> &[GateId] {
+        &self.through
+    }
+
+    /// Stable-signal requirements.
+    pub fn stable(&self) -> &[(Signal, StableValue)] {
+        &self.stable
+    }
+
+    /// `true` if the two paths can be sensitized by one test vector.
+    pub fn compatible(&self, other: &PathRequirements) -> bool {
+        // Rule 3: shared through-gates interfere.
+        if sorted_intersects(&self.through, &other.through) {
+            return false;
+        }
+        // Rules 1 & 2 in both directions.
+        if self.stable_conflicts(other) || other.stable_conflicts(self) {
+            return false;
+        }
+        true
+    }
+
+    /// Checks whether any of `self`'s stable requirements is violated by
+    /// `other` (toggled by its transition, or pinned to the opposite value).
+    ///
+    /// Flip-flop *source* transitions are not visible at this level (the
+    /// requirements do not store the source); [`MutualExclusions::build`]
+    /// adds that rule on top.
+    fn stable_conflicts(&self, other: &PathRequirements) -> bool {
+        for &(sig, val) in &self.stable {
+            // Toggled by the other path's transition?
+            if let Signal::Gate(g) = sig {
+                if other.through.binary_search(&g).is_ok() {
+                    return true;
+                }
+            }
+            // Pinned to a different value by the other path?
+            if let Some(&(_, other_val)) =
+                other.stable.iter().find(|(s, _)| *s == sig)
+            {
+                if !val.compatible(other_val) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn merge_requirement(map: &mut HashMap<Signal, StableValue>, sig: Signal, req: StableValue) {
+    use std::collections::hash_map::Entry;
+    match map.entry(sig) {
+        Entry::Vacant(e) => {
+            e.insert(req);
+        }
+        Entry::Occupied(mut e) => {
+            // A concrete value wins over `Any`; conflicting concrete values
+            // make the path unsensitizable on its own — keep the first and
+            // let batching treat it conservatively.
+            if *e.get() == StableValue::Any {
+                e.insert(req);
+            }
+        }
+    }
+}
+
+fn signal_key(sig: Signal) -> (u8, usize) {
+    match sig {
+        Signal::Ff(id) => (0, id.index()),
+        Signal::Gate(id) => (1, id.index()),
+    }
+}
+
+fn sorted_intersects(a: &[GateId], b: &[GateId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Precomputed pairwise mutual exclusions over a set of paths.
+#[derive(Debug, Clone)]
+pub struct MutualExclusions {
+    /// `excluded[i]` holds the indices `j > i` that are incompatible with
+    /// `i` (by position in the input slice, not `PathId`).
+    excluded: Vec<Vec<usize>>,
+}
+
+impl MutualExclusions {
+    /// Computes requirements for every path and the pairwise exclusions.
+    ///
+    /// Source flip-flop transitions are accounted for here: a path that
+    /// needs signal `Ff(f)` stable excludes any path launching from `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates requirement-computation errors.
+    pub fn build(netlist: &Netlist, paths: &[&TimedPath]) -> Result<Self> {
+        let reqs: Vec<PathRequirements> = paths
+            .iter()
+            .map(|p| PathRequirements::compute(netlist, p))
+            .collect::<Result<_>>()?;
+        let mut excluded = vec![Vec::new(); paths.len()];
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                let incompatible = !reqs[i].compatible(&reqs[j])
+                    || stable_blocks_source(&reqs[i], paths[j])
+                    || stable_blocks_source(&reqs[j], paths[i]);
+                if incompatible {
+                    excluded[i].push(j);
+                }
+            }
+        }
+        Ok(MutualExclusions { excluded })
+    }
+
+    /// `true` if paths at positions `i` and `j` are mutually exclusive.
+    pub fn excludes(&self, i: usize, j: usize) -> bool {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        // Lists are built in ascending order, so binary search applies.
+        self.excluded.get(lo).is_some_and(|v| v.binary_search(&hi).is_ok())
+    }
+
+    /// Total number of excluded pairs.
+    pub fn pair_count(&self) -> usize {
+        self.excluded.iter().map(|v| v.len()).sum()
+    }
+}
+
+fn stable_blocks_source(reqs: &PathRequirements, other: &TimedPath) -> bool {
+    reqs.stable.iter().any(|&(sig, _)| sig == Signal::Ff(other.source))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlipFlop, Gate, GateKind, PathKind, PathSet, Point, Rect};
+
+    /// Two disjoint inverter chains (always compatible) and one NAND whose
+    /// side input is another chain's gate (conflicts).
+    fn fixture() -> (Netlist, PathSet) {
+        let die = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let mut n = Netlist::new("s", die);
+        let f0 = n.add_flip_flop(FlipFlop::new("f0", Point::new(1.0, 1.0)));
+        let f1 = n.add_flip_flop(FlipFlop::new("f1", Point::new(2.0, 1.0)));
+        let f2 = n.add_flip_flop(FlipFlop::new("f2", Point::new(3.0, 1.0)));
+        let f3 = n.add_flip_flop(FlipFlop::new("f3", Point::new(4.0, 1.0)));
+        let f4 = n.add_flip_flop(FlipFlop::new("f4", Point::new(5.0, 1.0)));
+
+        // Chain A: f0 -> g0(INV) -> g1(BUF) -> f1.
+        let g0 = n.add_gate(Gate::new(GateKind::Inv, Point::new(1.0, 2.0), vec![Signal::Ff(f0)]));
+        let g1 =
+            n.add_gate(Gate::new(GateKind::Buf, Point::new(1.5, 2.0), vec![Signal::Gate(g0)]));
+        // Chain B: f2 -> g2(INV) -> f3.
+        let g2 = n.add_gate(Gate::new(GateKind::Inv, Point::new(3.0, 2.0), vec![Signal::Ff(f2)]));
+        // Gate g3: NAND(f3, g1) — side input taps chain A's output.
+        let g3 = n.add_gate(Gate::new(
+            GateKind::Nand2,
+            Point::new(4.0, 2.0),
+            vec![Signal::Ff(f3), Signal::Gate(g1)],
+        ));
+
+        let mut paths = PathSet::new();
+        paths.add(f0, f1, vec![g0, g1], PathKind::Max); // A
+        paths.add(f2, f3, vec![g2], PathKind::Max); // B
+        paths.add(f3, f4, vec![g3], PathKind::Max); // C (side = g1)
+        (n, paths)
+    }
+
+    #[test]
+    fn disjoint_chains_are_compatible() {
+        let (n, paths) = fixture();
+        let a = PathRequirements::compute(&n, paths.path(crate::PathId::new(0))).unwrap();
+        let b = PathRequirements::compute(&n, paths.path(crate::PathId::new(1))).unwrap();
+        assert!(a.compatible(&b));
+        assert!(b.compatible(&a));
+    }
+
+    #[test]
+    fn side_input_toggled_by_other_path_conflicts() {
+        let (n, paths) = fixture();
+        let a = PathRequirements::compute(&n, paths.path(crate::PathId::new(0))).unwrap();
+        let c = PathRequirements::compute(&n, paths.path(crate::PathId::new(2))).unwrap();
+        // Path C needs g1 stable (side input of its NAND), but path A
+        // toggles g1.
+        assert!(!c.compatible(&a));
+        assert!(!a.compatible(&c));
+    }
+
+    #[test]
+    fn requirements_capture_non_controlling_values() {
+        let (n, paths) = fixture();
+        let c = PathRequirements::compute(&n, paths.path(crate::PathId::new(2))).unwrap();
+        // NAND side input must be 1 (non-controlling).
+        assert_eq!(c.stable().len(), 1);
+        assert_eq!(c.stable()[0], (Signal::Gate(crate::GateId::new(1)), StableValue::One));
+        assert_eq!(c.through(), &[crate::GateId::new(3)]);
+    }
+
+    #[test]
+    fn shared_through_gate_conflicts() {
+        let die = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let mut n = Netlist::new("s", die);
+        let f0 = n.add_flip_flop(FlipFlop::new("f0", Point::new(1.0, 1.0)));
+        let f1 = n.add_flip_flop(FlipFlop::new("f1", Point::new(2.0, 1.0)));
+        let f2 = n.add_flip_flop(FlipFlop::new("f2", Point::new(3.0, 1.0)));
+        let f3 = n.add_flip_flop(FlipFlop::new("f3", Point::new(4.0, 1.0)));
+        // Shared gate: AND2(f0, f2) feeds both sinks via separate buffers.
+        let shared = n.add_gate(Gate::new(
+            GateKind::And2,
+            Point::new(2.0, 2.0),
+            vec![Signal::Ff(f0), Signal::Ff(f2)],
+        ));
+        let b1 = n.add_gate(Gate::new(
+            GateKind::Buf,
+            Point::new(2.5, 2.0),
+            vec![Signal::Gate(shared)],
+        ));
+        let b2 = n.add_gate(Gate::new(
+            GateKind::Buf,
+            Point::new(2.5, 3.0),
+            vec![Signal::Gate(shared)],
+        ));
+        let mut paths = PathSet::new();
+        paths.add(f0, f1, vec![shared, b1], PathKind::Max);
+        paths.add(f2, f3, vec![shared, b2], PathKind::Max);
+
+        let a = PathRequirements::compute(&n, paths.path(crate::PathId::new(0))).unwrap();
+        let b = PathRequirements::compute(&n, paths.path(crate::PathId::new(1))).unwrap();
+        assert!(!a.compatible(&b));
+    }
+
+    #[test]
+    fn mutual_exclusions_cover_source_toggling() {
+        let (n, paths) = fixture();
+        let refs: Vec<&TimedPath> = paths.iter().collect();
+        let mx = MutualExclusions::build(&n, &refs).unwrap();
+        // C's NAND takes f3 as its on-path input; path B *ends* at f3 but
+        // that is an endpoint conflict, not a sensitization one. A and C
+        // conflict through g1.
+        assert!(mx.excludes(0, 2));
+        assert!(mx.excludes(2, 0));
+        assert!(!mx.excludes(0, 1));
+        assert!(mx.pair_count() >= 1);
+    }
+
+    #[test]
+    fn own_feedback_side_input_is_not_a_self_conflict() {
+        // A gate whose side input taps an earlier gate of the same path.
+        let die = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let mut n = Netlist::new("s", die);
+        let f0 = n.add_flip_flop(FlipFlop::new("f0", Point::new(1.0, 1.0)));
+        let f1 = n.add_flip_flop(FlipFlop::new("f1", Point::new(2.0, 1.0)));
+        let g0 = n.add_gate(Gate::new(GateKind::Inv, Point::new(1.0, 2.0), vec![Signal::Ff(f0)]));
+        let g1 = n.add_gate(Gate::new(
+            GateKind::And2,
+            Point::new(1.5, 2.0),
+            vec![Signal::Gate(g0), Signal::Gate(g0)],
+        ));
+        let mut paths = PathSet::new();
+        paths.add(f0, f1, vec![g0, g1], PathKind::Max);
+        let r = PathRequirements::compute(&n, paths.path(crate::PathId::new(0))).unwrap();
+        // g0 is on-path; it must not appear as a stable requirement.
+        assert!(r.stable().is_empty());
+    }
+
+    #[test]
+    fn stable_value_compatibility_table() {
+        use StableValue::*;
+        assert!(Zero.compatible(Zero));
+        assert!(One.compatible(One));
+        assert!(!Zero.compatible(One));
+        assert!(!One.compatible(Zero));
+        assert!(Any.compatible(Zero));
+        assert!(Any.compatible(One));
+        assert!(Any.compatible(Any));
+    }
+}

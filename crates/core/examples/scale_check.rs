@@ -1,0 +1,21 @@
+//! Quick full-scale sanity run (release mode): Table-1-style rows.
+use effitest_circuit::BenchmarkSpec;
+use effitest_core::experiments::{table1_row, ExperimentConfig};
+
+fn main() {
+    let mut c = ExperimentConfig::default();
+    c.n_chips = 20;
+    c.baseline_chips = 2;
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(|s| s.as_str()).unwrap_or("s9234");
+    let spec = BenchmarkSpec::all_paper_circuits()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("known circuit");
+    let t = std::time::Instant::now();
+    let r = table1_row(&spec, &c);
+    println!(
+        "{}: np={} npt={} ta={:.1} tv={:.2} t'a={:.0} t'v={:.2} ra={:.2}% rv={:.2}% Tp={:.2}s Tt={:.4}s Ts={:.4}s  (wall {:?})",
+        r.name, r.np, r.npt, r.ta, r.tv, r.ta_prime, r.tv_prime, r.ra, r.rv, r.tp_s, r.tt_s, r.ts_s, t.elapsed()
+    );
+}

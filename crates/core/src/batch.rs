@@ -1,0 +1,463 @@
+//! Path test multiplexing (paper §3.2).
+//!
+//! Paths measured in the same frequency step must be attributable: a
+//! latching failure at a flip-flop shared by two paths cannot be blamed on
+//! either, so paths sharing a source or sink flip-flop conflict. Logic
+//! masking adds further mutual exclusions (computed by
+//! `effitest_circuit::sensitize`). Batching is then graph coloring on the
+//! conflict graph; we use the classic Welsh–Powell greedy, which the paper
+//! deems sufficient ("a depth-first search or a simple ILP").
+//!
+//! After the batches are formed, unselected paths with the largest
+//! *predicted* variance (paper eq. 5 — independent of any measured value)
+//! are slotted into batches they do not conflict with, so the otherwise
+//! idle test slots also produce delay information.
+
+use std::collections::HashMap;
+
+use effitest_circuit::sensitize::MutualExclusions;
+use effitest_circuit::{GeneratedBenchmark, PathId};
+use effitest_ssta::TimingModel;
+
+/// The batching outcome.
+#[derive(Debug, Clone)]
+pub struct Batches {
+    /// Path indices per batch; every listed path is tested.
+    pub batches: Vec<Vec<usize>>,
+    /// Paths added as slot fillers (subset of the batched paths).
+    pub slot_filled: Vec<usize>,
+}
+
+impl Batches {
+    /// All tested paths (selected + slot-filled), sorted and deduplicated.
+    pub fn tested_paths(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.batches.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// `true` if there are no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+}
+
+/// Builds the conflict relation for a set of paths: shared endpoint
+/// flip-flops or sensitization mutual exclusion.
+#[derive(Debug)]
+pub struct ConflictOracle<'a> {
+    bench: &'a GeneratedBenchmark,
+    exclusions: MutualExclusions,
+    /// Maps path index -> position in the oracle's path list.
+    position: HashMap<usize, usize>,
+    paths: Vec<usize>,
+}
+
+impl<'a> ConflictOracle<'a> {
+    /// Precomputes sensitization requirements for the listed paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a path index is out of range for the benchmark.
+    pub fn new(bench: &'a GeneratedBenchmark, paths: &[usize]) -> Self {
+        let refs: Vec<&effitest_circuit::TimedPath> = paths
+            .iter()
+            .map(|&p| bench.paths.path(PathId::new(p as u32)))
+            .collect();
+        let exclusions = MutualExclusions::build(&bench.netlist, &refs)
+            .expect("generated paths are valid");
+        let position = paths.iter().enumerate().map(|(pos, &p)| (p, pos)).collect();
+        ConflictOracle { bench, exclusions, position, paths: paths.to_vec() }
+    }
+
+    /// `true` if the two paths cannot share a test batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either path was not registered with the oracle.
+    pub fn conflicts(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let pa = self.bench.paths.path(PathId::new(a as u32));
+        let pb = self.bench.paths.path(PathId::new(b as u32));
+        if pa.conflicts_with(pb) {
+            return true;
+        }
+        let (ia, ib) = (self.position[&a], self.position[&b]);
+        self.exclusions.excludes(ia, ib)
+    }
+
+    /// The paths this oracle knows about.
+    pub fn paths(&self) -> &[usize] {
+        &self.paths
+    }
+}
+
+/// Packs the selected paths into batches by greedy first-fit coloring.
+///
+/// When `widths` is provided (one initial range width per entry of
+/// `selected`, same order), paths are placed in descending width order and
+/// each path prefers the conflict-free batch whose members' mean width is
+/// closest to its own. Width-homogeneous batches matter for test
+/// efficiency: a continuous clock period bisects *all* aligned ranges of a
+/// batch simultaneously only while the ranges keep similar widths (the
+/// discrete buffers cannot compensate sub-step divergence), so mixing wide
+/// and narrow ranges wastes probes on the narrow ones.
+///
+/// Without `widths`, the classic Welsh–Powell order (conflict degree
+/// descending) is used.
+pub fn build_batches(
+    oracle: &ConflictOracle<'_>,
+    selected: &[usize],
+    widths: Option<&[f64]>,
+) -> Vec<Vec<usize>> {
+    let n = selected.len();
+    if let Some(w) = widths {
+        assert_eq!(w.len(), n, "one width per selected path required");
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    match widths {
+        Some(w) => {
+            order.sort_by(|&a, &b| {
+                w[b].partial_cmp(&w[a])
+                    .expect("finite widths")
+                    .then(selected[a].cmp(&selected[b]))
+            });
+        }
+        None => {
+            let mut degree = vec![0_usize; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if oracle.conflicts(selected[i], selected[j]) {
+                        degree[i] += 1;
+                        degree[j] += 1;
+                    }
+                }
+            }
+            order.sort_by(|&a, &b| {
+                degree[b].cmp(&degree[a]).then(selected[a].cmp(&selected[b]))
+            });
+        }
+    }
+
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    let mut batch_widths: Vec<(f64, usize)> = Vec::new(); // (sum, count)
+    for &pos in &order {
+        let p = selected[pos];
+        let feasible = batches
+            .iter()
+            .enumerate()
+            .filter(|(_, batch)| batch.iter().all(|&q| !oracle.conflicts(p, q)));
+        let slot = match widths {
+            Some(w) => {
+                let width = w[pos];
+                feasible
+                    .min_by(|(a, _), (b, _)| {
+                        let ma = batch_widths[*a].0 / batch_widths[*a].1 as f64;
+                        let mb = batch_widths[*b].0 / batch_widths[*b].1 as f64;
+                        (ma - width)
+                            .abs()
+                            .partial_cmp(&(mb - width).abs())
+                            .expect("finite widths")
+                    })
+                    .map(|(i, _)| i)
+            }
+            None => feasible.map(|(i, _)| i).next(),
+        };
+        match slot {
+            Some(b) => {
+                batches[b].push(p);
+                if let Some(w) = widths {
+                    batch_widths[b].0 += w[pos];
+                    batch_widths[b].1 += 1;
+                }
+            }
+            None => {
+                batches.push(vec![p]);
+                batch_widths.push((widths.map_or(0.0, |w| w[pos]), 1));
+            }
+        }
+    }
+    batches
+}
+
+/// Fills empty slots with the highest-predicted-variance unselected paths.
+///
+/// Candidates are `(path, predicted_sigma, initial_width)` triples; they
+/// are consumed in descending `predicted_sigma` order, each placed in the
+/// conflict-free batch with space whose members' mean width best matches
+/// the candidate's (see [`build_batches`] for why width homogeneity
+/// matters). `capacity` defaults to the largest batch size. Every
+/// candidate is used at most once.
+pub fn fill_slots(
+    oracle: &ConflictOracle<'_>,
+    batches: &mut Vec<Vec<usize>>,
+    candidates: &[(usize, f64, f64)],
+    capacity: Option<usize>,
+    widths_of_batched: &dyn Fn(usize) -> f64,
+) -> Vec<usize> {
+    let cap = capacity
+        .unwrap_or_else(|| batches.iter().map(Vec::len).max().unwrap_or(0))
+        .max(1);
+    let mut ranked: Vec<(usize, f64, f64)> = candidates.to_vec();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sigmas"));
+    let mut used: std::collections::HashSet<usize> =
+        batches.iter().flatten().copied().collect();
+    let mut filled = Vec::new();
+    let mut means: Vec<(f64, usize)> = batches
+        .iter()
+        .map(|b| (b.iter().map(|&p| widths_of_batched(p)).sum(), b.len()))
+        .collect();
+
+    for (p, _sigma, width) in ranked {
+        if used.contains(&p) {
+            continue;
+        }
+        let slot = batches
+            .iter()
+            .enumerate()
+            .filter(|(i, batch)| {
+                batch.len() < cap && batch.iter().all(|&q| !oracle.conflicts(p, q)) && means[*i].1 > 0
+            })
+            .min_by(|(a, _), (b, _)| {
+                let ma = means[*a].0 / means[*a].1 as f64;
+                let mb = means[*b].0 / means[*b].1 as f64;
+                (ma - width)
+                    .abs()
+                    .partial_cmp(&(mb - width).abs())
+                    .expect("finite widths")
+            })
+            .map(|(i, _)| i);
+        if let Some(b) = slot {
+            batches[b].push(p);
+            means[b].0 += width;
+            means[b].1 += 1;
+            used.insert(p);
+            filled.push(p);
+        }
+    }
+    filled
+}
+
+/// Predicted standard deviation of every unselected path after the
+/// selected set is measured (paper eq. 5) — the slot-filling priority.
+///
+/// Computed group-locally: conditioning path `k` on the selected members
+/// of its own group (cross-group correlations are below the group's
+/// extraction threshold and contribute little).
+pub fn predicted_sigmas(
+    model: &TimingModel,
+    groups: &[crate::select::PathGroup],
+) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for g in groups {
+        if g.members.len() == g.selected.len() {
+            continue; // everything measured, nothing predicted
+        }
+        let gauss = model.gaussian(&g.members);
+        let sel_pos: Vec<usize> = g
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| g.selected.contains(p))
+            .map(|(pos, _)| pos)
+            .collect();
+        // Observed values do not matter for the variance (eq. 5); condition
+        // at the mean.
+        let values: Vec<f64> = sel_pos.iter().map(|&pos| gauss.mean()[pos]).collect();
+        let cond = gauss
+            .condition(&sel_pos, &values)
+            .expect("group covariance is PSD");
+        let remaining = gauss.remaining_indices(&sel_pos);
+        for (cpos, &mpos) in remaining.iter().enumerate() {
+            let sigma = cond.covariance()[(cpos, cpos)].max(0.0).sqrt();
+            out.push((g.members[mpos], sigma));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{select_paths, SelectConfig};
+    use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+    use effitest_ssta::VariationConfig;
+
+    /// Large enough that batches hold several paths and slot filling has
+    /// real work (batch size is capped near `2 * nb` by the source/sink
+    /// conflict rule).
+    fn fixture() -> (GeneratedBenchmark, TimingModel) {
+        let bench =
+            GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s13207().scaled_down(8), 1);
+        let model = TimingModel::build(&bench, &VariationConfig::paper());
+        (bench, model)
+    }
+
+    fn widths_for(model: &TimingModel, paths: &[usize]) -> Vec<f64> {
+        paths.iter().map(|&p| 6.0 * model.path_sigma(p)).collect()
+    }
+
+    #[test]
+    fn batches_contain_no_conflicts() {
+        let (bench, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let selected = crate::select::all_selected(&groups);
+        let all: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        for widths in [None, Some(widths_for(&model, &selected))] {
+            let batches = build_batches(&oracle, &selected, widths.as_deref());
+            for batch in &batches {
+                for (i, &a) in batch.iter().enumerate() {
+                    for &b in &batch[i + 1..] {
+                        assert!(
+                            !oracle.conflicts(a, b),
+                            "conflicting pair ({a}, {b}) in batch"
+                        );
+                    }
+                }
+            }
+            // Every selected path batched exactly once.
+            let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, selected);
+        }
+    }
+
+    #[test]
+    fn endpoint_conflicts_respected() {
+        let (bench, _) = fixture();
+        let all: Vec<usize> = (0..bench.paths.len()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        // Find two paths sharing an endpoint and confirm the oracle flags
+        // them.
+        let mut found = false;
+        'outer: for i in 0..bench.paths.len() {
+            for j in (i + 1)..bench.paths.len() {
+                let pi = bench.paths.path(PathId::new(i as u32));
+                let pj = bench.paths.path(PathId::new(j as u32));
+                if pi.conflicts_with(pj) {
+                    assert!(oracle.conflicts(i, j));
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "benchmark has no endpoint conflicts to test");
+    }
+
+    #[test]
+    fn slot_filling_respects_conflicts_and_capacity() {
+        let (bench, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let selected = crate::select::all_selected(&groups);
+        let all: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        let widths = widths_for(&model, &selected);
+        let mut batches = build_batches(&oracle, &selected, Some(&widths));
+        let candidates: Vec<(usize, f64, f64)> = predicted_sigmas(&model, &groups)
+            .into_iter()
+            .map(|(p, s)| (p, s, 6.0 * model.path_sigma(p)))
+            .collect();
+        let cap = batches.iter().map(Vec::len).max().unwrap_or(1).max(4);
+        let width_of = |p: usize| 6.0 * model.path_sigma(p);
+        let filled = fill_slots(&oracle, &mut batches, &candidates, Some(cap), &width_of);
+        for batch in &batches {
+            assert!(batch.len() <= cap);
+            for (i, &a) in batch.iter().enumerate() {
+                for &b in &batch[i + 1..] {
+                    assert!(!oracle.conflicts(a, b));
+                }
+            }
+        }
+        // Fillers are unique and disjoint from the selected set.
+        let mut f = filled.clone();
+        f.sort_unstable();
+        f.dedup();
+        assert_eq!(f.len(), filled.len());
+        for p in &filled {
+            assert!(!selected.contains(p));
+        }
+        assert!(!filled.is_empty(), "no slots were filled");
+    }
+
+    #[test]
+    fn predicted_sigmas_cover_unselected_members() {
+        let (_, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let sigmas = predicted_sigmas(&model, &groups);
+        let selected = crate::select::all_selected(&groups);
+        let expected = model.path_count() - selected.len();
+        assert_eq!(sigmas.len(), expected);
+        for &(p, s) in &sigmas {
+            assert!(!selected.contains(&p));
+            assert!(s >= 0.0);
+            // Prediction shrinks variance relative to the prior.
+            assert!(s <= model.path_sigma(p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn batches_shrink_with_fewer_conflicts() {
+        // Sanity: batching k mutually-compatible outlier-ish paths should
+        // need far fewer than k batches.
+        let (bench, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let selected = crate::select::all_selected(&groups);
+        let all: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        let batches = build_batches(&oracle, &selected, None);
+        assert!(
+            batches.len() <= selected.len(),
+            "coloring can never exceed one batch per path"
+        );
+    }
+
+    #[test]
+    fn width_stratified_batches_are_homogeneous() {
+        let (bench, model) = fixture();
+        let all: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        let widths = widths_for(&model, &all);
+        let batches = build_batches(&oracle, &all, Some(&widths));
+        // Mean within-batch width spread should be clearly below the
+        // global width spread.
+        let global_spread = {
+            let max = widths.iter().cloned().fold(f64::MIN, f64::max);
+            let min = widths.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        let mut spreads = Vec::new();
+        for batch in batches.iter().filter(|b| b.len() >= 2) {
+            let ws: Vec<f64> = batch.iter().map(|&p| 6.0 * model.path_sigma(p)).collect();
+            let max = ws.iter().cloned().fold(f64::MIN, f64::max);
+            let min = ws.iter().cloned().fold(f64::MAX, f64::min);
+            spreads.push(max - min);
+        }
+        if !spreads.is_empty() && global_spread > 0.0 {
+            let mean_spread = spreads.iter().sum::<f64>() / spreads.len() as f64;
+            assert!(
+                mean_spread < global_spread * 0.7,
+                "batches not width-stratified: {mean_spread} vs global {global_spread}"
+            );
+        }
+    }
+
+    #[test]
+    fn tested_paths_dedup() {
+        let b = Batches {
+            batches: vec![vec![3, 1], vec![2, 1]],
+            slot_filled: vec![],
+        };
+        assert_eq!(b.tested_paths(), vec![1, 2, 3]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,538 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use effitest_circuit::GeneratedBenchmark;
+use effitest_ssta::{ChipInstance, TimingModel};
+use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
+
+use crate::aligned_test::{run_aligned_test, AlignedTestConfig};
+use crate::batch::{build_batches, fill_slots, predicted_sigmas, Batches, ConflictOracle};
+use crate::configure::{build_config_problem, configure, shifts_for, BufferIndex};
+use crate::hold::{compute_hold_bounds, HoldBounds, HoldConfig};
+use crate::predict::{predict_ranges, PredictedRanges};
+use crate::select::{all_selected, select_paths, PathGroup, SelectConfig};
+
+/// Errors surfaced by the flow API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The benchmark has no required paths.
+    EmptyPaths,
+    /// Benchmark and timing model disagree on the path count.
+    ModelMismatch {
+        /// Paths in the benchmark.
+        bench_paths: usize,
+        /// Paths in the model.
+        model_paths: usize,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::EmptyPaths => write!(f, "benchmark has no required paths"),
+            FlowError::ModelMismatch { bench_paths, model_paths } => write!(
+                f,
+                "benchmark has {bench_paths} paths but the model has {model_paths}"
+            ),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+/// Configuration of the complete EffiTest flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Path grouping / representative selection (Procedure 1).
+    pub select: SelectConfig,
+    /// Hold-bound sampling (§3.5).
+    pub hold: HoldConfig,
+    /// Range-convergence threshold as a divisor of the widest initial
+    /// range: `epsilon = max_p(2 k sigma_p) / epsilon_divisor`. The default
+    /// of 512 makes path-wise stepping cost ~9 iterations per path, the
+    /// regime of the paper's Table 1.
+    pub epsilon_divisor: f64,
+    /// Initial bounds half-width in sigmas (paper: 3).
+    pub bound_sigma: f64,
+    /// Sorted-center alignment weights (paper: `k0 >> kd`).
+    pub k0: f64,
+    /// Weight decrement.
+    pub kd: f64,
+    /// Align delay ranges with the tuning buffers (§3.3). `false` is the
+    /// multiplexing-only ablation.
+    pub use_alignment: bool,
+    /// Solve each alignment exactly (MILP) instead of coordinate descent.
+    pub exact_alignment: bool,
+    /// Fill empty batch slots with high-variance unselected paths (§3.2).
+    pub slot_fill: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            select: SelectConfig::default(),
+            hold: HoldConfig::default(),
+            epsilon_divisor: 512.0,
+            bound_sigma: 3.0,
+            k0: 1000.0,
+            kd: 1.0,
+            use_alignment: true,
+            exact_alignment: false,
+            slot_fill: true,
+        }
+    }
+}
+
+/// Everything computed *offline* for one circuit (the paper's `T_p`):
+/// groups, selected paths, batches, hold bounds, buffer indexing.
+#[derive(Debug)]
+pub struct PreparedFlow<'a> {
+    /// The benchmark under test.
+    pub bench: &'a GeneratedBenchmark,
+    /// Its timing model.
+    pub model: &'a TimingModel,
+    /// Correlation groups with selected representatives.
+    pub groups: Vec<PathGroup>,
+    /// Test batches (tested paths = selected + slot fills).
+    pub batches: Batches,
+    /// Hold-time tuning bounds `lambda_ij`.
+    pub lambda: HoldBounds,
+    /// Dense buffer indexing.
+    pub buffers: BufferIndex,
+    /// Convergence threshold for this circuit.
+    pub epsilon: f64,
+    /// Wall-clock time spent preparing (the paper's `T_p`).
+    pub prep_time: Duration,
+}
+
+impl PreparedFlow<'_> {
+    /// Number of paths actually tested on silicon (`n_pt` in Table 1).
+    pub fn tested_path_count(&self) -> usize {
+        self.batches.tested_paths().len()
+    }
+}
+
+/// Outcome of running the flow on one chip.
+#[derive(Debug, Clone)]
+pub struct ChipOutcome {
+    /// Frequency-stepping iterations consumed (the paper's per-chip `t_a`).
+    pub iterations: u64,
+    /// Time spent solving alignment problems (`T_t`).
+    pub align_time: Duration,
+    /// Time spent solving the final configuration (`T_s`).
+    pub config_time: Duration,
+    /// Configured buffer values, or `None` if the chip was rejected as
+    /// unconfigurable at the designated period.
+    pub configured: Option<Vec<f64>>,
+    /// Result of the final pass/fail test at the designated period.
+    pub passes: bool,
+    /// Final delay ranges for every path (measured or predicted).
+    pub ranges: Vec<DelayBounds>,
+    /// Which ranges came from silicon measurement.
+    pub measured: Vec<bool>,
+}
+
+/// Result of the path-wise baseline on one chip.
+#[derive(Debug, Clone)]
+pub struct PathWiseOutcome {
+    /// Iterations consumed (`t'_a`).
+    pub iterations: u64,
+    /// Measured bounds per path.
+    pub bounds: Vec<DelayBounds>,
+}
+
+/// The EffiTest flow orchestrator.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone, Default)]
+pub struct EffiTestFlow {
+    config: FlowConfig,
+}
+
+impl EffiTestFlow {
+    /// Creates a flow with the given configuration.
+    pub fn new(config: FlowConfig) -> Self {
+        EffiTestFlow { config }
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Offline preparation for one circuit: Procedure 1, multiplexing with
+    /// slot filling, and hold-bound computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::EmptyPaths`] / [`FlowError::ModelMismatch`] on
+    /// malformed inputs.
+    pub fn prepare<'a>(
+        &self,
+        bench: &'a GeneratedBenchmark,
+        model: &'a TimingModel,
+    ) -> Result<PreparedFlow<'a>, FlowError> {
+        if bench.paths.is_empty() {
+            return Err(FlowError::EmptyPaths);
+        }
+        if bench.paths.len() != model.path_count() {
+            return Err(FlowError::ModelMismatch {
+                bench_paths: bench.paths.len(),
+                model_paths: model.path_count(),
+            });
+        }
+        let started = Instant::now();
+        let groups = select_paths(model, &self.config.select);
+        let selected = all_selected(&groups);
+
+        let all_paths: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new(bench, &all_paths);
+        let width_of =
+            |p: usize| 2.0 * self.config.bound_sigma * model.path_sigma(p);
+        let widths: Vec<f64> = selected.iter().map(|&p| width_of(p)).collect();
+        let mut raw_batches = build_batches(&oracle, &selected, Some(&widths));
+        let buffers = BufferIndex::new(model);
+        let slot_filled = if self.config.slot_fill {
+            let candidates: Vec<(usize, f64, f64)> = predicted_sigmas(model, &groups)
+                .into_iter()
+                .map(|(p, sigma)| (p, sigma, width_of(p)))
+                .collect();
+            // A series batch holds at most one source and one sink per
+            // buffered flip-flop, so 2 * nb is the structural slot count
+            // for buffer-incident paths (which required paths all are).
+            let capacity = (2 * buffers.len())
+                .max(raw_batches.iter().map(Vec::len).max().unwrap_or(1));
+            fill_slots(&oracle, &mut raw_batches, &candidates, Some(capacity), &width_of)
+        } else {
+            Vec::new()
+        };
+        let batches = Batches { batches: raw_batches, slot_filled };
+
+        let lambda = compute_hold_bounds(model, &self.config.hold);
+        let epsilon = self.epsilon_for(model);
+
+        Ok(PreparedFlow {
+            bench,
+            model,
+            groups,
+            batches,
+            lambda,
+            buffers,
+            epsilon,
+            prep_time: started.elapsed(),
+        })
+    }
+
+    /// The convergence threshold derived from the model.
+    pub fn epsilon_for(&self, model: &TimingModel) -> f64 {
+        let max_width = (0..model.path_count())
+            .map(|p| 2.0 * self.config.bound_sigma * model.path_sigma(p))
+            .fold(0.0_f64, f64::max);
+        max_width / self.config.epsilon_divisor
+    }
+
+    /// Phase 1+2 on a chip: aligned test of all batches, then statistical
+    /// prediction. The result is independent of the designated period, so
+    /// yield studies can reuse it across periods.
+    pub fn test_and_predict(
+        &self,
+        prepared: &PreparedFlow<'_>,
+        chip: &ChipInstance,
+    ) -> (PredictedRanges, u64, Duration) {
+        let mut tester = VirtualTester::new(chip);
+        let aligned = run_aligned_test(
+            prepared.model,
+            &mut tester,
+            &prepared.batches.batches,
+            &prepared.lambda,
+            &self.aligned_config(prepared.epsilon),
+        );
+        let predicted = predict_ranges(
+            prepared.model,
+            &prepared.groups,
+            &aligned.bounds,
+            self.config.bound_sigma,
+        );
+        (predicted, aligned.iterations, aligned.align_time)
+    }
+
+    /// Phase 3 on a chip: configure the buffers for `clock_period` from
+    /// the given ranges and run the final pass/fail test.
+    pub fn configure_and_check(
+        &self,
+        prepared: &PreparedFlow<'_>,
+        chip: &ChipInstance,
+        ranges: &[DelayBounds],
+        clock_period: f64,
+    ) -> (Option<Vec<f64>>, bool, Duration) {
+        let started = Instant::now();
+        let problem = build_config_problem(
+            prepared.model,
+            &prepared.buffers,
+            ranges,
+            &prepared.lambda,
+            clock_period,
+        );
+        let solution = configure(&problem);
+        let config_time = started.elapsed();
+        match solution {
+            None => (None, false, config_time),
+            Some(sol) => {
+                let shifts = shifts_for(prepared.model, &prepared.buffers, &sol.buffer_values);
+                let passes = chip_passes(chip, clock_period, &shifts);
+                (Some(sol.buffer_values), passes, config_time)
+            }
+        }
+    }
+
+    /// The complete per-chip flow at a designated clock period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::ModelMismatch`] if the chip's path count does
+    /// not match the prepared model.
+    pub fn run_chip(
+        &self,
+        prepared: &PreparedFlow<'_>,
+        chip: &ChipInstance,
+        clock_period: f64,
+    ) -> Result<ChipOutcome, FlowError> {
+        if chip.path_count() != prepared.model.path_count() {
+            return Err(FlowError::ModelMismatch {
+                bench_paths: chip.path_count(),
+                model_paths: prepared.model.path_count(),
+            });
+        }
+        let (predicted, iterations, align_time) = self.test_and_predict(prepared, chip);
+        let (configured, passes, config_time) =
+            self.configure_and_check(prepared, chip, &predicted.ranges, clock_period);
+        Ok(ChipOutcome {
+            iterations,
+            align_time,
+            config_time,
+            configured,
+            passes,
+            ranges: predicted.ranges,
+            measured: predicted.measured,
+        })
+    }
+
+    /// The comparison baseline: measure **every** required path with
+    /// path-wise frequency stepping (buffers untouched), as in the
+    /// methods the paper compares against.
+    pub fn run_chip_path_wise(
+        &self,
+        prepared: &PreparedFlow<'_>,
+        chip: &ChipInstance,
+    ) -> PathWiseOutcome {
+        let model = prepared.model;
+        let mut tester = VirtualTester::new(chip);
+        let mut bounds = Vec::with_capacity(model.path_count());
+        for p in 0..model.path_count() {
+            let mut b = DelayBounds::from_gaussian(
+                model.path_mean(p),
+                model.path_sigma(p),
+                self.config.bound_sigma,
+            );
+            effitest_tester::path_wise_binary_search(&mut tester, p, &mut b, prepared.epsilon);
+            bounds.push(b);
+        }
+        PathWiseOutcome { iterations: tester.iterations(), bounds }
+    }
+
+    /// Tests an arbitrary path list with multiplexing (and optionally
+    /// alignment) but **no statistical prediction** — the Fig. 8 ablation.
+    /// Returns the iterations consumed and the measured bounds.
+    pub fn test_paths_multiplexed(
+        &self,
+        prepared: &PreparedFlow<'_>,
+        chip: &ChipInstance,
+        paths: &[usize],
+        use_alignment: bool,
+    ) -> (u64, HashMap<usize, DelayBounds>) {
+        let oracle = ConflictOracle::new(prepared.bench, paths);
+        let widths: Vec<f64> = paths
+            .iter()
+            .map(|&p| 2.0 * self.config.bound_sigma * prepared.model.path_sigma(p))
+            .collect();
+        let batches = build_batches(&oracle, paths, Some(&widths));
+        let mut tester = VirtualTester::new(chip);
+        let mut config = self.aligned_config(prepared.epsilon);
+        config.use_alignment = use_alignment;
+        let result = run_aligned_test(
+            prepared.model,
+            &mut tester,
+            &batches,
+            &prepared.lambda,
+            &config,
+        );
+        (result.iterations, result.bounds)
+    }
+
+    fn aligned_config(&self, epsilon: f64) -> AlignedTestConfig {
+        AlignedTestConfig {
+            epsilon,
+            bound_sigma: self.config.bound_sigma,
+            k0: self.config.k0,
+            kd: self.config.kd,
+            use_alignment: self.config.use_alignment,
+            exact_alignment: self.config.exact_alignment,
+            max_iterations_per_batch: 10_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effitest_circuit::BenchmarkSpec;
+    use effitest_linalg::stats::empirical_quantile;
+    use effitest_ssta::VariationConfig;
+
+    fn fixture() -> (GeneratedBenchmark, TimingModel) {
+        let bench =
+            GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(10), 1);
+        let model = TimingModel::build(&bench, &VariationConfig::paper());
+        (bench, model)
+    }
+
+    #[test]
+    fn prepare_reports_sane_statistics() {
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let prepared = flow.prepare(&bench, &model).unwrap();
+        let npt = prepared.tested_path_count();
+        assert!(npt >= 1);
+        assert!(npt <= model.path_count());
+        assert!(prepared.epsilon > 0.0);
+        assert!(!prepared.batches.is_empty());
+        // Slot filling never duplicates paths.
+        let tested = prepared.batches.tested_paths();
+        assert_eq!(
+            tested.len(),
+            prepared.batches.batches.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn full_flow_reduces_iterations_massively() {
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let prepared = flow.prepare(&bench, &model).unwrap();
+        let td = model.nominal_period();
+
+        let mut ours = 0_u64;
+        let mut baseline = 0_u64;
+        for seed in 0..5 {
+            let chip = model.sample_chip(300 + seed);
+            let outcome = flow.run_chip(&prepared, &chip, td).unwrap();
+            ours += outcome.iterations;
+            baseline += flow.run_chip_path_wise(&prepared, &chip).iterations;
+        }
+        let reduction = 1.0 - ours as f64 / baseline as f64;
+        assert!(
+            reduction > 0.5,
+            "reduction only {:.1}% (ours {ours}, baseline {baseline})",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn yields_ordering_holds() {
+        // y_ideal >= y_effitest (inaccuracy can only lose chips), and both
+        // >= untuned at a stringent period.
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let prepared = flow.prepare(&bench, &model).unwrap();
+        let periods: Vec<f64> =
+            (0..200).map(|s| model.sample_chip(s).min_period_untuned()).collect();
+        let td = empirical_quantile(&periods, 0.5);
+
+        let n = 60;
+        let mut untuned = 0;
+        let mut ours = 0;
+        let mut ideal = 0;
+        for seed in 0..n {
+            let chip = model.sample_chip(9_000 + seed);
+            if crate::configure::untuned_check(&chip, td) {
+                untuned += 1;
+            }
+            if crate::configure::ideal_configure_and_check(
+                &model,
+                &prepared.buffers,
+                &chip,
+                td,
+            ) {
+                ideal += 1;
+            }
+            let outcome = flow.run_chip(&prepared, &chip, td).unwrap();
+            if outcome.passes {
+                ours += 1;
+            }
+        }
+        assert!(ideal >= ours, "ideal {ideal} < ours {ours}");
+        assert!(ideal > untuned, "tuning should rescue chips at the median period");
+        // EffiTest should stay within a few percent of ideal (paper: 1-2%).
+        let drop = (ideal - ours) as f64 / n as f64;
+        assert!(drop <= 0.25, "yield drop too large: {drop}");
+    }
+
+    #[test]
+    fn passes_implies_configured() {
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let prepared = flow.prepare(&bench, &model).unwrap();
+        let td = model.nominal_period() * 0.97;
+        for seed in 0..10 {
+            let chip = model.sample_chip(50 + seed);
+            let outcome = flow.run_chip(&prepared, &chip, td).unwrap();
+            if outcome.passes {
+                assert!(outcome.configured.is_some());
+            }
+            assert_eq!(outcome.ranges.len(), model.path_count());
+        }
+    }
+
+    #[test]
+    fn mismatched_chip_is_rejected() {
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let prepared = flow.prepare(&bench, &model).unwrap();
+        let bogus = ChipInstance::new(0, vec![1.0], vec![None]);
+        assert!(matches!(
+            flow.run_chip(&prepared, &bogus, 1.0),
+            Err(FlowError::ModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ablation_no_alignment_still_converges() {
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let prepared = flow.prepare(&bench, &model).unwrap();
+        let chip = model.sample_chip(77);
+        let paths: Vec<usize> = (0..model.path_count()).collect();
+        let (iters_plain, bounds_plain) =
+            flow.test_paths_multiplexed(&prepared, &chip, &paths, false);
+        let (iters_aligned, bounds_aligned) =
+            flow.test_paths_multiplexed(&prepared, &chip, &paths, true);
+        assert_eq!(bounds_plain.len(), paths.len());
+        assert_eq!(bounds_aligned.len(), paths.len());
+        for b in bounds_aligned.values() {
+            assert!(b.converged(prepared.epsilon));
+        }
+        assert!(
+            iters_aligned <= iters_plain,
+            "alignment ({iters_aligned}) worse than none ({iters_plain})"
+        );
+    }
+
+    #[test]
+    fn flow_error_display() {
+        assert!(!FlowError::EmptyPaths.to_string().is_empty());
+        let e = FlowError::ModelMismatch { bench_paths: 1, model_paths: 2 };
+        assert!(e.to_string().contains('1'));
+    }
+}

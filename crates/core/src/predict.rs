@@ -1,0 +1,254 @@
+//! Statistical delay prediction for untested paths (paper §3.1 / §3.4,
+//! eqs. 4–5).
+//!
+//! After the aligned test, every *tested* path has a measured range
+//! `[l, u]`. For each correlation group, the joint Gaussian of the group's
+//! delays is conditioned on the tested members — using their conservative
+//! *upper bounds* as observations, as the paper prescribes — and every
+//! untested member receives the range `mu' +- 3 sigma'` from the
+//! conditional distribution.
+
+use std::collections::HashMap;
+
+use effitest_ssta::TimingModel;
+use effitest_tester::DelayBounds;
+
+use crate::select::PathGroup;
+
+/// Per-path delay ranges after test + prediction, covering all paths.
+#[derive(Debug, Clone)]
+pub struct PredictedRanges {
+    /// Range per path index (dense over the model's paths).
+    pub ranges: Vec<DelayBounds>,
+    /// `true` where the range came from silicon measurement.
+    pub measured: Vec<bool>,
+}
+
+/// Conditions each group on its measured members and assembles full
+/// ranges.
+///
+/// `tested` maps path index to its measured bounds; `sigma_k` scales the
+/// predicted half-width (paper: 3).
+///
+/// # Panics
+///
+/// Panics if a group references an out-of-range path or the group
+/// covariance is malformed (cannot happen for model-built groups).
+pub fn predict_ranges(
+    model: &TimingModel,
+    groups: &[PathGroup],
+    tested: &HashMap<usize, DelayBounds>,
+    sigma_k: f64,
+) -> PredictedRanges {
+    let n = model.path_count();
+    let mut ranges: Vec<DelayBounds> = (0..n)
+        .map(|p| DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), sigma_k))
+        .collect();
+    let mut measured = vec![false; n];
+
+    // Measured paths keep their tested bounds.
+    for (&p, &b) in tested {
+        ranges[p] = b;
+        measured[p] = true;
+    }
+
+    for group in groups {
+        // Observed members of this group (selected or slot-filled).
+        let observed: Vec<usize> = group
+            .members
+            .iter()
+            .copied()
+            .filter(|p| tested.contains_key(p))
+            .collect();
+        if observed.is_empty() || observed.len() == group.members.len() {
+            continue;
+        }
+        let gauss = model.gaussian(&group.members);
+        let obs_pos: Vec<usize> = group
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| tested.contains_key(p))
+            .map(|(pos, _)| pos)
+            .collect();
+        // Conservative observations: the measured upper bounds (paper
+        // §3.4: "we use the upper bounds of d_t so that the estimated
+        // delays are conservative").
+        let values: Vec<f64> = observed.iter().map(|p| tested[p].upper).collect();
+        let cond = gauss
+            .condition(&obs_pos, &values)
+            .expect("group covariance is PSD");
+        let remaining = gauss.remaining_indices(&obs_pos);
+        for (cpos, &mpos) in remaining.iter().enumerate() {
+            let p = group.members[mpos];
+            let mu = cond.mean()[cpos];
+            let sigma = cond.covariance()[(cpos, cpos)].max(0.0).sqrt();
+            ranges[p] = DelayBounds::new(mu - sigma_k * sigma, mu + sigma_k * sigma);
+        }
+    }
+
+    PredictedRanges { ranges, measured }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{select_paths, SelectConfig};
+    use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+    use effitest_ssta::VariationConfig;
+
+    fn fixture() -> (GeneratedBenchmark, TimingModel, Vec<PathGroup>) {
+        let bench =
+            GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(10), 1);
+        let model = TimingModel::build(&bench, &VariationConfig::paper());
+        let groups = select_paths(&model, &SelectConfig::default());
+        (bench, model, groups)
+    }
+
+    /// Measured bounds: a tight window around the chip's true delay.
+    fn measure(
+        model: &TimingModel,
+        chip: &effitest_ssta::ChipInstance,
+        paths: &[usize],
+        eps: f64,
+    ) -> HashMap<usize, DelayBounds> {
+        let _ = model;
+        paths
+            .iter()
+            .map(|&p| {
+                let d = chip.setup_delay(p);
+                (p, DelayBounds::new(d - eps / 2.0, d + eps / 2.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prediction_tightens_ranges() {
+        let (_, model, groups) = fixture();
+        let chip = model.sample_chip(5);
+        let selected = crate::select::all_selected(&groups);
+        let tested = measure(&model, &chip, &selected, 0.5);
+        let predicted = predict_ranges(&model, &groups, &tested, 3.0);
+
+        // For paths in groups with measured peers, the predicted width must
+        // be no wider than the prior 6-sigma window (strictly tighter for
+        // correlated peers).
+        let mut tightened = 0;
+        let mut total_unmeasured = 0;
+        for g in &groups {
+            let has_measured = g.members.iter().any(|p| tested.contains_key(p));
+            for &p in &g.members {
+                if tested.contains_key(&p) {
+                    continue;
+                }
+                total_unmeasured += 1;
+                let prior = 6.0 * model.path_sigma(p);
+                let width = predicted.ranges[p].width();
+                assert!(width <= prior + 1e-9, "prediction widened path {p}");
+                if has_measured && width < prior * 0.9 {
+                    tightened += 1;
+                }
+            }
+        }
+        assert!(
+            tightened * 2 >= total_unmeasured,
+            "too few predictions tightened: {tightened}/{total_unmeasured}"
+        );
+    }
+
+    #[test]
+    fn predicted_ranges_usually_cover_truth() {
+        let (_, model, groups) = fixture();
+        let mut covered = 0;
+        let mut total = 0;
+        for seed in 0..10 {
+            let chip = model.sample_chip(700 + seed);
+            let selected = crate::select::all_selected(&groups);
+            let tested = measure(&model, &chip, &selected, 0.5);
+            let predicted = predict_ranges(&model, &groups, &tested, 3.0);
+            for p in 0..model.path_count() {
+                if tested.contains_key(&p) {
+                    continue;
+                }
+                total += 1;
+                let d = chip.setup_delay(p);
+                if predicted.ranges[p].lower <= d && d <= predicted.ranges[p].upper {
+                    covered += 1;
+                }
+            }
+        }
+        // Conservative upper-bound conditioning shifts means slightly high,
+        // but +-3 sigma' windows should still cover the vast majority.
+        let rate = covered as f64 / total as f64;
+        assert!(rate > 0.93, "coverage too low: {rate}");
+    }
+
+    #[test]
+    fn measured_paths_keep_their_bounds() {
+        let (_, model, groups) = fixture();
+        let chip = model.sample_chip(9);
+        let selected = crate::select::all_selected(&groups);
+        let tested = measure(&model, &chip, &selected, 0.25);
+        let predicted = predict_ranges(&model, &groups, &tested, 3.0);
+        for (&p, &b) in &tested {
+            assert_eq!(predicted.ranges[p], b);
+            assert!(predicted.measured[p]);
+        }
+        let measured_count = predicted.measured.iter().filter(|&&m| m).count();
+        assert_eq!(measured_count, tested.len());
+    }
+
+    #[test]
+    fn upper_bound_conditioning_is_conservative() {
+        // Conditioning at upper bounds must shift predicted means upward
+        // relative to conditioning at the interval centers.
+        let (_, model, groups) = fixture();
+        let chip = model.sample_chip(13);
+        let selected = crate::select::all_selected(&groups);
+        let eps = 2.0;
+        let tested = measure(&model, &chip, &selected, eps);
+        let predicted_hi = predict_ranges(&model, &groups, &tested, 3.0);
+        // Centers-based variant for comparison.
+        let tested_center: HashMap<usize, DelayBounds> = tested
+            .iter()
+            .map(|(&p, b)| {
+                let c = b.center();
+                (p, DelayBounds::new(c, c))
+            })
+            .collect();
+        let predicted_center = predict_ranges(&model, &groups, &tested_center, 3.0);
+        let mut higher = 0;
+        let mut comparable = 0;
+        for g in groups.iter().filter(|g| g.members.len() > g.selected.len()) {
+            for &p in &g.members {
+                if tested.contains_key(&p) {
+                    continue;
+                }
+                comparable += 1;
+                if predicted_hi.ranges[p].center()
+                    >= predicted_center.ranges[p].center() - 1e-9
+                {
+                    higher += 1;
+                }
+            }
+        }
+        // Positive correlations dominate in clustered benchmarks, so the
+        // upper-bound conditioning should raise (almost) all means.
+        assert!(
+            higher as f64 >= comparable as f64 * 0.9,
+            "conservative conditioning not conservative: {higher}/{comparable}"
+        );
+    }
+
+    #[test]
+    fn empty_tested_map_returns_priors() {
+        let (_, model, groups) = fixture();
+        let predicted = predict_ranges(&model, &groups, &HashMap::new(), 3.0);
+        for p in 0..model.path_count() {
+            let prior =
+                DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), 3.0);
+            assert_eq!(predicted.ranges[p], prior);
+            assert!(!predicted.measured[p]);
+        }
+    }
+}

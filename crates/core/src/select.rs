@@ -1,0 +1,270 @@
+//! Path grouping and representative selection (paper §3.1, Procedure 1).
+//!
+//! Paths whose delays correlate strongly can predict each other: only a few
+//! of them need silicon measurements. Procedure 1 extracts groups at a
+//! descending sequence of correlation thresholds (0.95, 0.90, ...), runs
+//! PCA on each group's covariance, and selects one representative path per
+//! retained principal component — the path with the largest absolute
+//! loading on that component.
+
+use effitest_linalg::Pca;
+use effitest_ssta::TimingModel;
+
+/// One correlation group with its selected representatives.
+#[derive(Debug, Clone)]
+pub struct PathGroup {
+    /// Member path indices (positions in the benchmark's path set).
+    pub members: Vec<usize>,
+    /// Representatives chosen for silicon measurement (subset of
+    /// `members`).
+    pub selected: Vec<usize>,
+    /// Correlation threshold at which the group was extracted.
+    pub threshold: f64,
+    /// Number of principal components retained.
+    pub n_pcs: usize,
+}
+
+/// Configuration of the grouping/selection step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectConfig {
+    /// Starting correlation threshold (paper: 0.95).
+    pub threshold_start: f64,
+    /// Threshold decrement per round (paper: 0.05).
+    pub threshold_step: f64,
+    /// Threshold below which singleton groups are accepted.
+    pub threshold_floor: f64,
+    /// Cumulative-variance fraction a group's retained PCs must reach.
+    pub pca_energy: f64,
+    /// Oversized groups are chunked to at most this many members before
+    /// PCA (the Jacobi eigendecomposition is O(n^3); chunking a
+    /// high-correlation group costs at most a few extra representatives).
+    pub max_group_size: usize,
+}
+
+impl Default for SelectConfig {
+    fn default() -> Self {
+        SelectConfig {
+            threshold_start: 0.95,
+            threshold_step: 0.05,
+            threshold_floor: 0.30,
+            pca_energy: 0.95,
+            max_group_size: 500,
+        }
+    }
+}
+
+/// Runs Procedure 1 over all required paths of a timing model.
+///
+/// Returns the groups in extraction order; every path index appears in
+/// exactly one group, and every group has at least one selected
+/// representative.
+///
+/// # Panics
+///
+/// Panics if the model has no paths or the configuration is degenerate
+/// (non-positive threshold step).
+pub fn select_paths(model: &TimingModel, config: &SelectConfig) -> Vec<PathGroup> {
+    assert!(model.path_count() > 0, "no paths to select from");
+    assert!(config.threshold_step > 0.0, "threshold step must be positive");
+
+    let mut remaining: Vec<usize> = (0..model.path_count()).collect();
+    let mut groups = Vec::new();
+    let mut threshold = config.threshold_start;
+
+    while !remaining.is_empty() {
+        let at_floor = threshold <= config.threshold_floor + 1e-12;
+        // Extract as many groups as possible at this threshold.
+        let mut deferred: Vec<usize> = Vec::new();
+        while let Some(&seed) = remaining.first() {
+            let (mut members, rest): (Vec<usize>, Vec<usize>) = remaining
+                .iter()
+                .partition(|&&p| p == seed || model.correlation(seed, p) >= threshold);
+            if members.len() == 1 && !at_floor {
+                // Singleton at a high threshold: defer to a lower one.
+                deferred.push(seed);
+                remaining = rest;
+                continue;
+            }
+            members.sort_unstable();
+            // Chunk oversized groups to keep the PCA tractable.
+            let cap = config.max_group_size.max(2);
+            for chunk in members.chunks(cap) {
+                groups.push(make_group(
+                    model,
+                    chunk.to_vec(),
+                    threshold,
+                    config.pca_energy,
+                ));
+            }
+            remaining = rest;
+        }
+        remaining = deferred;
+        threshold -= config.threshold_step;
+        if remaining.is_empty() {
+            break;
+        }
+        // Below the floor everything goes out as singletons next round.
+        if threshold < -1.0 {
+            // Defensive: cannot happen, floor handling extracts everything.
+            for p in remaining.drain(..) {
+                groups.push(make_group(model, vec![p], threshold, config.pca_energy));
+            }
+        }
+    }
+    groups
+}
+
+fn make_group(
+    model: &TimingModel,
+    members: Vec<usize>,
+    threshold: f64,
+    pca_energy: f64,
+) -> PathGroup {
+    if members.len() == 1 {
+        return PathGroup {
+            selected: members.clone(),
+            members,
+            threshold,
+            n_pcs: 1,
+        };
+    }
+    let cov = model.covariance_matrix(&members);
+    let pca = Pca::from_covariance(&cov).expect("model covariances are symmetric");
+    let n_pcs = pca.components_for_energy(pca_energy).clamp(1, members.len());
+    // Select, per retained PC, the member with the largest |loading| not
+    // yet selected (paper §3.1, last paragraph).
+    let mut selected_local: Vec<usize> = Vec::with_capacity(n_pcs);
+    for c in 0..n_pcs {
+        if let Some(var) = pca.dominant_variable(c, &selected_local) {
+            selected_local.push(var);
+        }
+    }
+    let selected: Vec<usize> = selected_local.iter().map(|&v| members[v]).collect();
+    PathGroup { members, selected, threshold, n_pcs }
+}
+
+/// Total number of selected representatives across groups.
+pub fn selected_count(groups: &[PathGroup]) -> usize {
+    groups.iter().map(|g| g.selected.len()).sum()
+}
+
+/// Flat list of all selected path indices.
+pub fn all_selected(groups: &[PathGroup]) -> Vec<usize> {
+    let mut v: Vec<usize> = groups.iter().flat_map(|g| g.selected.iter().copied()).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+    use effitest_ssta::VariationConfig;
+
+    fn model() -> TimingModel {
+        let bench =
+            GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(10), 1);
+        TimingModel::build(&bench, &VariationConfig::paper())
+    }
+
+    #[test]
+    fn every_path_lands_in_exactly_one_group() {
+        let m = model();
+        let groups = select_paths(&m, &SelectConfig::default());
+        let mut seen = vec![false; m.path_count()];
+        for g in &groups {
+            for &p in &g.members {
+                assert!(!seen[p], "path {p} in two groups");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some path was never grouped");
+    }
+
+    #[test]
+    fn selected_are_members_and_nonempty() {
+        let m = model();
+        let groups = select_paths(&m, &SelectConfig::default());
+        for g in &groups {
+            assert!(!g.selected.is_empty());
+            assert!(g.n_pcs >= 1);
+            for &s in &g.selected {
+                assert!(g.members.contains(&s));
+            }
+            // No duplicate representatives.
+            let mut sel = g.selected.clone();
+            sel.sort_unstable();
+            sel.dedup();
+            assert_eq!(sel.len(), g.selected.len());
+        }
+    }
+
+    #[test]
+    fn far_fewer_paths_selected_than_total() {
+        // The paper's headline: ~10% of paths need measurement. Clustered
+        // synthetic benchmarks should show a clear reduction.
+        let m = model();
+        let groups = select_paths(&m, &SelectConfig::default());
+        let selected = selected_count(&groups);
+        assert!(
+            selected * 2 <= m.path_count(),
+            "selected {selected} of {} paths — prediction saves nothing",
+            m.path_count()
+        );
+    }
+
+    #[test]
+    fn first_groups_have_highest_threshold() {
+        let m = model();
+        let groups = select_paths(&m, &SelectConfig::default());
+        for w in groups.windows(2) {
+            assert!(w[0].threshold >= w[1].threshold - 1e-12);
+        }
+        assert!(groups[0].threshold <= 0.95 + 1e-12);
+    }
+
+    #[test]
+    fn highly_correlated_members_share_groups() {
+        let m = model();
+        let groups = select_paths(&m, &SelectConfig::default());
+        // Within a group extracted at threshold th, every member
+        // correlates with the seed at >= th; spot-check pairwise corr is
+        // high-ish for the first (tightest) group.
+        let g = &groups[0];
+        if g.members.len() >= 2 {
+            let seed = g.members[0];
+            for &p in &g.members[1..] {
+                assert!(
+                    m.correlation(seed, p) >= g.threshold - 1e-9,
+                    "member {p} under-correlated with seed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_threshold_controls_selection_size() {
+        let m = model();
+        let tight = select_paths(
+            &m,
+            &SelectConfig { pca_energy: 0.999, ..SelectConfig::default() },
+        );
+        let loose = select_paths(
+            &m,
+            &SelectConfig { pca_energy: 0.5, ..SelectConfig::default() },
+        );
+        assert!(selected_count(&loose) <= selected_count(&tight));
+    }
+
+    #[test]
+    fn all_selected_is_sorted_and_unique() {
+        let m = model();
+        let groups = select_paths(&m, &SelectConfig::default());
+        let sel = all_selected(&groups);
+        for w in sel.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(sel.len(), selected_count(&groups));
+    }
+}

@@ -1,0 +1,256 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Produces all eigenvalues and orthonormal eigenvectors, sorted by
+/// *descending* eigenvalue — the order principal component analysis wants
+/// them in. Jacobi is slower than tridiagonalization-based methods for very
+/// large matrices but is simple, robust, and extremely accurate for the
+/// group-covariance sizes the EffiTest flow produces (tens to a few hundred
+/// paths per correlation group).
+///
+/// # Example
+///
+/// ```
+/// use effitest_linalg::{Matrix, SymmetricEigen};
+///
+/// # fn main() -> Result<(), effitest_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = SymmetricEigen::new(&a)?;
+/// assert!((eig.eigenvalues()[0] - 3.0).abs() < 1e-12);
+/// assert!((eig.eigenvalues()[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    /// Eigenvectors as columns, in the same order as `eigenvalues`.
+    eigenvectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] / [`LinalgError::NotSymmetric`] for
+    ///   malformed input.
+    /// * [`LinalgError::NoConvergence`] if the off-diagonal norm fails to
+    ///   vanish within the sweep cap (does not happen for finite symmetric
+    ///   input in practice).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let sym_tol = 1e-8 * a.max_abs().max(1.0);
+        let asym = a.max_asymmetry()?;
+        if asym > sym_tol {
+            return Err(LinalgError::NotSymmetric { max_asymmetry: asym });
+        }
+
+        let mut m = a.clone();
+        m.symmetrize()?;
+        let mut v = Matrix::identity(n);
+        let scale = m.max_abs().max(f64::MIN_POSITIVE);
+        let tol = 1e-14 * scale;
+
+        for sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off = off.max(m[(i, j)].abs());
+                }
+            }
+            if off <= tol {
+                return Ok(Self::finish(m, v));
+            }
+            let _ = sweep;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol * 1e-2 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation computation (Golub & Van Loan).
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Update rows/columns p and q of m.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate the rotation into the eigenvector matrix.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        Err(LinalgError::NoConvergence { algorithm: "jacobi", iterations: MAX_SWEEPS })
+    }
+
+    fn finish(m: Matrix, v: Matrix) -> Self {
+        let n = m.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag = m.diagonal();
+        order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for row in 0..n {
+                eigenvectors[(row, new_col)] = v[(row, old_col)];
+            }
+        }
+        SymmetricEigen { eigenvalues, eigenvectors }
+    }
+
+    /// Eigenvalues, sorted descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Orthonormal eigenvectors as matrix columns, in eigenvalue order.
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// The `k`-th eigenvector as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn eigenvector(&self, k: usize) -> Vec<f64> {
+        self.eigenvectors.col(k)
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Reconstructs `V diag(lambda) V^T`; useful mainly for testing.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.dim();
+        let mut scaled = self.eigenvectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                scaled[(i, j)] *= self.eigenvalues[j];
+            }
+        }
+        scaled
+            .matmul(&self.eigenvectors.transpose())
+            .expect("shapes agree by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &Matrix) {
+        let eig = SymmetricEigen::new(a).unwrap();
+        // Reconstruction.
+        let recon = eig.reconstruct();
+        let scale = a.max_abs().max(1.0);
+        assert!((&recon - a).max_abs() < 1e-9 * scale, "reconstruction failed");
+        // Orthonormality of eigenvectors.
+        let vtv = eig.eigenvectors().transpose().matmul(eig.eigenvectors()).unwrap();
+        assert!((&vtv - &Matrix::identity(a.rows())).max_abs() < 1e-10);
+        // Descending order.
+        for w in eig.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_trivial() {
+        let a = Matrix::from_diagonal(&[5.0, 1.0, 3.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[5.0, 3.0, 1.0]);
+        check_decomposition(&a);
+    }
+
+    #[test]
+    fn handles_negative_eigenvalues() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[2.0, 0.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 2.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_matrices() {
+        let mut state = 0x9E3779B97F4A7C15_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1_usize, 2, 4, 7, 12, 25] {
+            let mut a = Matrix::from_fn(n, n, |_, _| next());
+            let at = a.transpose();
+            a = (&a + &at).scale(0.5);
+            check_decomposition(&a);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, 2.0, 0.2], &[0.5, 0.2, 1.0]])
+            .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        assert!((sum - a.trace().unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(SymmetricEigen::new(&a), Err(LinalgError::NotSymmetric { .. })));
+    }
+
+    #[test]
+    fn rank_deficient_covariance() {
+        // Perfectly correlated 3-variable covariance: rank 1.
+        let a = Matrix::filled(3, 3, 2.0);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 6.0).abs() < 1e-10);
+        assert!(eig.eigenvalues()[1].abs() < 1e-10);
+        assert!(eig.eigenvalues()[2].abs() < 1e-10);
+    }
+}

@@ -1,0 +1,340 @@
+use crate::{CholeskyDecomposition, LinalgError, Matrix, Result};
+
+/// A multivariate Gaussian distribution `N(mu, Sigma)` with exact
+/// conditional-distribution support.
+///
+/// This is the statistical core of the paper's delay prediction (§3.1,
+/// eqs. 4–5): once the delays of the *tested* paths are measured, the delay
+/// of every untested path is re-estimated by conditioning the joint Gaussian
+/// on the measurements:
+///
+/// ```text
+/// mu'_k     = mu_k + Sigma_kt Sigma_t^-1 (d_t - mu_t)        (4)
+/// sigma'^2_k = sigma^2_k - Sigma_kt Sigma_t^-1 Sigma_tk      (5)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use effitest_linalg::{Matrix, MultivariateGaussian};
+///
+/// # fn main() -> Result<(), effitest_linalg::LinalgError> {
+/// let mean = vec![10.0, 20.0];
+/// let cov = Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]])?;
+/// let g = MultivariateGaussian::new(mean, cov)?;
+/// // Observe variable 1 at 21.0 (one sigma high); variable 0 shifts by 0.8.
+/// let cond = g.condition(&[1], &[21.0])?;
+/// assert!((cond.mean()[0] - 10.8).abs() < 1e-9);
+/// // ... and its variance shrinks from 1.0 to 1 - 0.8^2 = 0.36.
+/// assert!((cond.covariance()[(0, 0)] - 0.36).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultivariateGaussian {
+    mean: Vec<f64>,
+    covariance: Matrix,
+}
+
+impl MultivariateGaussian {
+    /// Creates a Gaussian from a mean vector and covariance matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if the dimensions disagree.
+    /// * [`LinalgError::NotSymmetric`] if the covariance is visibly
+    ///   asymmetric.
+    pub fn new(mean: Vec<f64>, covariance: Matrix) -> Result<Self> {
+        if covariance.rows() != mean.len() || !covariance.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gaussian_new",
+                lhs: (mean.len(), 1),
+                rhs: covariance.shape(),
+            });
+        }
+        let tol = 1e-8 * covariance.max_abs().max(1.0);
+        let asym = covariance.max_asymmetry()?;
+        if asym > tol {
+            return Err(LinalgError::NotSymmetric { max_asymmetry: asym });
+        }
+        Ok(MultivariateGaussian { mean, covariance })
+    }
+
+    /// Dimension of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Covariance matrix.
+    pub fn covariance(&self) -> &Matrix {
+        &self.covariance
+    }
+
+    /// Per-variable standard deviations (square roots of the diagonal,
+    /// clamped at zero).
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.covariance.diagonal().iter().map(|&v| v.max(0.0).sqrt()).collect()
+    }
+
+    /// Marginal distribution over the listed variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] for invalid indices.
+    pub fn marginal(&self, idx: &[usize]) -> Result<MultivariateGaussian> {
+        for &i in idx {
+            if i >= self.dim() {
+                return Err(LinalgError::IndexOutOfBounds { index: i, bound: self.dim() });
+            }
+        }
+        let mean = idx.iter().map(|&i| self.mean[i]).collect();
+        let covariance = self.covariance.submatrix(idx, idx)?;
+        Ok(MultivariateGaussian { mean, covariance })
+    }
+
+    /// Conditions the Gaussian on observing `observed_idx` at
+    /// `observed_values`, returning the distribution of the *remaining*
+    /// variables (in ascending original-index order).
+    ///
+    /// This is the paper's eqs. 4–5 generalized to all unobserved variables
+    /// at once. Use [`remaining_indices`](Self::remaining_indices) to map
+    /// positions of the result back to original indices.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if index/value lengths differ.
+    /// * [`LinalgError::IndexOutOfBounds`] for invalid indices.
+    /// * Factorization errors if the observed covariance block is not
+    ///   positive (semi-)definite even after regularization.
+    pub fn condition(
+        &self,
+        observed_idx: &[usize],
+        observed_values: &[f64],
+    ) -> Result<MultivariateGaussian> {
+        if observed_idx.len() != observed_values.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gaussian_condition",
+                lhs: (observed_idx.len(), 1),
+                rhs: (observed_values.len(), 1),
+            });
+        }
+        for &i in observed_idx {
+            if i >= self.dim() {
+                return Err(LinalgError::IndexOutOfBounds { index: i, bound: self.dim() });
+            }
+        }
+        let remaining = self.remaining_indices(observed_idx);
+        if observed_idx.is_empty() {
+            return self.marginal(&remaining);
+        }
+
+        // Partition: k = remaining (unknown), t = observed (tested).
+        let sigma_t = self.covariance.submatrix(observed_idx, observed_idx)?;
+        let sigma_kt = self.covariance.submatrix(&remaining, observed_idx)?;
+        let chol = CholeskyDecomposition::new_regularized(&sigma_t)?;
+
+        // innovation = d_t - mu_t
+        let innovation: Vec<f64> = observed_idx
+            .iter()
+            .zip(observed_values)
+            .map(|(&i, &v)| v - self.mean[i])
+            .collect();
+
+        // w = Sigma_t^{-1} (d_t - mu_t); mu' = mu_k + Sigma_kt w.
+        let w = chol.solve_vec(&innovation)?;
+        let shift = sigma_kt.matvec(&w)?;
+        let mean: Vec<f64> = remaining
+            .iter()
+            .zip(&shift)
+            .map(|(&i, &s)| self.mean[i] + s)
+            .collect();
+
+        // Sigma' = Sigma_k - Sigma_kt Sigma_t^{-1} Sigma_tk.
+        let sigma_k = self.covariance.submatrix(&remaining, &remaining)?;
+        let sigma_tk = sigma_kt.transpose();
+        let solved = chol.solve_matrix(&sigma_tk)?; // Sigma_t^{-1} Sigma_tk
+        let reduction = sigma_kt.matmul(&solved)?;
+        let mut covariance = sigma_k.sub_matrix(&reduction)?;
+        covariance.symmetrize()?;
+        // Round-off can push tiny diagonal entries negative; clamp them so
+        // downstream sqrt() calls stay well-defined.
+        for i in 0..covariance.rows() {
+            if covariance[(i, i)] < 0.0 {
+                covariance[(i, i)] = 0.0;
+            }
+        }
+        Ok(MultivariateGaussian { mean, covariance })
+    }
+
+    /// Indices not present in `observed_idx`, ascending: the variable order
+    /// of the distribution returned by [`condition`](Self::condition).
+    pub fn remaining_indices(&self, observed_idx: &[usize]) -> Vec<usize> {
+        (0..self.dim()).filter(|i| !observed_idx.contains(i)).collect()
+    }
+
+    /// Conditional mean and standard deviation of a *single* variable given
+    /// observations — the exact form of the paper's eqs. 4–5.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`condition`](Self::condition); additionally
+    /// [`LinalgError::IndexOutOfBounds`] if `target` is observed or invalid.
+    pub fn predict_one(
+        &self,
+        target: usize,
+        observed_idx: &[usize],
+        observed_values: &[f64],
+    ) -> Result<(f64, f64)> {
+        if target >= self.dim() || observed_idx.contains(&target) {
+            return Err(LinalgError::IndexOutOfBounds { index: target, bound: self.dim() });
+        }
+        let cond = self
+            .marginal(&Self::union_sorted(target, observed_idx))?
+            .condition_on_mapped(target, observed_idx, observed_values)?;
+        Ok(cond)
+    }
+
+    fn union_sorted(target: usize, observed: &[usize]) -> Vec<usize> {
+        let mut v = Vec::with_capacity(observed.len() + 1);
+        v.push(target);
+        v.extend_from_slice(observed);
+        v
+    }
+
+    /// Helper for [`predict_one`]: after `marginal` with `[target, obs...]`,
+    /// variable 0 is the target and 1.. are the observations.
+    fn condition_on_mapped(
+        &self,
+        _target: usize,
+        observed_idx: &[usize],
+        observed_values: &[f64],
+    ) -> Result<(f64, f64)> {
+        let mapped: Vec<usize> = (1..=observed_idx.len()).collect();
+        let cond = self.condition(&mapped, observed_values)?;
+        let mu = cond.mean()[0];
+        let var = cond.covariance()[(0, 0)].max(0.0);
+        Ok((mu, var.sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_var() -> MultivariateGaussian {
+        // Correlated triple with known structure.
+        let cov = Matrix::from_rows(&[
+            &[4.0, 1.8, 0.4],
+            &[1.8, 1.0, 0.3],
+            &[0.4, 0.3, 2.0],
+        ])
+        .unwrap();
+        MultivariateGaussian::new(vec![1.0, 2.0, 3.0], cov).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        let cov = Matrix::identity(2);
+        assert!(MultivariateGaussian::new(vec![0.0; 3], cov).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 0.5], &[0.2, 1.0]]).unwrap();
+        assert!(MultivariateGaussian::new(vec![0.0; 2], asym).is_err());
+    }
+
+    #[test]
+    fn marginal_picks_blocks() {
+        let g = three_var();
+        let m = g.marginal(&[2, 0]).unwrap();
+        assert_eq!(m.mean(), &[3.0, 1.0]);
+        assert_eq!(m.covariance()[(0, 0)], 2.0);
+        assert_eq!(m.covariance()[(0, 1)], 0.4);
+    }
+
+    #[test]
+    fn conditioning_shrinks_variance() {
+        let g = three_var();
+        let cond = g.condition(&[1], &[2.5]).unwrap();
+        // Remaining variables are 0 and 2.
+        assert_eq!(cond.dim(), 2);
+        assert!(cond.covariance()[(0, 0)] < 4.0);
+        assert!(cond.covariance()[(1, 1)] < 2.0);
+    }
+
+    #[test]
+    fn conditional_mean_hand_computed() {
+        // For bivariate normal: mu'_0 = mu_0 + rho * s0/s1 * (x1 - mu_1).
+        let cov = Matrix::from_rows(&[&[4.0, 1.8], &[1.8, 1.0]]).unwrap();
+        let g = MultivariateGaussian::new(vec![1.0, 2.0], cov).unwrap();
+        let cond = g.condition(&[1], &[3.0]).unwrap();
+        // Sigma_kt Sigma_t^-1 (d - mu) = 1.8 / 1.0 * 1.0 = 1.8.
+        assert!((cond.mean()[0] - 2.8).abs() < 1e-12);
+        // sigma'^2 = 4.0 - 1.8^2 / 1.0 = 0.76.
+        assert!((cond.covariance()[(0, 0)] - 0.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observing_at_the_mean_does_not_shift() {
+        let g = three_var();
+        let cond = g.condition(&[0, 1], &[1.0, 2.0]).unwrap();
+        assert!((cond.mean()[0] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn variance_never_increases_with_more_observations() {
+        let g = three_var();
+        let one = g.condition(&[1], &[2.0]).unwrap();
+        let two = g.condition(&[1, 2], &[2.0, 3.0]).unwrap();
+        // Variable 0 variance: prior >= cond on 1 >= cond on {1, 2}.
+        let prior = g.covariance()[(0, 0)];
+        let v1 = one.covariance()[(0, 0)];
+        let v2 = two.covariance()[(0, 0)];
+        assert!(v1 <= prior + 1e-12);
+        assert!(v2 <= v1 + 1e-9);
+    }
+
+    #[test]
+    fn predict_one_matches_condition() {
+        let g = three_var();
+        let (mu, sigma) = g.predict_one(0, &[1, 2], &[2.5, 2.0]).unwrap();
+        let cond = g.condition(&[1, 2], &[2.5, 2.0]).unwrap();
+        assert!((mu - cond.mean()[0]).abs() < 1e-10);
+        assert!((sigma - cond.covariance()[(0, 0)].sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn predict_one_rejects_observed_target() {
+        let g = three_var();
+        assert!(g.predict_one(1, &[1], &[2.0]).is_err());
+        assert!(g.predict_one(9, &[1], &[2.0]).is_err());
+    }
+
+    #[test]
+    fn condition_with_no_observations_is_identity() {
+        let g = three_var();
+        let cond = g.condition(&[], &[]).unwrap();
+        assert_eq!(cond.mean(), g.mean());
+        assert!((cond.covariance() - g.covariance()).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn perfectly_correlated_prediction_is_exact() {
+        // Two variables with correlation 1: observing one pins the other.
+        let cov = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let g = MultivariateGaussian::new(vec![5.0, 7.0], cov).unwrap();
+        let cond = g.condition(&[1], &[8.0]).unwrap();
+        assert!((cond.mean()[0] - 6.0).abs() < 1e-5);
+        assert!(cond.covariance()[(0, 0)] < 1e-5);
+    }
+
+    #[test]
+    fn std_devs_are_sqrt_diagonal() {
+        let g = three_var();
+        let sds = g.std_devs();
+        assert!((sds[0] - 2.0).abs() < 1e-12);
+        assert!((sds[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Dense linear algebra for the EffiTest reproduction.
+//!
+//! This crate provides the small, self-contained numerical kernel used by the
+//! statistical timing machinery of the EffiTest flow:
+//!
+//! * [`Matrix`] — a dense, row-major `f64` matrix with the usual arithmetic.
+//! * [`LuDecomposition`] — LU factorization with partial pivoting, for
+//!   general linear solves and inverses.
+//! * [`CholeskyDecomposition`] — factorization of symmetric positive-definite
+//!   matrices, the workhorse behind conditional Gaussian inference.
+//! * [`SymmetricEigen`] — Jacobi eigendecomposition of symmetric matrices.
+//! * [`Pca`] — principal component analysis on covariance matrices
+//!   (paper §3.1, used to pick representative paths per correlation group).
+//! * [`MultivariateGaussian`] — joint Gaussians with exact conditional
+//!   distributions (paper eqs. 4–5).
+//!
+//! Everything is hand-rolled on purpose: the reproduction brief requires all
+//! substrates to be built from scratch, and the matrices involved (path
+//! groups, per-batch optimization) are small enough that dense `O(n^3)`
+//! algorithms are the right tool.
+//!
+//! # Example
+//!
+//! ```
+//! use effitest_linalg::{Matrix, CholeskyDecomposition};
+//!
+//! # fn main() -> Result<(), effitest_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+//! let chol = CholeskyDecomposition::new(&a)?;
+//! let x = chol.solve_vec(&[8.0, 7.0])?;
+//! assert!((x[0] - 1.25).abs() < 1e-12);
+//! assert!((x[1] - 1.5).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cholesky;
+mod eigen;
+mod error;
+mod gaussian;
+mod lu;
+mod matrix;
+mod pca;
+pub mod stats;
+
+pub use cholesky::CholeskyDecomposition;
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use gaussian::MultivariateGaussian;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use pca::{Pca, PrincipalComponent};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

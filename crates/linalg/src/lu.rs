@@ -1,0 +1,272 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// LU decomposition with partial pivoting: `P A = L U`.
+///
+/// Used for general (not necessarily positive-definite) linear solves,
+/// inverses, and determinants. The factorization is computed once and can
+/// then be reused for any number of right-hand sides.
+///
+/// # Example
+///
+/// ```
+/// use effitest_linalg::{LuDecomposition, Matrix};
+///
+/// # fn main() -> Result<(), effitest_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve_vec(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index now in row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used by the determinant.
+    perm_sign: f64,
+}
+
+/// Pivots smaller than this are treated as exact zeros (singularity).
+const PIVOT_TOL: f64 = 1e-13;
+
+impl LuDecomposition {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] if a pivot collapses below the internal
+    /// tolerance relative to the matrix scale.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let scale = a.max_abs().max(1.0);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest magnitude in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= PIVOT_TOL * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let upd = lu[(k, j)] * factor;
+                    lu[(i, j)] -= upd;
+                }
+            }
+        }
+        Ok(LuDecomposition { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward- and back-substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `B.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (none expected once factorization succeeded).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.matvec(x).unwrap();
+        ax.iter().zip(b).map(|(&l, &r)| (l - r).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
+        let b = [8.0, -11.0, -3.0];
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve_vec(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]])
+            .unwrap();
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((det - (-3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivoting() {
+        // This matrix forces a row swap; the permutation sign must be
+        // accounted for.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((det + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[9.0, 1.0], &[8.0, 2.0]]).unwrap();
+        let x = LuDecomposition::new(&a).unwrap().solve_matrix(&b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!((&back - &b).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_systems_have_small_residuals() {
+        // Deterministic pseudo-random matrices via a simple LCG; avoids the
+        // rand dependency at this layer.
+        let mut state = 0x2545F4914F6CDD1D_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1_usize, 2, 3, 5, 8, 13] {
+            let mut a = Matrix::from_fn(n, n, |_, _| next());
+            // Diagonal dominance keeps the test matrices well conditioned.
+            for i in 0..n {
+                let v = a[(i, i)];
+                a[(i, i)] = v + n as f64;
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let lu = LuDecomposition::new(&a).unwrap();
+            let x = lu.solve_vec(&b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-10, "residual too large for n={n}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve_vec(&[1.0, 2.0]).is_err());
+    }
+}

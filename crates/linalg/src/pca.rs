@@ -1,0 +1,229 @@
+use crate::{Matrix, Result, SymmetricEigen};
+
+/// One principal component of a covariance matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrincipalComponent {
+    /// Variance captured by this component (the eigenvalue).
+    pub variance: f64,
+    /// Unit-norm direction (the eigenvector).
+    pub direction: Vec<f64>,
+}
+
+/// Principal component analysis of a covariance matrix.
+///
+/// The EffiTest path-selection step (paper §3.1, Procedure 1) decomposes each
+/// correlation group's covariance with PCA, keeps the components that carry
+/// the shared (correlated) variation, and then tests exactly one
+/// representative path per retained component. `Pca` provides the retained
+/// components, per-variable *loadings*, and the energy bookkeeping needed to
+/// decide how many components matter.
+///
+/// # Example
+///
+/// ```
+/// use effitest_linalg::{Matrix, Pca};
+///
+/// # fn main() -> Result<(), effitest_linalg::LinalgError> {
+/// // Two strongly correlated variables plus one independent one.
+/// let cov = Matrix::from_rows(&[
+///     &[1.00, 0.95, 0.0],
+///     &[0.95, 1.00, 0.0],
+///     &[0.00, 0.00, 1.0],
+/// ])?;
+/// let pca = Pca::from_covariance(&cov)?;
+/// // Two components explain (1.95 + 1.0) / 3.0 > 98% of the energy.
+/// assert_eq!(pca.components_for_energy(0.98), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    components: Vec<PrincipalComponent>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Runs PCA on a symmetric covariance matrix.
+    ///
+    /// Eigenvalues that are negative due to round-off are clamped to zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SymmetricEigen`] errors for malformed input.
+    pub fn from_covariance(cov: &Matrix) -> Result<Self> {
+        let eig = SymmetricEigen::new(cov)?;
+        let components: Vec<PrincipalComponent> = eig
+            .eigenvalues()
+            .iter()
+            .enumerate()
+            .map(|(k, &lambda)| PrincipalComponent {
+                variance: lambda.max(0.0),
+                direction: eig.eigenvector(k),
+            })
+            .collect();
+        let total_variance = components.iter().map(|c| c.variance).sum();
+        Ok(Pca { components, total_variance })
+    }
+
+    /// All components, sorted by descending variance.
+    pub fn components(&self) -> &[PrincipalComponent] {
+        &self.components
+    }
+
+    /// Total variance (trace of the covariance).
+    pub fn total_variance(&self) -> f64 {
+        self.total_variance
+    }
+
+    /// Number of variables the PCA was computed over.
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Fraction of total variance captured by the first `k` components.
+    ///
+    /// Returns 1.0 when the total variance is zero (degenerate but
+    /// well-defined: there is nothing left to explain).
+    pub fn energy_fraction(&self, k: usize) -> f64 {
+        if self.total_variance <= 0.0 {
+            return 1.0;
+        }
+        let captured: f64 = self.components.iter().take(k).map(|c| c.variance).sum();
+        captured / self.total_variance
+    }
+
+    /// Smallest number of components whose cumulative variance reaches
+    /// `energy` (a fraction in `[0, 1]`). At least 1 for non-empty input.
+    pub fn components_for_energy(&self, energy: f64) -> usize {
+        if self.components.is_empty() {
+            return 0;
+        }
+        let target = energy.clamp(0.0, 1.0) * self.total_variance;
+        let mut acc = 0.0;
+        for (k, c) in self.components.iter().enumerate() {
+            acc += c.variance;
+            if acc + 1e-12 >= target {
+                return k + 1;
+            }
+        }
+        self.components.len()
+    }
+
+    /// Loading of variable `var` on component `comp`:
+    /// `sqrt(lambda_comp) * v_comp[var]`.
+    ///
+    /// The loading is the covariance between the original variable and the
+    /// (unit-variance) principal component; the paper selects, per component,
+    /// the path with the largest absolute loading as its tested
+    /// representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` or `var` is out of range.
+    pub fn loading(&self, comp: usize, var: usize) -> f64 {
+        let c = &self.components[comp];
+        c.variance.sqrt() * c.direction[var]
+    }
+
+    /// For component `comp`, the index of the variable with the largest
+    /// absolute loading, ignoring the indices in `excluded`.
+    ///
+    /// Returns `None` if every variable is excluded.
+    pub fn dominant_variable(&self, comp: usize, excluded: &[usize]) -> Option<usize> {
+        let c = &self.components[comp];
+        c.direction
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !excluded.contains(i))
+            .max_by(|(_, a), (_, b)| {
+                a.abs().partial_cmp(&b.abs()).expect("finite loadings")
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_cov() -> Matrix {
+        // Variables 0..3 strongly correlated; variable 3 independent with
+        // larger variance so the test also exercises the sort order.
+        Matrix::from_rows(&[
+            &[1.0, 0.9, 0.9, 0.0],
+            &[0.9, 1.0, 0.9, 0.0],
+            &[0.9, 0.9, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn energy_accumulates_to_one() {
+        let pca = Pca::from_covariance(&clustered_cov()).unwrap();
+        assert!((pca.energy_fraction(pca.dim()) - 1.0).abs() < 1e-12);
+        assert!(pca.energy_fraction(0) == 0.0);
+        assert!(pca.energy_fraction(1) > 0.0);
+    }
+
+    #[test]
+    fn component_count_for_thresholds() {
+        let pca = Pca::from_covariance(&clustered_cov()).unwrap();
+        // Total variance = 5.0. Cluster PC = 2.8, independent = 2.0,
+        // residuals = 0.1 each.
+        assert_eq!(pca.components_for_energy(0.5), 1);
+        assert_eq!(pca.components_for_energy(0.95), 2);
+        assert_eq!(pca.components_for_energy(1.0), 4);
+    }
+
+    #[test]
+    fn total_variance_is_trace() {
+        let cov = clustered_cov();
+        let pca = Pca::from_covariance(&cov).unwrap();
+        assert!((pca.total_variance() - cov.trace().unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dominant_variable_respects_exclusions() {
+        let pca = Pca::from_covariance(&clustered_cov()).unwrap();
+        // First component is the cluster: dominated by one of 0..3 (they are
+        // symmetric so any of them may win).
+        let first = pca.dominant_variable(0, &[]).unwrap();
+        assert!(first < 3);
+        let second = pca.dominant_variable(0, &[first]).unwrap();
+        assert_ne!(second, first);
+        assert!(second < 3);
+        assert_eq!(pca.dominant_variable(0, &[0, 1, 2, 3]), None);
+    }
+
+    #[test]
+    fn loadings_reproduce_variable_variance() {
+        // sum_k loading(k, i)^2 == var(i) for exact PCA.
+        let cov = clustered_cov();
+        let pca = Pca::from_covariance(&cov).unwrap();
+        for var in 0..4 {
+            let sum: f64 = (0..pca.dim()).map(|k| pca.loading(k, var).powi(2)).sum();
+            assert!((sum - cov[(var, var)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_covariance_is_degenerate_but_safe() {
+        let cov = Matrix::zeros(3, 3);
+        let pca = Pca::from_covariance(&cov).unwrap();
+        assert_eq!(pca.total_variance(), 0.0);
+        assert_eq!(pca.energy_fraction(0), 1.0);
+        assert_eq!(pca.components_for_energy(0.95), 1);
+    }
+
+    #[test]
+    fn negative_roundoff_eigenvalues_clamped() {
+        // Rank-1 matrix: residual eigenvalues may round to tiny negatives.
+        let cov = Matrix::filled(4, 4, 1.0);
+        let pca = Pca::from_covariance(&cov).unwrap();
+        for c in pca.components() {
+            assert!(c.variance >= 0.0);
+        }
+        assert_eq!(pca.components_for_energy(0.99), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the linear-algebra kernel.
+
+use effitest_linalg::{
+    stats, CholeskyDecomposition, LuDecomposition, Matrix, MultivariateGaussian, Pca,
+    SymmetricEigen,
+};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned SPD matrix built as `B B^T + n*I`.
+fn spd_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-2.0_f64..2.0, n * n).prop_map(move |data| {
+            let b = Matrix::from_vec(n, n, data).expect("sized correctly");
+            let mut g = b.gram();
+            for i in 0..n {
+                let v = g[(i, i)];
+                g[(i, i)] = v + n as f64 * 0.5;
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a general nonsingular matrix (diagonally dominated).
+fn nonsingular_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-2.0_f64..2.0, n * n).prop_map(move |data| {
+            let mut m = Matrix::from_vec(n, n, data).expect("sized correctly");
+            for i in 0..n {
+                let v = m[(i, i)];
+                m[(i, i)] = v + if v >= 0.0 { 3.0 + n as f64 } else { -3.0 - n as f64 };
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_has_small_residual(
+        a in nonsingular_matrix(8),
+        seed in 0_u64..1000,
+    ) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| ((seed as f64) * 0.37 + i as f64).sin()).collect();
+        let lu = LuDecomposition::new(&a).expect("matrix is diagonally dominant");
+        let x = lu.solve_vec(&b).expect("sizes agree");
+        let back = a.matvec(&x).expect("sizes agree");
+        for (l, r) in back.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(a in spd_matrix(8)) {
+        let chol = CholeskyDecomposition::new(&a).expect("strategy produces SPD");
+        let recon = chol.l().matmul(&chol.l().transpose()).expect("square");
+        prop_assert!((&recon - &a).max_abs() < 1e-9 * a.max_abs().max(1.0));
+        prop_assert_eq!(chol.jitter(), 0.0);
+    }
+
+    #[test]
+    fn eigen_reconstructs_and_is_orthonormal(a in spd_matrix(8)) {
+        let eig = SymmetricEigen::new(&a).expect("symmetric by construction");
+        let recon = eig.reconstruct();
+        prop_assert!((&recon - &a).max_abs() < 1e-8 * a.max_abs().max(1.0));
+        let vtv = eig.eigenvectors().transpose().matmul(eig.eigenvectors()).expect("square");
+        prop_assert!((&vtv - &Matrix::identity(a.rows())).max_abs() < 1e-9);
+        // SPD input: all eigenvalues positive.
+        for &l in eig.eigenvalues() {
+            prop_assert!(l > 0.0);
+        }
+    }
+
+    #[test]
+    fn pca_energy_is_monotone_and_normalized(a in spd_matrix(8)) {
+        let pca = Pca::from_covariance(&a).expect("symmetric");
+        let mut prev = 0.0;
+        for k in 0..=pca.dim() {
+            let e = pca.energy_fraction(k);
+            prop_assert!(e + 1e-12 >= prev);
+            prev = e;
+        }
+        prop_assert!((pca.energy_fraction(pca.dim()) - 1.0).abs() < 1e-9);
+        // components_for_energy is consistent with energy_fraction.
+        let k95 = pca.components_for_energy(0.95);
+        prop_assert!(pca.energy_fraction(k95) + 1e-9 >= 0.95);
+    }
+
+    #[test]
+    fn conditioning_never_inflates_variance(
+        a in spd_matrix(6),
+        values in proptest::collection::vec(-3.0_f64..3.0, 1..6),
+    ) {
+        let n = a.rows();
+        prop_assume!(n >= 2);
+        let mean = vec![0.0; n];
+        let g = MultivariateGaussian::new(mean, a.clone()).expect("valid");
+        let n_obs = values.len().min(n - 1);
+        let observed_idx: Vec<usize> = (0..n_obs).collect();
+        let observed_values = &values[..n_obs];
+        let cond = g.condition(&observed_idx, observed_values).expect("valid conditioning");
+        let remaining = g.remaining_indices(&observed_idx);
+        for (pos, &orig) in remaining.iter().enumerate() {
+            let before = a[(orig, orig)];
+            let after = cond.covariance()[(pos, pos)];
+            prop_assert!(after <= before + 1e-7, "variance grew: {before} -> {after}");
+            prop_assert!(after >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in nonsingular_matrix(5),
+        seed in 0_u64..100,
+    ) {
+        let n = a.rows();
+        let b = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) as f64 + seed as f64 * 0.1).cos());
+        let c = Matrix::from_fn(n, n, |i, j| ((3 * i + j) as f64 - seed as f64 * 0.2).sin());
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!((&left - &right).max_abs() < 1e-9 * left.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in nonsingular_matrix(8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn empirical_quantile_is_monotone(
+        mut xs in proptest::collection::vec(-100.0_f64..100.0, 1..50),
+        q1 in 0.0_f64..1.0,
+        q2 in 0.0_f64..1.0,
+    ) {
+        xs.iter_mut().for_each(|x| *x = x.round());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(stats::empirical_quantile(&xs, lo) <= stats::empirical_quantile(&xs, hi));
+    }
+
+    #[test]
+    fn normal_quantile_roundtrips(p in 0.001_f64..0.999) {
+        let x = stats::normal_quantile(p);
+        prop_assert!((stats::normal_cdf(x) - p).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,720 @@
+use std::fmt;
+
+/// Relation of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `sum a_j x_j <= b`
+    Le,
+    /// `sum a_j x_j >= b`
+    Ge,
+    /// `sum a_j x_j == b`
+    Eq,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Solution of a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Solve outcome; `values`/`objective` are meaningful only for
+    /// [`LpStatus::Optimal`].
+    pub status: LpStatus,
+    /// Optimal variable values (original variable space).
+    pub values: Vec<f64>,
+    /// Optimal objective value (in the user's orientation: the maximum if
+    /// maximizing, the minimum otherwise).
+    pub objective: f64,
+}
+
+/// A linear program over `n` variables with per-variable bounds.
+///
+/// Variables default to `[0, +inf)`; bounds may be any combination of
+/// finite/infinite (use [`f64::NEG_INFINITY`] / [`f64::INFINITY`]). The
+/// solver is a dense two-phase primal simplex with a Dantzig pivot rule and
+/// a Bland fallback for anti-cycling — entirely adequate for the
+/// EffiTest-sized instances (tens of variables) and exact up to round-off.
+///
+/// See the crate-level docs for an example.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n: usize,
+    objective: Vec<f64>,
+    maximize: bool,
+    rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_ITER: usize = 20_000;
+
+impl LinearProgram {
+    /// Creates an LP over `n` variables, all bounded to `[0, +inf)`, with a
+    /// zero minimization objective.
+    pub fn new(n: usize) -> Self {
+        LinearProgram {
+            n,
+            objective: vec![0.0; n],
+            maximize: false,
+            rows: Vec::new(),
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficients (dense, length `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the variable count.
+    pub fn set_objective(&mut self, coeffs: &[f64]) {
+        assert_eq!(coeffs.len(), self.n, "objective length must match variable count");
+        self.objective.copy_from_slice(coeffs);
+    }
+
+    /// Sets one objective coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Chooses maximization (`true`) or minimization (`false`, default).
+    pub fn set_maximize(&mut self, maximize: bool) {
+        self.maximize = maximize;
+    }
+
+    /// `true` if the objective is maximized.
+    pub fn is_maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// Adds a constraint row given as sparse `(variable, coefficient)`
+    /// terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range.
+    pub fn add_constraint(&mut self, terms: &[(usize, f64)], op: ConstraintOp, rhs: f64) {
+        for &(j, _) in terms {
+            assert!(j < self.n, "constraint references variable {j} of {}", self.n);
+        }
+        self.rows.push((terms.to_vec(), op, rhs));
+    }
+
+    /// Sets the bounds of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range or `lo > hi`.
+    pub fn set_bounds(&mut self, var: usize, lo: f64, hi: f64) {
+        assert!(var < self.n);
+        assert!(lo <= hi, "lower bound exceeds upper bound");
+        self.lower[var] = lo;
+        self.upper[var] = hi;
+    }
+
+    /// Marks a variable as free (unbounded both ways).
+    pub fn set_free(&mut self, var: usize) {
+        self.set_bounds(var, f64::NEG_INFINITY, f64::INFINITY);
+    }
+
+    /// Current bounds of a variable.
+    pub fn bounds(&self, var: usize) -> (f64, f64) {
+        (self.lower[var], self.upper[var])
+    }
+
+    /// Solves the LP.
+    pub fn solve(&self) -> LpSolution {
+        Tableau::build(self).solve(self)
+    }
+
+    /// Checks a candidate point for feasibility within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n {
+            return false;
+        }
+        for j in 0..self.n {
+            if x[j] < self.lower[j] - tol || x[j] > self.upper[j] + tol {
+                return false;
+            }
+        }
+        for (terms, op, rhs) in &self.rows {
+            let lhs: f64 = terms.iter().map(|&(j, a)| a * x[j]).sum();
+            let ok = match op {
+                ConstraintOp::Le => lhs <= rhs + tol,
+                ConstraintOp::Ge => lhs >= rhs - tol,
+                ConstraintOp::Eq => (lhs - rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Objective value at a point (user orientation).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(&c, &v)| c * v).sum()
+    }
+}
+
+impl fmt::Display for LinearProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} {} vars, {} rows",
+            if self.maximize { "max" } else { "min" },
+            self.n,
+            self.rows.len()
+        )
+    }
+}
+
+/// Mapping from an original variable to its standard-form representation.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = y + shift` with `y >= 0`.
+    Shifted { col: usize, shift: f64 },
+    /// `x = shift - y` with `y >= 0` (upper-bounded-only variables).
+    Flipped { col: usize, shift: f64 },
+    /// `x = y_plus - y_minus`, both `>= 0` (free variables).
+    Split { plus: usize, minus: usize },
+}
+
+/// Dense simplex tableau in standard equality form.
+struct Tableau {
+    /// Rows: coefficients over all columns plus rhs (last entry).
+    rows: Vec<Vec<f64>>,
+    /// Basis: column index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Total structural + slack columns (artificials appended after).
+    n_cols: usize,
+    /// Variable mapping back to the original space.
+    var_map: Vec<VarMap>,
+    /// Columns of artificial variables (phase 1 only).
+    artificial_cols: Vec<usize>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        // --- Map variables to non-negative standard-form columns. ---
+        let mut var_map = Vec::with_capacity(lp.n);
+        let mut n_struct = 0;
+        let mut extra_rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = Vec::new();
+        for j in 0..lp.n {
+            let (lo, hi) = (lp.lower[j], lp.upper[j]);
+            let vm = if lo.is_finite() {
+                let col = n_struct;
+                n_struct += 1;
+                if hi.is_finite() {
+                    // y <= hi - lo
+                    extra_rows.push((vec![(j, 1.0)], ConstraintOp::Le, hi));
+                }
+                VarMap::Shifted { col, shift: lo }
+            } else if hi.is_finite() {
+                let col = n_struct;
+                n_struct += 1;
+                VarMap::Flipped { col, shift: hi }
+            } else {
+                let plus = n_struct;
+                let minus = n_struct + 1;
+                n_struct += 2;
+                VarMap::Split { plus, minus }
+            };
+            var_map.push(vm);
+        }
+
+        // --- Expand rows into standard-form coefficients. ---
+        // Each row: dense over structural columns, then op and adjusted rhs.
+        let all_rows: Vec<&(Vec<(usize, f64)>, ConstraintOp, f64)> =
+            lp.rows.iter().chain(extra_rows.iter()).collect();
+        let m = all_rows.len();
+
+        // Slack columns: one per inequality row.
+        let n_slack = all_rows
+            .iter()
+            .filter(|(_, op, _)| *op != ConstraintOp::Eq)
+            .count();
+        let n_cols = n_struct + n_slack;
+
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_cursor = n_struct;
+
+        for (r, (terms, op, rhs)) in all_rows.iter().enumerate() {
+            let mut row = vec![0.0; n_cols + 1];
+            let mut rhs_adj = *rhs;
+            for &(j, a) in terms {
+                match var_map[j] {
+                    VarMap::Shifted { col, shift } => {
+                        row[col] += a;
+                        rhs_adj -= a * shift;
+                    }
+                    VarMap::Flipped { col, shift } => {
+                        row[col] -= a;
+                        rhs_adj -= a * shift;
+                    }
+                    VarMap::Split { plus, minus } => {
+                        row[plus] += a;
+                        row[minus] -= a;
+                    }
+                }
+            }
+            let mut slack_col = None;
+            match op {
+                ConstraintOp::Le => {
+                    row[slack_cursor] = 1.0;
+                    slack_col = Some(slack_cursor);
+                    slack_cursor += 1;
+                }
+                ConstraintOp::Ge => {
+                    row[slack_cursor] = -1.0;
+                    slack_col = Some(slack_cursor);
+                    slack_cursor += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+            row[n_cols] = rhs_adj;
+            // Normalize to rhs >= 0.
+            if row[n_cols] < 0.0 {
+                for v in row.iter_mut() {
+                    *v = -*v;
+                }
+            }
+            // If the slack column survived normalization with +1, it can
+            // seed the basis.
+            if let Some(sc) = slack_col {
+                if row[sc] > 0.5 {
+                    basis[r] = sc;
+                }
+            }
+            rows.push(row);
+        }
+
+        Tableau { rows, basis, n_cols, var_map, artificial_cols: Vec::new() }
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> LpSolution {
+        let m = self.rows.len();
+        // --- Phase 1: add artificials where no basic column exists. ---
+        let mut art_cols = Vec::new();
+        for r in 0..m {
+            if self.basis[r] == usize::MAX {
+                let col = self.n_cols + art_cols.len();
+                art_cols.push(col);
+                self.basis[r] = col;
+            }
+        }
+        let total_cols = self.n_cols + art_cols.len();
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            let rhs = row.pop().expect("row has rhs");
+            row.resize(total_cols, 0.0);
+            row.push(rhs);
+            if self.basis[r] >= self.n_cols {
+                let col = self.basis[r];
+                row[col] = 1.0;
+            }
+        }
+        self.artificial_cols = art_cols;
+
+        if !self.artificial_cols.is_empty() {
+            // Phase-1 objective: minimize the sum of artificials.
+            let mut cost = vec![0.0; total_cols + 1];
+            for &c in &self.artificial_cols {
+                cost[c] = 1.0;
+            }
+            // Price out the basic artificials.
+            for r in 0..m {
+                if self.basis[r] >= self.n_cols {
+                    for c in 0..=total_cols {
+                        cost[c] -= self.rows[r][c];
+                    }
+                }
+            }
+            if !self.run_simplex(&mut cost, total_cols) {
+                // Phase 1 of a feasibility objective cannot be unbounded;
+                // treat as numerical failure -> infeasible.
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    values: vec![0.0; lp.n],
+                    objective: 0.0,
+                };
+            }
+            let phase1_obj = -cost[total_cols];
+            if phase1_obj > 1e-7 {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    values: vec![0.0; lp.n],
+                    objective: 0.0,
+                };
+            }
+            // Drive any remaining artificial out of the basis.
+            for r in 0..m {
+                if self.basis[r] >= self.n_cols {
+                    let pivot_col = (0..self.n_cols)
+                        .find(|&c| self.rows[r][c].abs() > EPS);
+                    if let Some(c) = pivot_col {
+                        self.pivot(r, c);
+                    }
+                    // If the whole row is zero over structural columns the
+                    // row is redundant; leaving the artificial basic at
+                    // value 0 is harmless.
+                }
+            }
+        }
+
+        // --- Phase 2. ---
+        // Build the phase-2 cost row in standard-form columns. We always
+        // minimize internally.
+        let total_cols = self.n_cols + self.artificial_cols.len();
+        let mut cost = vec![0.0; total_cols + 1];
+        let sign = if lp.maximize { -1.0 } else { 1.0 };
+        let mut const_shift = 0.0;
+        for j in 0..lp.n {
+            let c_orig = sign * lp.objective[j];
+            match self.var_map[j] {
+                VarMap::Shifted { col, shift } => {
+                    cost[col] += c_orig;
+                    const_shift += c_orig * shift;
+                }
+                VarMap::Flipped { col, shift } => {
+                    cost[col] -= c_orig;
+                    const_shift += c_orig * shift;
+                }
+                VarMap::Split { plus, minus } => {
+                    cost[plus] += c_orig;
+                    cost[minus] -= c_orig;
+                }
+            }
+        }
+        // Forbid artificials from re-entering.
+        for &c in &self.artificial_cols {
+            cost[c] = f64::INFINITY;
+        }
+        // Price out the current basis.
+        for r in 0..self.rows.len() {
+            let b = self.basis[r];
+            if b < cost.len() - 1 && cost[b] != 0.0 && cost[b].is_finite() {
+                let factor = cost[b];
+                for c in 0..=total_cols {
+                    cost[c] -= factor * self.rows[r][c];
+                }
+            }
+        }
+
+        if !self.run_simplex(&mut cost, total_cols) {
+            return LpSolution {
+                status: LpStatus::Unbounded,
+                values: vec![0.0; lp.n],
+                objective: if lp.maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+            };
+        }
+
+        // --- Extract the solution. ---
+        let mut std_vals = vec![0.0; total_cols];
+        for r in 0..self.rows.len() {
+            let b = self.basis[r];
+            if b < total_cols {
+                std_vals[b] = self.rows[r][total_cols];
+            }
+        }
+        let mut values = vec![0.0; lp.n];
+        for j in 0..lp.n {
+            values[j] = match self.var_map[j] {
+                VarMap::Shifted { col, shift } => std_vals[col] + shift,
+                VarMap::Flipped { col, shift } => shift - std_vals[col],
+                VarMap::Split { plus, minus } => std_vals[plus] - std_vals[minus],
+            };
+        }
+        let min_obj = -cost[total_cols] + const_shift;
+        let objective = if lp.maximize { -min_obj } else { min_obj };
+        LpSolution { status: LpStatus::Optimal, values, objective }
+    }
+
+    /// Runs the simplex on the current tableau with the given cost row.
+    /// Returns `false` on unboundedness.
+    fn run_simplex(&mut self, cost: &mut [f64], total_cols: usize) -> bool {
+        let m = self.rows.len();
+        for iter in 0..MAX_ITER {
+            // Entering column: most negative reduced cost (Dantzig), Bland
+            // after a while to break cycles.
+            let bland = iter > MAX_ITER / 2;
+            let mut enter = None;
+            let mut best = -EPS;
+            for c in 0..total_cols {
+                let rc = cost[c];
+                if !rc.is_finite() {
+                    continue;
+                }
+                if bland {
+                    if rc < -EPS {
+                        enter = Some(c);
+                        break;
+                    }
+                } else if rc < best {
+                    best = rc;
+                    enter = Some(c);
+                }
+            }
+            let Some(enter) = enter else {
+                return true; // optimal
+            };
+            // Leaving row: min ratio test (Bland tie-break on basis index).
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                let a = self.rows[r][enter];
+                if a > EPS {
+                    let ratio = self.rows[r][total_cols] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return false; // unbounded
+            };
+            self.pivot(leave, enter);
+            // Update cost row.
+            let factor = cost[enter];
+            if factor != 0.0 {
+                for c in 0..=total_cols {
+                    let v = self.rows[leave][c];
+                    if v != 0.0 && cost[c].is_finite() {
+                        cost[c] -= factor * v;
+                    }
+                }
+            }
+        }
+        // Iteration cap reached: treat as optimal-enough (should not happen
+        // on EffiTest-sized problems).
+        true
+    }
+
+    /// Pivots on `(row, col)`: makes `col` basic in `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.rows.len();
+        let width = self.rows[row].len();
+        let pivot = self.rows[row][col];
+        debug_assert!(pivot.abs() > 1e-12, "zero pivot");
+        for c in 0..width {
+            self.rows[row][c] /= pivot;
+        }
+        for r in 0..m {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][col];
+            if factor != 0.0 {
+                for c in 0..width {
+                    let v = self.rows[row][c];
+                    if v != 0.0 {
+                        self.rows[r][c] -= factor * v;
+                    }
+                }
+                self.rows[r][col] = 0.0; // kill round-off
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximization_textbook() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; opt (2, 6) = 36.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[3.0, 5.0]);
+        lp.set_maximize(true);
+        lp.add_constraint(&[(0, 1.0)], ConstraintOp::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], ConstraintOp::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], ConstraintOp::Le, 18.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.values[0], 2.0);
+        assert_close(sol.values[1], 6.0);
+        assert!(lp.is_feasible(&sol.values, 1e-9));
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_needs_phase1() {
+        // min 2x + 3y s.t. x + y >= 4, x + 2y >= 6, x,y >= 0; opt (2,2)=10.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[2.0, 3.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+        lp.add_constraint(&[(0, 1.0), (1, 2.0)], ConstraintOp::Ge, 6.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 5, x - y = 1 -> (3, 2), obj 5.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], ConstraintOp::Eq, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], 3.0);
+        assert_close(sol.values[1], 2.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(&[(0, 1.0)], ConstraintOp::Ge, 5.0);
+        lp.add_constraint(&[(0, 1.0)], ConstraintOp::Le, 3.0);
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[1.0]);
+        lp.set_maximize(true);
+        // x >= 0, maximize x: unbounded.
+        assert_eq!(lp.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn free_variables_go_negative() {
+        // min x s.t. x >= -7 as a row, x free -> x = -7.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[1.0]);
+        lp.set_free(0);
+        lp.add_constraint(&[(0, 1.0)], ConstraintOp::Ge, -7.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], -7.0);
+    }
+
+    #[test]
+    fn variable_bounds_are_respected() {
+        // max x + y with x in [1, 3], y in [-2, 2], x + y <= 4.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.set_maximize(true);
+        lp.set_bounds(0, 1.0, 3.0);
+        lp.set_bounds(1, -2.0, 2.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Le, 4.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 4.0);
+        assert!(sol.values[0] <= 3.0 + 1e-9);
+        assert!(sol.values[1] <= 2.0 + 1e-9);
+        assert!(sol.values[0] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn upper_bounded_only_variable() {
+        // min -x with x <= 5 (lower unbounded): optimum at x = 5.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[-1.0]);
+        lp.set_bounds(0, f64::NEG_INFINITY, 5.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], 5.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -2 with x, y >= 0: minimize y -> y = 2, x = 0.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[0.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], ConstraintOp::Le, -2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn l1_alignment_shape() {
+        // The alignment LP shape: min e1 + e2 with e_p >= +-(T - c_p),
+        // T free. Optimal T is any weighted median; objective = |c1 - c2|.
+        let (c1, c2) = (3.0, 9.0);
+        let mut lp = LinearProgram::new(3); // T, e1, e2
+        lp.set_free(0);
+        lp.set_objective(&[0.0, 1.0, 1.0]);
+        for (e, c) in [(1_usize, c1), (2, c2)] {
+            lp.add_constraint(&[(0, 1.0), (e, -1.0)], ConstraintOp::Le, c);
+            lp.add_constraint(&[(0, -1.0), (e, -1.0)], ConstraintOp::Le, -c);
+        }
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 6.0);
+        assert!(sol.values[0] >= c1 - 1e-7 && sol.values[0] <= c2 + 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate example; must terminate via Bland fallback.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.set_maximize(true);
+        lp.add_constraint(&[(0, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(&[(1, 1.0)], ConstraintOp::Le, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn redundant_equalities_are_fine() {
+        // x + y = 2 stated twice.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 2.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0); // x=2, y=0
+    }
+
+    #[test]
+    fn objective_at_matches_reported_objective() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[4.0, -1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Le, 3.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(lp.objective_at(&sol.values), sol.objective);
+    }
+}

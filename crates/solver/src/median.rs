@@ -1,0 +1,102 @@
+/// Weighted median: a minimizer of `sum_i w_i * |t - x_i|` over `t`.
+///
+/// Returns the smallest point `x_k` such that the cumulative weight up to
+/// and including `x_k` reaches half the total weight — a classic exact
+/// minimizer of the weighted L1 objective. This is the inner kernel of the
+/// coordinate-descent alignment solver: with all buffer values fixed, the
+/// optimal test clock period `T` is the weighted median of the shifted
+/// range centers (paper eq. 7 reduced to one dimension).
+///
+/// Returns `None` for empty input or non-positive total weight.
+///
+/// # Example
+///
+/// ```
+/// use effitest_solver::weighted_median;
+///
+/// let m = weighted_median(&[(1.0, 1.0), (10.0, 1.0), (100.0, 3.0)]).unwrap();
+/// assert_eq!(m, 100.0); // the heavy point dominates
+/// ```
+pub fn weighted_median(points: &[(f64, f64)]) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    let total: f64 = points.iter().map(|&(_, w)| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut sorted: Vec<(f64, f64)> =
+        points.iter().map(|&(x, w)| (x, w.max(0.0))).collect();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite positions"));
+    let half = total / 2.0;
+    let mut acc = 0.0;
+    for &(x, w) in &sorted {
+        acc += w;
+        if acc >= half - 1e-15 {
+            return Some(x);
+        }
+    }
+    Some(sorted.last().expect("non-empty").0)
+}
+
+/// Evaluates the weighted L1 objective `sum_i w_i * |t - x_i|`.
+pub fn weighted_l1(t: f64, points: &[(f64, f64)]) -> f64 {
+    points.iter().map(|&(x, w)| w * (t - x).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unweighted_median_of_odd_set() {
+        let pts: Vec<(f64, f64)> = [5.0, 1.0, 3.0].iter().map(|&x| (x, 1.0)).collect();
+        assert_eq!(weighted_median(&pts), Some(3.0));
+    }
+
+    #[test]
+    fn heavy_weight_dominates() {
+        let m = weighted_median(&[(0.0, 1.0), (10.0, 100.0)]).unwrap();
+        assert_eq!(m, 10.0);
+    }
+
+    #[test]
+    fn empty_and_zero_weight() {
+        assert_eq!(weighted_median(&[]), None);
+        assert_eq!(weighted_median(&[(1.0, 0.0)]), None);
+        // Negative weights are clamped to zero.
+        assert_eq!(weighted_median(&[(1.0, -5.0), (2.0, 1.0)]), Some(2.0));
+    }
+
+    #[test]
+    fn median_minimizes_objective() {
+        let mut state = 0x42_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64 / 100.0
+        };
+        for _case in 0..40 {
+            let n = 1 + (next() as usize % 9);
+            let pts: Vec<(f64, f64)> =
+                (0..n).map(|_| (next() - 5.0, next() + 0.1)).collect();
+            let m = weighted_median(&pts).unwrap();
+            let best = weighted_l1(m, &pts);
+            // No candidate point does better (the optimum of a piecewise
+            // linear convex function is at a breakpoint).
+            for &(x, _) in &pts {
+                assert!(
+                    best <= weighted_l1(x, &pts) + 1e-9,
+                    "median {m} not optimal vs breakpoint {x}"
+                );
+            }
+            // And nearby perturbations do not improve.
+            assert!(best <= weighted_l1(m + 0.01, &pts) + 1e-12);
+            assert!(best <= weighted_l1(m - 0.01, &pts) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_point_is_its_own_median() {
+        assert_eq!(weighted_median(&[(7.5, 2.0)]), Some(7.5));
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the optimization substrate.
+
+use effitest_solver::align::{AlignPath, AlignmentProblem, BufferVar};
+use effitest_solver::config::{ConfigPath, ConfigProblem};
+use effitest_solver::{
+    weighted_l1, weighted_median, ConstraintOp, DifferenceSystem, LinearProgram, LpStatus,
+    MixedIntegerProgram,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LP solutions are feasible and at least as good as random feasible
+    /// points (optimality spot check).
+    #[test]
+    fn lp_optimal_dominates_random_feasible_points(
+        n in 2..5_usize,
+        obj in proptest::collection::vec(-3.0_f64..3.0, 5),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.1_f64..2.0, 5), 1.0_f64..20.0),
+            1..5,
+        ),
+        probes in proptest::collection::vec(
+            proptest::collection::vec(0.0_f64..5.0, 5), 8,
+        ),
+    ) {
+        let mut lp = LinearProgram::new(n);
+        lp.set_objective(&obj[..n]);
+        lp.set_maximize(true);
+        for j in 0..n {
+            lp.set_bounds(j, 0.0, 6.0);
+        }
+        for (coeffs, rhs) in &rows {
+            let terms: Vec<(usize, f64)> =
+                coeffs[..n].iter().enumerate().map(|(j, &a)| (j, a)).collect();
+            lp.add_constraint(&terms, ConstraintOp::Le, *rhs);
+        }
+        let sol = lp.solve();
+        prop_assert_eq!(sol.status, LpStatus::Optimal, "box-bounded LP is feasible");
+        prop_assert!(lp.is_feasible(&sol.values, 1e-7));
+        for probe in &probes {
+            let candidate: Vec<f64> = probe[..n].to_vec();
+            if lp.is_feasible(&candidate, 0.0) {
+                prop_assert!(
+                    lp.objective_at(&candidate) <= sol.objective + 1e-6,
+                    "random feasible point beats the 'optimum'"
+                );
+            }
+        }
+    }
+
+    /// MILP integer solutions are integral, feasible, and never beat the LP
+    /// relaxation.
+    #[test]
+    fn milp_respects_relaxation_bound(
+        n in 1..4_usize,
+        obj in proptest::collection::vec(-4.0_f64..4.0, 4),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.2_f64..2.0, 4), 2.0_f64..15.0),
+            1..4,
+        ),
+    ) {
+        let mut lp = LinearProgram::new(n);
+        lp.set_objective(&obj[..n]);
+        lp.set_maximize(true);
+        for j in 0..n {
+            lp.set_bounds(j, 0.0, 8.0);
+        }
+        for (coeffs, rhs) in &rows {
+            let terms: Vec<(usize, f64)> =
+                coeffs[..n].iter().enumerate().map(|(j, &a)| (j, a)).collect();
+            lp.add_constraint(&terms, ConstraintOp::Le, *rhs);
+        }
+        let relax = lp.solve();
+        prop_assume!(relax.status == LpStatus::Optimal);
+        let milp = MixedIntegerProgram::new(lp.clone(), (0..n).collect()).solve();
+        prop_assert!(milp.optimal);
+        prop_assert!(milp.objective <= relax.objective + 1e-6);
+        for &v in &milp.values[..n] {
+            prop_assert!((v - v.round()).abs() < 1e-6);
+        }
+        prop_assert!(lp.is_feasible(&milp.values, 1e-6));
+    }
+
+    /// Difference systems: any returned assignment satisfies every
+    /// constraint; systems made of non-negative weights are always feasible.
+    #[test]
+    fn difference_system_assignments_are_valid(
+        n in 2..8_usize,
+        edges in proptest::collection::vec((0..8_usize, 0..8_usize, -10.0_f64..10.0), 1..16),
+    ) {
+        let mut sys = DifferenceSystem::new(n);
+        let mut nonneg = DifferenceSystem::new(n);
+        for &(u, v, w) in &edges {
+            let (u, v) = (u % n, v % n);
+            if u != v {
+                sys.add(u, v, w);
+                nonneg.add(u, v, w.abs());
+            }
+        }
+        if let Some(x) = sys.solve() {
+            prop_assert!(sys.is_satisfied(&x, 1e-9));
+        }
+        let x = nonneg.solve().expect("non-negative weights cannot form a negative cycle");
+        prop_assert!(nonneg.is_satisfied(&x, 1e-9));
+    }
+
+    /// The weighted median minimizes the weighted L1 objective.
+    #[test]
+    fn weighted_median_minimizes(
+        pts in proptest::collection::vec((-50.0_f64..50.0, 0.1_f64..5.0), 1..12),
+        probe in -60.0_f64..60.0,
+    ) {
+        let m = weighted_median(&pts).expect("positive weights");
+        prop_assert!(weighted_l1(m, &pts) <= weighted_l1(probe, &pts) + 1e-9);
+    }
+
+    /// Alignment: coordinate descent always returns a grid-feasible
+    /// solution whose objective the exact MILP can match or beat, and the
+    /// exact solution is never worse.
+    #[test]
+    fn alignment_descent_vs_exact(
+        centers in proptest::collection::vec(0.0_f64..40.0, 2..5),
+        nb in 1..3_usize,
+        roles in proptest::collection::vec(0..3_usize, 5),
+    ) {
+        let buffers: Vec<BufferVar> =
+            (0..nb).map(|_| BufferVar { min: -3.0, max: 3.0, steps: 7 }).collect();
+        let paths: Vec<AlignPath> = centers
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| {
+                let b = k % nb;
+                let (src, snk) = match roles[k % roles.len()] {
+                    0 => (Some(b), None),
+                    1 => (None, Some(b)),
+                    _ => (None, None),
+                };
+                AlignPath {
+                    center: c,
+                    weight: 1.0 + k as f64,
+                    source_buffer: src,
+                    sink_buffer: snk,
+                    hold_lower_bound: None,
+                }
+            })
+            .collect();
+        let problem = AlignmentProblem { paths, buffers };
+        let fast = problem.solve_coordinate_descent(&vec![0.0; nb]);
+        prop_assert!(problem.is_feasible(&fast.buffer_values, 1e-9));
+        let exact = problem.solve_exact().expect("no hold bounds => feasible");
+        prop_assert!(exact.objective <= fast.objective + 1e-6);
+        // Objectives must be consistent with their assignments.
+        prop_assert!(
+            (problem.objective(fast.period, &fast.buffer_values) - fast.objective).abs()
+                < 1e-9
+        );
+    }
+
+    /// Configuration: the lattice solver's xi matches the MILP oracle and
+    /// its assignment is feasible at that slack.
+    #[test]
+    fn config_lattice_matches_milp(
+        lowers in proptest::collection::vec(6.0_f64..10.5, 1..4),
+        widths in proptest::collection::vec(0.0_f64..2.0, 4),
+        nb in 1..3_usize,
+        roles in proptest::collection::vec(0..3_usize, 4),
+    ) {
+        let buffers: Vec<BufferVar> =
+            (0..nb).map(|_| BufferVar { min: -1.0, max: 1.0, steps: 9 }).collect();
+        let paths: Vec<ConfigPath> = lowers
+            .iter()
+            .enumerate()
+            .map(|(k, &lo)| {
+                let b = k % nb;
+                let (src, snk) = match roles[k % roles.len()] {
+                    0 => (Some(b), None),
+                    1 => (None, Some(b)),
+                    _ => (None, None),
+                };
+                ConfigPath {
+                    lower: lo,
+                    upper: lo + widths[k % widths.len()],
+                    source_buffer: src,
+                    sink_buffer: snk,
+                    hold_lower_bound: None,
+                }
+            })
+            .collect();
+        let problem = ConfigProblem { clock_period: 10.0, paths, buffers };
+        let lattice = problem.solve();
+        let milp = problem.solve_exact_milp();
+        match (lattice, milp) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert!((a.xi - b.xi).abs() < 1e-5, "xi {} vs {}", a.xi, b.xi);
+                prop_assert!(problem.is_feasible_config(&a.buffer_values, a.xi + 1e-9, 1e-6));
+            }
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+/// One manufactured chip: a frozen realization of all process variations.
+///
+/// After manufacturing, gate delays "become fixed values" (paper §2); the
+/// virtual tester measures these frozen delays with frequency stepping.
+///
+/// Following the paper's convention (`D_ij = d_ij + s_j` and
+/// `underline(d)_ij = h_j - d_ij_min`), a `ChipInstance` stores:
+///
+/// * [`setup_delay(idx)`](Self::setup_delay) — the realized *effective*
+///   setup delay `D_ij` of required path `idx` (combinational max delay
+///   plus the sink's setup time). The setup constraint on this chip is
+///   `T >= D_ij + x_i - x_j`.
+/// * [`hold_bound(idx)`](Self::hold_bound) — the realized hold bound
+///   `underline(d)_ij` of the associated short path (sink hold time minus
+///   the short path's min delay), where present. The hold constraint is
+///   `x_i - x_j >= underline(d)_ij`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipInstance {
+    seed: u64,
+    setup_delays: Vec<f64>,
+    hold_bounds: Vec<Option<f64>>,
+}
+
+impl ChipInstance {
+    /// Assembles a chip instance from realized delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors are not index-aligned.
+    pub fn new(seed: u64, setup_delays: Vec<f64>, hold_bounds: Vec<Option<f64>>) -> Self {
+        assert_eq!(
+            setup_delays.len(),
+            hold_bounds.len(),
+            "setup/hold vectors must be index-aligned"
+        );
+        ChipInstance { seed, setup_delays, hold_bounds }
+    }
+
+    /// The sampling seed that produced this chip (its "die id").
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of paths.
+    pub fn path_count(&self) -> usize {
+        self.setup_delays.len()
+    }
+
+    /// Realized effective setup delay `D_ij` of required path `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn setup_delay(&self, idx: usize) -> f64 {
+        self.setup_delays[idx]
+    }
+
+    /// Realized hold bound `underline(d)_ij` for path `idx`, if the
+    /// benchmark carved a short path for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn hold_bound(&self, idx: usize) -> Option<f64> {
+        self.hold_bounds[idx]
+    }
+
+    /// All realized setup delays.
+    pub fn setup_delays(&self) -> &[f64] {
+        &self.setup_delays
+    }
+
+    /// All realized hold bounds.
+    pub fn hold_bounds(&self) -> &[Option<f64>] {
+        &self.hold_bounds
+    }
+
+    /// The minimum clock period at which this chip works with all buffers
+    /// at zero (no tuning): `max_ij D_ij`, assuming hold passes at zero
+    /// skew.
+    pub fn min_period_untuned(&self) -> f64 {
+        self.setup_delays.iter().fold(0.0_f64, |m, &d| m.max(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let chip = ChipInstance::new(9, vec![1.0, 2.0], vec![Some(0.5), None]);
+        assert_eq!(chip.seed(), 9);
+        assert_eq!(chip.path_count(), 2);
+        assert_eq!(chip.setup_delay(1), 2.0);
+        assert_eq!(chip.hold_bound(0), Some(0.5));
+        assert_eq!(chip.hold_bound(1), None);
+        assert_eq!(chip.setup_delays(), &[1.0, 2.0]);
+        assert_eq!(chip.min_period_untuned(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index-aligned")]
+    fn rejects_misaligned_vectors() {
+        ChipInstance::new(0, vec![1.0], vec![]);
+    }
+}

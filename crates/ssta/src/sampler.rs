@@ -1,0 +1,123 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic standard-normal sampler (Box–Muller over `StdRng`).
+///
+/// Hand-rolled rather than pulling in `rand_distr`: the reproduction brief
+/// limits external dependencies, and Box–Muller is exact.
+///
+/// # Example
+///
+/// ```
+/// use effitest_ssta::NormalSampler;
+///
+/// let mut s = NormalSampler::seeded(7);
+/// let xs: Vec<f64> = (0..1000).map(|_| s.next_normal()).collect();
+/// let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+/// assert!(mean.abs() < 0.2);
+/// ```
+#[derive(Debug)]
+pub struct NormalSampler {
+    rng: StdRng,
+    cached: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        NormalSampler { rng: StdRng::seed_from_u64(seed), cached: None }
+    }
+
+    /// Draws one standard-normal value.
+    pub fn next_normal(&mut self) -> f64 {
+        if let Some(v) = self.cached.take() {
+            return v;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        loop {
+            let u1: f64 = self.rng.random();
+            let u2: f64 = self.rng.random();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.cached = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Fills a vector with standard-normal draws.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        for v in out {
+            *v = self.next_normal();
+        }
+    }
+
+    /// Draws a uniform value in `[0, 1)`.
+    pub fn next_uniform(&mut self) -> f64 {
+        self.rng.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a: Vec<f64> = {
+            let mut s = NormalSampler::seeded(11);
+            (0..10).map(|_| s.next_normal()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = NormalSampler::seeded(11);
+            (0..10).map(|_| s.next_normal()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<f64> = {
+            let mut s = NormalSampler::seeded(12);
+            (0..10).map(|_| s.next_normal()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn moments_are_standard_normal() {
+        let mut s = NormalSampler::seeded(1);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let mut sum4 = 0.0;
+        for _ in 0..n {
+            let x = s.next_normal();
+            sum += x;
+            sum2 += x * x;
+            sum4 += x * x * x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let kurt = sum4 / n as f64 / (var * var);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+        assert!((kurt - 3.0).abs() < 0.1, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn fill_populates_all_entries() {
+        let mut s = NormalSampler::seeded(3);
+        let mut v = vec![0.0; 64];
+        s.fill(&mut v);
+        // Statistically impossible for any entry to remain exactly 0.
+        assert!(v.iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut s = NormalSampler::seeded(5);
+        for _ in 0..1000 {
+            let u = s.next_uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the SSTA substrate: canonical-form statistics
+//! against Monte-Carlo ground truth under random benchmarks.
+
+use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+use effitest_linalg::stats;
+use effitest_ssta::{TimingModel, VariationConfig};
+use proptest::prelude::*;
+
+fn model_strategy() -> impl Strategy<Value = (TimingModel, u64)> {
+    (10..28_usize, 0..200_u64).prop_map(|(scale, seed)| {
+        let spec = BenchmarkSpec::iscas89_s13207().scaled_down(scale);
+        let bench = GeneratedBenchmark::generate(&spec, seed);
+        (TimingModel::build(&bench, &VariationConfig::paper()), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn covariance_matrices_are_psd((model, _seed) in model_strategy()) {
+        let n = model.path_count().min(12);
+        let idx: Vec<usize> = (0..n).collect();
+        let cov = model.covariance_matrix(&idx);
+        prop_assert!(cov.is_symmetric(1e-9));
+        // PSD check via regularized Cholesky (tiny jitter tolerated).
+        let chol = effitest_linalg::CholeskyDecomposition::new_regularized(&cov);
+        prop_assert!(chol.is_ok(), "covariance not PSD: {:?}", chol.err());
+    }
+
+    #[test]
+    fn empirical_correlations_match_model((model, seed) in model_strategy()) {
+        prop_assume!(model.path_count() >= 2);
+        let n = 400;
+        let chips: Vec<_> = (0..n).map(|k| model.sample_chip(seed * 7919 + k)).collect();
+        for (i, j) in [(0_usize, 1_usize)] {
+            let a: Vec<f64> = chips.iter().map(|c| c.setup_delay(i)).collect();
+            let b: Vec<f64> = chips.iter().map(|c| c.setup_delay(j)).collect();
+            let emp = stats::correlation(&a, &b);
+            let exact = model.correlation(i, j);
+            prop_assert!(
+                (emp - exact).abs() < 0.15,
+                "path ({i},{j}): empirical {emp:.3} vs model {exact:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn hold_bounds_always_below_setup_delays((model, seed) in model_strategy()) {
+        let chip = model.sample_chip(seed ^ 0xFEED);
+        for p in 0..model.path_count() {
+            if let Some(h) = chip.hold_bound(p) {
+                // underline(d) = hold - d_min must sit far under D = d + s.
+                prop_assert!(h < chip.setup_delay(p));
+            }
+        }
+    }
+
+    #[test]
+    fn inflation_is_exact_on_sigmas_and_covariances((model, _seed) in model_strategy()) {
+        let inflated = model.with_inflated_sigma(1.1);
+        let n = model.path_count().min(6);
+        for i in 0..n {
+            prop_assert!((inflated.path_sigma(i) / model.path_sigma(i) - 1.1).abs() < 1e-9);
+            for j in 0..n {
+                if i != j {
+                    prop_assert!(
+                        (inflated.covariance(i, j) - model.covariance(i, j)).abs() < 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_spec_follows_nominal_period((model, _seed) in model_strategy()) {
+        let spec = model.buffer_spec();
+        prop_assert!((spec.width() - model.nominal_period() / 8.0).abs() < 1e-9);
+        prop_assert_eq!(spec.steps(), 20);
+        prop_assert!((spec.min() + spec.max()).abs() < 1e-9, "range must be centered");
+    }
+}

@@ -1,0 +1,357 @@
+//! Virtual tester substrate for the EffiTest reproduction.
+//!
+//! The paper's delay measurements run on automatic test equipment that can
+//! apply an arbitrary clock period to a chip, scan in test vectors and
+//! tuning-buffer configuration bits, and observe per-flip-flop pass/fail.
+//! This crate simulates that equipment against frozen Monte-Carlo
+//! [`ChipInstance`]s:
+//!
+//! * [`VirtualTester`] — applies `(period, shift)` probes and reports
+//!   pass/fail per path while counting *frequency-stepping iterations*,
+//!   the paper's central cost metric (`t_a`, `t_v` in Table 1), plus scan
+//!   loads.
+//! * [`DelayBounds`] — the `[l_ij, u_ij]` interval a path's delay is known
+//!   to lie in, with the paper's update rule: a pass at period `T` with
+//!   shift `x_i - x_j` proves `D_ij <= T - (x_i - x_j)`; a fail proves the
+//!   opposite bound.
+//! * [`path_wise_binary_search`] — the baseline the paper compares against
+//!   (refs. [2, 6, 8, 9] therein): per-path frequency stepping, one path
+//!   at a time, buffers untouched.
+//! * [`chip_passes`] — the final pass/fail test after buffer configuration
+//!   (setup at the designated period plus hold).
+//!
+//! # Example
+//!
+//! ```
+//! use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+//! use effitest_ssta::{TimingModel, VariationConfig};
+//! use effitest_tester::{path_wise_binary_search, DelayBounds, VirtualTester};
+//!
+//! let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(20), 1);
+//! let model = TimingModel::build(&bench, &VariationConfig::paper());
+//! let chip = model.sample_chip(0);
+//! let mut tester = VirtualTester::new(&chip);
+//! let mut bounds = DelayBounds::from_gaussian(model.path_mean(0), model.path_sigma(0), 3.0);
+//! let eps = bounds.width() / 250.0;
+//! path_wise_binary_search(&mut tester, 0, &mut bounds, eps);
+//! assert!(bounds.width() <= eps);
+//! assert_eq!(tester.iterations(), 8); // ceil(log2(250)) halvings
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use effitest_ssta::ChipInstance;
+
+/// A delay interval `[lower, upper]` being narrowed by frequency stepping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayBounds {
+    /// Proven lower bound `l_ij`.
+    pub lower: f64,
+    /// Proven (or assumed, before the first pass) upper bound `u_ij`.
+    pub upper: f64,
+}
+
+impl DelayBounds {
+    /// Creates bounds from explicit endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`.
+    pub fn new(lower: f64, upper: f64) -> Self {
+        assert!(lower <= upper, "inverted delay bounds");
+        DelayBounds { lower, upper }
+    }
+
+    /// The paper's initialization: `mu +- k sigma` (k = 3 in §3.3).
+    pub fn from_gaussian(mu: f64, sigma: f64, k: f64) -> Self {
+        DelayBounds { lower: mu - k * sigma, upper: mu + k * sigma }
+    }
+
+    /// Interval midpoint (the "center" the alignment step targets).
+    pub fn center(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// `true` once the interval is at most `epsilon` wide.
+    pub fn converged(&self, epsilon: f64) -> bool {
+        self.width() <= epsilon
+    }
+
+    /// Applies one frequency-stepping observation: the tester ran period
+    /// `period` with buffer shift `shift = x_i - x_j` on this path.
+    ///
+    /// Pass (`passed == true`) proves `D <= period - shift`, tightening the
+    /// upper bound; fail proves `D > period - shift`, raising the lower
+    /// bound (paper Procedure 2, lines 8–12). Observations outside the
+    /// current interval are clamped (they carry no new information).
+    pub fn update(&mut self, period: f64, shift: f64, passed: bool) {
+        let measured = period - shift;
+        if passed {
+            if measured < self.upper {
+                self.upper = measured.max(self.lower);
+            }
+        } else if measured > self.lower {
+            self.lower = measured.min(self.upper);
+        }
+    }
+}
+
+/// The virtual automatic test equipment.
+///
+/// Holds a chip under test and counts every frequency-stepping iteration
+/// (one applied `(period, configuration)` probe) and every scan load. One
+/// probe may test a whole batch of paths — that is exactly the
+/// multiplexing advantage the paper exploits.
+#[derive(Debug)]
+pub struct VirtualTester<'a> {
+    chip: &'a ChipInstance,
+    iterations: u64,
+    scan_loads: u64,
+}
+
+impl<'a> VirtualTester<'a> {
+    /// Mounts a chip on the tester.
+    pub fn new(chip: &'a ChipInstance) -> Self {
+        VirtualTester { chip, iterations: 0, scan_loads: 0 }
+    }
+
+    /// The chip under test.
+    pub fn chip(&self) -> &ChipInstance {
+        self.chip
+    }
+
+    /// Applies one clock period to a batch of paths, each with its buffer
+    /// shift `x_i - x_j`, and reports pass/fail per path.
+    ///
+    /// Counts as **one** frequency-stepping iteration regardless of the
+    /// batch size, plus one scan load for the configuration bits and test
+    /// vectors.
+    ///
+    /// A path passes when its frozen effective delay satisfies the setup
+    /// constraint (paper eq. 1): `D_ij + shift <= period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any path index is out of range for the chip.
+    pub fn apply_batch(&mut self, period: f64, probes: &[(usize, f64)]) -> Vec<bool> {
+        self.iterations += 1;
+        self.scan_loads += 1;
+        probes
+            .iter()
+            .map(|&(idx, shift)| self.chip.setup_delay(idx) + shift <= period)
+            .collect()
+    }
+
+    /// Applies one clock period to a single path (the path-wise baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range.
+    pub fn apply_single(&mut self, period: f64, path: usize, shift: f64) -> bool {
+        self.apply_batch(period, &[(path, shift)])[0]
+    }
+
+    /// Total frequency-stepping iterations so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Total scan loads so far.
+    pub fn scan_loads(&self) -> u64 {
+        self.scan_loads
+    }
+
+    /// Resets the counters (e.g. between experiment phases).
+    pub fn reset_counters(&mut self) {
+        self.iterations = 0;
+        self.scan_loads = 0;
+    }
+}
+
+/// The baseline: narrow one path's bounds by binary search on the clock
+/// period with all buffers at zero. Returns the iterations consumed.
+///
+/// This is the per-path frequency stepping of the paper's comparison
+/// methods [2, 6, 8, 9]: `t'_v = ceil(log2(width / epsilon))` iterations
+/// per path.
+pub fn path_wise_binary_search(
+    tester: &mut VirtualTester<'_>,
+    path: usize,
+    bounds: &mut DelayBounds,
+    epsilon: f64,
+) -> u64 {
+    let start = tester.iterations();
+    while !bounds.converged(epsilon) {
+        let period = bounds.center();
+        let passed = tester.apply_single(period, path, 0.0);
+        bounds.update(period, 0.0, passed);
+    }
+    tester.iterations() - start
+}
+
+/// The final pass/fail test after buffer configuration (paper Fig. 4,
+/// bottom): the chip must meet setup at the designated period and hold,
+/// given the per-path buffer shifts `x_i - x_j`.
+///
+/// # Panics
+///
+/// Panics if `shifts.len()` differs from the chip's path count.
+pub fn chip_passes(chip: &ChipInstance, period: f64, shifts: &[f64]) -> bool {
+    assert_eq!(shifts.len(), chip.path_count(), "one shift per path required");
+    for idx in 0..chip.path_count() {
+        if chip.setup_delay(idx) + shifts[idx] > period {
+            return false;
+        }
+        if let Some(hold_bound) = chip.hold_bound(idx) {
+            if shifts[idx] < hold_bound {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip(delays: &[f64]) -> ChipInstance {
+        ChipInstance::new(0, delays.to_vec(), vec![None; delays.len()])
+    }
+
+    #[test]
+    fn bounds_update_rules() {
+        let mut b = DelayBounds::new(0.0, 10.0);
+        // Pass at T=6, shift 0: delay <= 6.
+        b.update(6.0, 0.0, true);
+        assert_eq!(b.upper, 6.0);
+        // Fail at T=3: delay > 3.
+        b.update(3.0, 0.0, false);
+        assert_eq!(b.lower, 3.0);
+        // Shifted probe: pass at T=7 with shift +2 proves delay <= 5.
+        b.update(7.0, 2.0, true);
+        assert_eq!(b.upper, 5.0);
+        // Uninformative observations are clamped.
+        b.update(100.0, 0.0, true);
+        assert_eq!(b.upper, 5.0);
+        b.update(-100.0, 0.0, false);
+        assert_eq!(b.lower, 3.0);
+    }
+
+    #[test]
+    fn bounds_never_invert() {
+        let mut b = DelayBounds::new(4.0, 6.0);
+        // A fail above the upper bound clamps to upper.
+        b.update(100.0, 0.0, false);
+        assert!(b.lower <= b.upper);
+        assert_eq!(b.lower, 6.0);
+        let mut b2 = DelayBounds::new(4.0, 6.0);
+        b2.update(-50.0, 0.0, true);
+        assert!(b2.lower <= b2.upper);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn new_rejects_inverted() {
+        DelayBounds::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn from_gaussian_covers_three_sigma() {
+        let b = DelayBounds::from_gaussian(100.0, 5.0, 3.0);
+        assert_eq!(b.lower, 85.0);
+        assert_eq!(b.upper, 115.0);
+        assert_eq!(b.center(), 100.0);
+        assert_eq!(b.width(), 30.0);
+    }
+
+    #[test]
+    fn tester_counts_iterations_per_probe_not_per_path() {
+        let c = chip(&[5.0, 7.0, 9.0]);
+        let mut t = VirtualTester::new(&c);
+        let r = t.apply_batch(8.0, &[(0, 0.0), (1, 0.0), (2, 0.0)]);
+        assert_eq!(r, vec![true, true, false]);
+        assert_eq!(t.iterations(), 1);
+        assert_eq!(t.scan_loads(), 1);
+        t.apply_single(6.0, 2, -4.0);
+        assert_eq!(t.iterations(), 2);
+        t.reset_counters();
+        assert_eq!(t.iterations(), 0);
+    }
+
+    #[test]
+    fn shifts_affect_pass_fail() {
+        let c = chip(&[5.0]);
+        let mut t = VirtualTester::new(&c);
+        // D + shift <= T: 5 + 2 <= 6 is false, 5 - 2 <= 6 is true.
+        assert!(!t.apply_single(6.0, 0, 2.0));
+        assert!(t.apply_single(6.0, 0, -2.0));
+    }
+
+    #[test]
+    fn binary_search_brackets_the_true_delay() {
+        let true_delay = 7.37;
+        let c = chip(&[true_delay]);
+        let mut t = VirtualTester::new(&c);
+        let mut b = DelayBounds::new(0.0, 16.0);
+        let eps = 0.01;
+        let iters = path_wise_binary_search(&mut t, 0, &mut b, eps);
+        assert!(b.converged(eps));
+        assert!(b.lower <= true_delay && true_delay <= b.upper + 1e-12,
+            "bounds [{}, {}] miss {true_delay}", b.lower, b.upper);
+        // log2(16 / 0.01) ~ 10.6 -> 11 iterations.
+        assert_eq!(iters, 11);
+    }
+
+    #[test]
+    fn binary_search_iteration_count_matches_log2() {
+        let c = chip(&[5.0]);
+        for k in [4_u32, 6, 8, 10] {
+            let mut t = VirtualTester::new(&c);
+            let mut b = DelayBounds::new(1.0, 9.0);
+            let eps = 8.0 / (1u64 << k) as f64;
+            let iters = path_wise_binary_search(&mut t, 0, &mut b, eps);
+            assert_eq!(iters, k as u64, "width 8, eps 8/2^{k}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_delay_converges_to_boundary() {
+        // True delay above the initial upper bound: every probe fails and
+        // the interval collapses at the top; the resulting "measured" value
+        // underestimates the true delay (the paper's accepted inaccuracy).
+        let c = chip(&[20.0]);
+        let mut t = VirtualTester::new(&c);
+        let mut b = DelayBounds::new(0.0, 10.0);
+        path_wise_binary_search(&mut t, 0, &mut b, 0.1);
+        assert!(b.upper <= 10.0 + 1e-12);
+        assert!(b.width() <= 0.1);
+        assert!(b.upper > 9.8);
+    }
+
+    #[test]
+    fn chip_passes_checks_setup_and_hold() {
+        let c = ChipInstance::new(0, vec![5.0, 7.0], vec![Some(-1.0), None]);
+        // Setup OK at period 8 with zero shifts; hold bound -1 <= 0 OK.
+        assert!(chip_passes(&c, 8.0, &[0.0, 0.0]));
+        // Setup violation on path 1 at period 6.
+        assert!(!chip_passes(&c, 6.0, &[0.0, 0.0]));
+        // Path 1 rescued by negative shift.
+        assert!(chip_passes(&c, 6.0, &[0.0, -1.5]));
+        // Hold violation: shift on path 0 below its hold bound.
+        assert!(!chip_passes(&c, 8.0, &[-1.5, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one shift per path")]
+    fn chip_passes_validates_lengths() {
+        let c = chip(&[1.0]);
+        chip_passes(&c, 2.0, &[]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the virtual tester: bound-bracketing and
+//! iteration-count invariants of frequency stepping.
+
+use effitest_ssta::ChipInstance;
+use effitest_tester::{chip_passes, path_wise_binary_search, DelayBounds, VirtualTester};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary search always converges, never inverts bounds, and brackets
+    /// the true delay whenever it started inside the window.
+    #[test]
+    fn binary_search_brackets_or_clamps(
+        truth in 1.0_f64..99.0,
+        center in 20.0_f64..80.0,
+        half_width in 1.0_f64..40.0,
+        eps_div in 4.0_f64..512.0,
+    ) {
+        let chip = ChipInstance::new(0, vec![truth], vec![None]);
+        let mut tester = VirtualTester::new(&chip);
+        let mut bounds = DelayBounds::new(center - half_width, center + half_width);
+        let eps = bounds.width() / eps_div;
+        let iters = path_wise_binary_search(&mut tester, 0, &mut bounds, eps);
+        prop_assert!(bounds.lower <= bounds.upper);
+        prop_assert!(bounds.converged(eps));
+        // Iteration count = ceil(log2(width/eps)), within rounding slack.
+        let expected = (eps_div.log2()).ceil() as u64;
+        prop_assert!(iters <= expected + 1 && iters + 1 >= expected,
+            "iters {iters} vs expected {expected}");
+        if truth >= center - half_width && truth <= center + half_width {
+            prop_assert!(
+                bounds.lower - 1e-9 <= truth && truth <= bounds.upper + 1e-9,
+                "bounds [{}, {}] miss in-window truth {truth}",
+                bounds.lower,
+                bounds.upper
+            );
+        }
+    }
+
+    /// Batch probes cost one iteration regardless of size and report
+    /// pass/fail consistent with the setup rule `D + shift <= T`.
+    #[test]
+    fn batch_probe_semantics(
+        delays in proptest::collection::vec(1.0_f64..50.0, 1..12),
+        period in 1.0_f64..60.0,
+        shift in -10.0_f64..10.0,
+    ) {
+        let chip = ChipInstance::new(1, delays.clone(), vec![None; delays.len()]);
+        let mut tester = VirtualTester::new(&chip);
+        let probes: Vec<(usize, f64)> = (0..delays.len()).map(|i| (i, shift)).collect();
+        let results = tester.apply_batch(period, &probes);
+        prop_assert_eq!(tester.iterations(), 1);
+        for (i, &passed) in results.iter().enumerate() {
+            prop_assert_eq!(passed, delays[i] + shift <= period);
+        }
+    }
+
+    /// `chip_passes` agrees with per-path checks.
+    #[test]
+    fn chip_passes_is_conjunction(
+        delays in proptest::collection::vec(1.0_f64..50.0, 1..8),
+        holds in proptest::collection::vec(proptest::option::of(-20.0_f64..5.0), 8),
+        period in 10.0_f64..70.0,
+        shifts in proptest::collection::vec(-8.0_f64..8.0, 8),
+    ) {
+        let n = delays.len();
+        let holds: Vec<Option<f64>> = holds[..n].to_vec();
+        let chip = ChipInstance::new(2, delays.clone(), holds.clone());
+        let shifts: Vec<f64> = shifts[..n].to_vec();
+        let expected = (0..n).all(|i| {
+            delays[i] + shifts[i] <= period
+                && holds[i].is_none_or(|h| shifts[i] >= h)
+        });
+        prop_assert_eq!(chip_passes(&chip, period, &shifts), expected);
+    }
+
+    /// Bounds updates are monotone: widths never grow.
+    #[test]
+    fn bounds_updates_never_widen(
+        lo in 0.0_f64..50.0,
+        width in 0.1_f64..50.0,
+        probes in proptest::collection::vec((0.0_f64..120.0, -10.0_f64..10.0, proptest::bool::ANY), 1..20),
+    ) {
+        let mut b = DelayBounds::new(lo, lo + width);
+        for &(t, shift, passed) in &probes {
+            let before = b.width();
+            b.update(t, shift, passed);
+            prop_assert!(b.width() <= before + 1e-12);
+            prop_assert!(b.lower <= b.upper);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Full-scale end-to-end run on one paper benchmark with per-stage
+//! reporting: grouping, selection, batching, hold bounds, per-chip aligned
+//! test, prediction quality, configuration, and the final yield sample.
+//!
+//! Run with: `cargo run --release --example full_flow [circuit] [n_chips]`
+//! (default: s9234, 40 chips).
+
+use effitest::linalg::stats;
+use effitest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(|s| s.as_str()).unwrap_or("s9234");
+    let n_chips: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let spec = BenchmarkSpec::all_paper_circuits()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown circuit `{name}`"));
+
+    println!("=== EffiTest full flow: {} ===\n", spec.name);
+    let bench = GeneratedBenchmark::generate(&spec, 1);
+    let (ns, ng, nb, np) = bench.stats();
+    println!("[circuit]   ns={ns} ng={ng} nb={nb} np={np}");
+
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    println!(
+        "[timing]    nominal period {:.1} ps, buffer range {} ({} steps of {:.2} ps)",
+        model.nominal_period(),
+        model.buffer_spec(),
+        model.buffer_spec().steps(),
+        model.buffer_spec().step_size()
+    );
+
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model)?;
+    println!(
+        "[select]    {} groups; representatives per group: {:?}",
+        prepared.groups.len(),
+        prepared.groups.iter().map(|g| g.selected.len()).collect::<Vec<_>>()
+    );
+    println!(
+        "[batch]     {} tested paths in {} batches (sizes {:?}; {} slot-filled)",
+        prepared.tested_path_count(),
+        prepared.batches.len(),
+        prepared.batches.batches.iter().map(Vec::len).collect::<Vec<_>>(),
+        prepared.batches.slot_filled.len()
+    );
+    println!(
+        "[hold]      {} lambda bounds, sum {:.1} ps",
+        prepared.lambda.len(),
+        prepared.lambda.total()
+    );
+    println!("[offline]   preparation took {:?}", prepared.prep_time);
+
+    // Designated period: the median of the untuned population.
+    let periods: Vec<f64> =
+        (0..200).map(|s| model.sample_chip(s).min_period_untuned()).collect();
+    let td = stats::empirical_quantile(&periods, 0.5);
+    println!("[period]    T_d = {td:.1} ps (median untuned period)\n");
+
+    let mut iters = Vec::new();
+    let mut passes = 0_usize;
+    let mut ideal = 0_usize;
+    let mut untuned = 0_usize;
+    let mut coverage_hits = 0_usize;
+    let mut coverage_total = 0_usize;
+    for seed in 0..n_chips as u64 {
+        let chip = model.sample_chip(10_000 + seed);
+        let outcome = flow.run_chip(&prepared, &chip, td)?;
+        iters.push(outcome.iterations as f64);
+        if outcome.passes {
+            passes += 1;
+        }
+        if effitest::flow::configure::ideal_configure_and_check(
+            &model,
+            &prepared.buffers,
+            &chip,
+            td,
+        ) {
+            ideal += 1;
+        }
+        if effitest::flow::configure::untuned_check(&chip, td) {
+            untuned += 1;
+        }
+        // Prediction coverage: do the final ranges bracket the true delays?
+        for p in 0..np {
+            coverage_total += 1;
+            let d = chip.setup_delay(p);
+            if outcome.ranges[p].lower - 1e-9 <= d && d <= outcome.ranges[p].upper + 1e-9 {
+                coverage_hits += 1;
+            }
+        }
+    }
+
+    let ta = stats::mean(&iters);
+    println!("[test]      mean iterations per chip: {ta:.1} (+/- {:.1})", stats::std_dev(&iters));
+    println!(
+        "[test]      iterations per tested path: {:.2}",
+        ta / prepared.tested_path_count() as f64
+    );
+    println!(
+        "[predict]   range coverage of true delays: {:.2}%",
+        coverage_hits as f64 / coverage_total as f64 * 100.0
+    );
+    println!("\n[yield @ T_d = {td:.1}]");
+    let pct = |c: usize| c as f64 / n_chips as f64 * 100.0;
+    println!("  untuned:       {:>5.1}%", pct(untuned));
+    println!("  EffiTest:      {:>5.1}%", pct(passes));
+    println!("  ideal tuning:  {:>5.1}%", pct(ideal));
+    println!("  yield drop vs ideal: {:.1} points", pct(ideal) - pct(passes));
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Netlist text-format round trip: generate a benchmark, dump it, parse it
+//! back, and verify the result is identical and valid.
+//!
+//! Run with: `cargo run --release --example netlist_io [path]`
+//! (default: writes to a temporary file).
+
+use effitest::circuit::format;
+use effitest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = BenchmarkSpec::iscas89_s9234().scaled_down(10);
+    let bench = GeneratedBenchmark::generate(&spec, 3);
+    let text = format::to_text(&bench.netlist, Some(&bench.paths));
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| std::env::temp_dir().join("effitest_demo.netlist").display().to_string());
+    std::fs::write(&path, &text)?;
+    println!("wrote {} bytes to {path}", text.len());
+
+    let head: Vec<&str> = text.lines().take(12).collect();
+    println!("\nfirst lines:\n{}", head.join("\n"));
+
+    let reread = std::fs::read_to_string(&path)?;
+    let (netlist, paths) = format::from_text(&reread)?;
+    netlist.validate()?;
+    paths.validate(&netlist)?;
+    assert_eq!(netlist.flip_flop_count(), bench.netlist.flip_flop_count());
+    assert_eq!(netlist.gate_count(), bench.netlist.gate_count());
+    assert_eq!(netlist.buffer_count(), bench.netlist.buffer_count());
+    assert_eq!(paths.len(), bench.paths.len());
+    for (a, b) in paths.iter().zip(bench.paths.iter()) {
+        assert_eq!(a.endpoints(), b.endpoints());
+        assert_eq!(a.gates, b.gates);
+    }
+    println!(
+        "\nround trip OK: {} flip-flops, {} gates, {} buffers, {} paths",
+        netlist.flip_flop_count(),
+        netlist.gate_count(),
+        netlist.buffer_count(),
+        paths.len()
+    );
+    Ok(())
+}

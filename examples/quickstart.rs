@@ -1,0 +1,100 @@
+//! Quickstart: the paper's Fig. 2 intuition, then a tiny end-to-end run.
+//!
+//! Part 1 rebuilds the paper's four-flip-flop example: a loop with
+//! combinational delays 3, 8, 6, 5 has an untuned minimum clock period of
+//! 8; with post-silicon tunable buffers the clock edges shift and the
+//! minimum period drops to 5.5 (= average stage delay).
+//!
+//! Part 2 generates a small synthetic benchmark, runs the full EffiTest
+//! flow on one simulated chip, and compares tester iterations against the
+//! path-wise baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use effitest::prelude::*;
+use effitest::solver::align::BufferVar;
+use effitest::solver::config::{ConfigPath, ConfigProblem};
+
+fn figure2_demo() {
+    println!("== Part 1: paper Fig. 2 — tuning lowers the minimum period ==\n");
+    // Four flip-flops F1..F4 in a loop; stage delays as in the figure.
+    let delays = [3.0, 8.0, 6.0, 5.0]; // F1->F2, F2->F3, F3->F4, F4->F1
+    let untuned = delays.iter().cloned().fold(0.0_f64, f64::max);
+    println!("stage delays: {delays:?}");
+    println!("minimum period without tuning: {untuned}");
+
+    // Wide-range buffers on all four flip-flops (the demo point is the
+    // timing algebra, not the range limits).
+    let buffers: Vec<BufferVar> =
+        (0..4).map(|_| BufferVar { min: -4.0, max: 4.0, steps: 33 }).collect();
+    let paths: Vec<ConfigPath> = (0..4)
+        .map(|i| ConfigPath {
+            lower: delays[i],
+            upper: delays[i],
+            source_buffer: Some(i),
+            sink_buffer: Some((i + 1) % 4),
+            hold_lower_bound: None,
+        })
+        .collect();
+
+    // Binary-search the smallest feasible period with tuning.
+    let mut lo = 4.0_f64;
+    let mut hi = untuned;
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        let problem =
+            ConfigProblem { clock_period: mid, paths: paths.clone(), buffers: buffers.clone() };
+        if problem.solve().is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    println!("minimum period with tuning:    {hi:.2} (paper: 5.5)");
+    let problem =
+        ConfigProblem { clock_period: 5.5, paths: paths.clone(), buffers: buffers.clone() };
+    let sol = problem.solve().expect("5.5 is feasible");
+    println!(
+        "a feasible buffer assignment at T = 5.5: {:?}\n",
+        sol.buffer_values.iter().map(|x| format!("{x:+.2}")).collect::<Vec<_>>()
+    );
+}
+
+fn flow_demo() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Part 2: the EffiTest flow on a small synthetic benchmark ==\n");
+    let spec = BenchmarkSpec::iscas89_s13207().scaled_down(8);
+    let bench = GeneratedBenchmark::generate(&spec, 7);
+    let (ns, ng, nb, np) = bench.stats();
+    println!("benchmark {}: {ns} FFs, {ng} gates, {nb} buffers, {np} required paths", spec.name);
+
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model)?;
+    println!(
+        "prepared: {} groups, {} paths tested ({} batches), epsilon {:.3} ps",
+        prepared.groups.len(),
+        prepared.tested_path_count(),
+        prepared.batches.len(),
+        prepared.epsilon,
+    );
+
+    let chip = model.sample_chip(42);
+    let td = model.nominal_period();
+    let outcome = flow.run_chip(&prepared, &chip, td)?;
+    let baseline = flow.run_chip_path_wise(&prepared, &chip);
+    println!("chip #42 at T_d = {td:.1} ps:");
+    println!("  EffiTest iterations:  {:>6}", outcome.iterations);
+    println!("  path-wise iterations: {:>6}", baseline.iterations);
+    println!(
+        "  reduction:            {:>5.1}%",
+        (1.0 - outcome.iterations as f64 / baseline.iterations as f64) * 100.0
+    );
+    println!("  configured: {}", outcome.configured.is_some());
+    println!("  final pass/fail test: {}", if outcome.passes { "PASS" } else { "FAIL" });
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    figure2_demo();
+    flow_demo()
+}

@@ -1,0 +1,74 @@
+//! Table-2-style yield study: untuned vs EffiTest vs ideal configuration
+//! at the two designated periods (50% and 84.13% untuned-yield quantiles),
+//! for a selectable circuit.
+//!
+//! Run with: `cargo run --release --example yield_study [circuit] [n_chips]`
+//! (default: s13207, 150 chips).
+
+use effitest::flow::configure::{ideal_configure_and_check, untuned_check};
+use effitest::linalg::stats;
+use effitest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(|s| s.as_str()).unwrap_or("s13207");
+    let n_chips: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let spec = BenchmarkSpec::all_paper_circuits()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown circuit `{name}`"));
+
+    let bench = GeneratedBenchmark::generate(&spec, 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model)?;
+
+    let chips: Vec<ChipInstance> =
+        (0..n_chips as u64).map(|s| model.sample_chip(1000 + s)).collect();
+    let untuned_periods: Vec<f64> = chips.iter().map(|c| c.min_period_untuned()).collect();
+    let t1 = stats::empirical_quantile(&untuned_periods, 0.5);
+    let t2 = stats::empirical_quantile(&untuned_periods, 0.8413);
+
+    println!("=== Yield study: {} ({n_chips} chips) ===", spec.name);
+    println!("T1 = {t1:.1} ps (50% untuned), T2 = {t2:.1} ps (84.13% untuned)\n");
+
+    let header = format!(
+        "{:<22} {:>10} {:>10}",
+        "configuration policy", "yield@T1", "yield@T2"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let mut rows: Vec<(&str, [usize; 2])> =
+        vec![("untuned (x = 0)", [0, 0]), ("EffiTest flow", [0, 0]), ("ideal measurement", [0, 0])];
+    for chip in &chips {
+        let (predicted, _, _) = flow.test_and_predict(&prepared, chip);
+        for (slot, &td) in [t1, t2].iter().enumerate() {
+            if untuned_check(chip, td) {
+                rows[0].1[slot] += 1;
+            }
+            let (_, passes, _) =
+                flow.configure_and_check(&prepared, chip, &predicted.ranges, td);
+            if passes {
+                rows[1].1[slot] += 1;
+            }
+            if ideal_configure_and_check(&model, &prepared.buffers, chip, td) {
+                rows[2].1[slot] += 1;
+            }
+        }
+    }
+    for (label, counts) in &rows {
+        println!(
+            "{label:<22} {:>9.1}% {:>9.1}%",
+            counts[0] as f64 / n_chips as f64 * 100.0,
+            counts[1] as f64 / n_chips as f64 * 100.0
+        );
+    }
+    let drop1 = (rows[2].1[0] as f64 - rows[1].1[0] as f64) / n_chips as f64 * 100.0;
+    let drop2 = (rows[2].1[1] as f64 - rows[1].1[1] as f64) / n_chips as f64 * 100.0;
+    println!(
+        "\nyield drop from test/prediction inaccuracy: {drop1:.1} points @T1, {drop2:.1} points @T2"
+    );
+    println!("(the paper reports drops of roughly 1-2 points)");
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! End-to-end integration tests across the whole workspace: generation ->
+//! SSTA -> selection -> batching -> aligned test -> prediction ->
+//! configuration -> pass/fail.
+
+use effitest::flow::configure::{ideal_configure_and_check, untuned_check};
+use effitest::linalg::stats;
+use effitest::prelude::*;
+
+fn fixture(scale: usize, seed: u64) -> (GeneratedBenchmark, TimingModel) {
+    let spec = BenchmarkSpec::iscas89_s13207().scaled_down(scale);
+    let bench = GeneratedBenchmark::generate(&spec, seed);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    (bench, model)
+}
+
+#[test]
+fn flow_is_deterministic_for_fixed_seeds() {
+    let (bench_a, model_a) = fixture(8, 3);
+    let (bench_b, model_b) = fixture(8, 3);
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prep_a = flow.prepare(&bench_a, &model_a).expect("prepare");
+    let prep_b = flow.prepare(&bench_b, &model_b).expect("prepare");
+    assert_eq!(prep_a.batches.batches, prep_b.batches.batches);
+
+    let chip_a = model_a.sample_chip(5);
+    let chip_b = model_b.sample_chip(5);
+    assert_eq!(chip_a, chip_b);
+    let td = model_a.nominal_period();
+    let out_a = flow.run_chip(&prep_a, &chip_a, td).expect("run");
+    let out_b = flow.run_chip(&prep_b, &chip_b, td).expect("run");
+    assert_eq!(out_a.iterations, out_b.iterations);
+    assert_eq!(out_a.configured, out_b.configured);
+    assert_eq!(out_a.passes, out_b.passes);
+}
+
+#[test]
+fn iteration_reduction_holds_across_seeds() {
+    let (bench, model) = fixture(8, 1);
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let td = model.nominal_period();
+
+    let mut ours = 0_u64;
+    let mut baseline = 0_u64;
+    for seed in 0..8 {
+        let chip = model.sample_chip(100 + seed);
+        ours += flow.run_chip(&prepared, &chip, td).expect("run").iterations;
+        baseline += flow.run_chip_path_wise(&prepared, &chip).iterations;
+    }
+    let reduction = 1.0 - ours as f64 / baseline as f64;
+    assert!(
+        reduction > 0.6,
+        "end-to-end reduction only {:.1}% ({} vs {})",
+        reduction * 100.0,
+        ours,
+        baseline
+    );
+}
+
+#[test]
+fn measured_and_predicted_ranges_cover_true_delays() {
+    let (bench, model) = fixture(8, 2);
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let td = model.nominal_period();
+
+    let mut hits = 0_usize;
+    let mut total = 0_usize;
+    for seed in 0..6 {
+        let chip = model.sample_chip(500 + seed);
+        let outcome = flow.run_chip(&prepared, &chip, td).expect("run");
+        for p in 0..bench.paths.len() {
+            total += 1;
+            let d = chip.setup_delay(p);
+            if outcome.ranges[p].lower - 1e-9 <= d && d <= outcome.ranges[p].upper + 1e-9 {
+                hits += 1;
+            }
+        }
+    }
+    let coverage = hits as f64 / total as f64;
+    assert!(coverage > 0.9, "range coverage too low: {coverage:.3}");
+}
+
+#[test]
+fn yield_ordering_untuned_effitest_ideal() {
+    let (bench, model) = fixture(8, 4);
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model).expect("prepare");
+
+    let periods: Vec<f64> =
+        (0..150).map(|s| model.sample_chip(s).min_period_untuned()).collect();
+    let td = stats::empirical_quantile(&periods, 0.5);
+
+    let n = 60_u64;
+    let (mut untuned, mut ours, mut ideal) = (0, 0, 0);
+    for seed in 0..n {
+        let chip = model.sample_chip(3000 + seed);
+        if untuned_check(&chip, td) {
+            untuned += 1;
+        }
+        if flow.run_chip(&prepared, &chip, td).expect("run").passes {
+            ours += 1;
+        }
+        if ideal_configure_and_check(&model, &prepared.buffers, &chip, td) {
+            ideal += 1;
+        }
+    }
+    assert!(ideal >= ours, "ideal {ideal} must dominate EffiTest {ours}");
+    assert!(ideal > untuned, "tuning must rescue chips at the median period");
+    let drop = (ideal - ours) as f64 / n as f64;
+    assert!(drop < 0.15, "yield drop too large: {drop:.2}");
+}
+
+#[test]
+fn tested_paths_converge_to_epsilon() {
+    let (bench, model) = fixture(8, 6);
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let chip = model.sample_chip(77);
+    let outcome = flow.run_chip(&prepared, &chip, model.nominal_period()).expect("run");
+    let tested = prepared.batches.tested_paths();
+    for &p in &tested {
+        assert!(outcome.measured[p], "tested path {p} not marked measured");
+        assert!(
+            outcome.ranges[p].width() <= prepared.epsilon + 1e-9,
+            "tested path {p} did not converge: width {}",
+            outcome.ranges[p].width()
+        );
+    }
+    // And predicted paths must carry wider (statistical) ranges.
+    let some_predicted = (0..bench.paths.len()).find(|p| !tested.contains(p));
+    if let Some(p) = some_predicted {
+        assert!(outcome.ranges[p].width() > prepared.epsilon);
+    }
+}
+
+#[test]
+fn facade_prelude_compiles_and_runs() {
+    // The README quickstart path, as a test.
+    let spec = BenchmarkSpec::iscas89_s9234().scaled_down(20);
+    let bench = GeneratedBenchmark::generate(&spec, 7);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let chip = model.sample_chip(42);
+    let outcome = flow.run_chip(&prepared, &chip, model.nominal_period()).expect("run");
+    assert!(outcome.iterations > 0);
+}
