@@ -23,18 +23,13 @@ fn print_fig7() {
     let config = bench_config(80);
     println!("\nFig. 7: Yield with enlarged random variation (+10% sigma)");
     println!("(chips per circuit: {})", config.n_chips);
-    let header = format!(
-        "{:<14} {:>10} {:>10} {:>10}",
-        "circuit", "no-buffer", "proposed", "ideal"
-    );
+    let header =
+        format!("{:<14} {:>10} {:>10} {:>10}", "circuit", "no-buffer", "proposed", "ideal");
     println!("{header}");
     effitest_bench::rule(&header);
     for spec in BenchmarkSpec::all_paper_circuits() {
         let r = fig7_row(&spec, &config);
-        println!(
-            "{:<14} {:>10.3} {:>10.3} {:>10.3}",
-            r.name, r.no_buffer, r.proposed, r.ideal
-        );
+        println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", r.name, r.no_buffer, r.proposed, r.ideal);
         println!("  no-buffer |{}|", bar(r.no_buffer));
         println!("  proposed  |{}|", bar(r.proposed));
         println!("  ideal     |{}|", bar(r.ideal));

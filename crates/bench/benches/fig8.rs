@@ -24,13 +24,11 @@ fn bar(value: f64, scale: f64) -> String {
 fn print_fig8() {
     let mut config = bench_config(3);
     // Iteration counts concentrate tightly; a few chips suffice.
-    config.baseline_chips = config.baseline_chips.min(config.n_chips).min(3).max(1);
+    config.baseline_chips = config.baseline_chips.min(config.n_chips).clamp(1, 3);
     println!("\nFig. 8: Test iterations per path without statistical prediction");
     println!("(chips per circuit: {})", config.baseline_chips.min(config.n_chips));
-    let header = format!(
-        "{:<14} {:>10} {:>12} {:>10}",
-        "circuit", "path-wise", "multiplexed", "proposed"
-    );
+    let header =
+        format!("{:<14} {:>10} {:>12} {:>10}", "circuit", "path-wise", "multiplexed", "proposed");
     println!("{header}");
     effitest_bench::rule(&header);
     for spec in BenchmarkSpec::all_paper_circuits() {

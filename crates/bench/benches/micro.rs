@@ -25,9 +25,8 @@ fn fixture() -> (GeneratedBenchmark, TimingModel) {
 }
 
 fn alignment_problem(n_paths: usize, n_buffers: usize) -> AlignmentProblem {
-    let buffers: Vec<BufferVar> = (0..n_buffers)
-        .map(|_| BufferVar { min: -8.0, max: 8.0, steps: 20 })
-        .collect();
+    let buffers: Vec<BufferVar> =
+        (0..n_buffers).map(|_| BufferVar { min: -8.0, max: 8.0, steps: 20 }).collect();
     let paths: Vec<AlignPath> = (0..n_paths)
         .map(|k| AlignPath {
             center: 100.0 + 7.0 * (k as f64) * if k % 2 == 0 { 1.0 } else { -1.0 },
@@ -69,20 +68,16 @@ fn bench_statistics(c: &mut Criterion) {
         });
         let cov = model.covariance_matrix(&idx);
         group.bench_with_input(BenchmarkId::new("pca", n), &cov, |b, cov| {
-            b.iter(|| black_box(Pca::from_covariance(cov).expect("psd").components_for_energy(0.95)))
+            b.iter(|| {
+                black_box(Pca::from_covariance(cov).expect("psd").components_for_energy(0.95))
+            })
         });
         let gauss = model.gaussian(&idx);
         let observed: Vec<usize> = (0..idx.len() / 4).collect();
         let values: Vec<f64> = observed.iter().map(|&i| gauss.mean()[i] + 1.0).collect();
-        group.bench_with_input(
-            BenchmarkId::new("conditional_prediction", n),
-            &gauss,
-            |b, g| {
-                b.iter(|| {
-                    black_box(g.condition(&observed, &values).expect("psd").mean()[0])
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("conditional_prediction", n), &gauss, |b, g| {
+            b.iter(|| black_box(g.condition(&observed, &values).expect("psd").mean()[0]))
+        });
     }
     group.finish();
 
@@ -132,11 +127,7 @@ fn bench_solvers(c: &mut Criterion) {
             }
         })
         .collect();
-    let problem = ConfigProblem {
-        clock_period: model.nominal_period(),
-        paths,
-        buffers,
-    };
+    let problem = ConfigProblem { clock_period: model.nominal_period(), paths, buffers };
     c.bench_function("micro/lattice_config/s13207", |b| {
         b.iter(|| black_box(problem.solve().map(|s| s.xi)))
     });
@@ -156,9 +147,7 @@ fn bench_linalg(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cholesky", n), &a, |b, a| {
             b.iter(|| {
                 black_box(
-                    effitest_linalg::CholeskyDecomposition::new(a)
-                        .expect("spd")
-                        .log_determinant(),
+                    effitest_linalg::CholeskyDecomposition::new(a).expect("spd").log_determinant(),
                 )
             })
         });

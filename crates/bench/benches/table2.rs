@@ -50,12 +50,8 @@ fn bench_configuration(c: &mut Criterion) {
 
     c.bench_function("table2/configure_and_check/s13207", |b| {
         b.iter(|| {
-            let (_, passes, _) = flow.configure_and_check(
-                &prepared,
-                black_box(&chip),
-                &predicted.ranges,
-                td,
-            );
+            let (_, passes, _) =
+                flow.configure_and_check(&prepared, black_box(&chip), &predicted.ranges, td);
             black_box(passes)
         })
     });

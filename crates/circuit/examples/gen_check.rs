@@ -7,8 +7,16 @@ fn main() {
         b.netlist.validate().unwrap();
         b.paths.validate(&b.netlist).unwrap();
         let shorts = b.short_paths.iter().filter(|s| s.is_some()).count();
-        println!("{:14} ns={:5} ng={:6} nb={:3} np={:5} shorts={:5} ({:?})",
-            spec.name, ns, ng, nb, np, shorts, t.elapsed());
+        println!(
+            "{:14} ns={:5} ng={:6} nb={:3} np={:5} shorts={:5} ({:?})",
+            spec.name,
+            ns,
+            ng,
+            nb,
+            np,
+            shorts,
+            t.elapsed()
+        );
         assert_eq!((ns, ng, nb, np), (spec.ns, spec.ng, spec.nb, spec.np));
     }
 }

@@ -118,9 +118,8 @@ pub fn from_text(text: &str) -> Result<(Netlist, PathSet)> {
                                 return Err(parse_err(line, "buffer needs min width steps"));
                             }
                             let b = parse_floats(line, &rest[1..3], 2)?;
-                            let steps: u32 = rest[3]
-                                .parse()
-                                .map_err(|_| parse_err(line, "bad buffer steps"))?;
+                            let steps: u32 =
+                                rest[3].parse().map_err(|_| parse_err(line, "bad buffer steps"))?;
                             if steps < 2 {
                                 return Err(parse_err(line, "buffer needs >= 2 steps"));
                             }
@@ -152,14 +151,16 @@ pub fn from_text(text: &str) -> Result<(Netlist, PathSet)> {
                     .parse()
                     .map_err(|_| parse_err(line, &format!("unknown gate kind `{}`", tokens[1])))?;
                 let v = parse_floats(line, &tokens[2..4], 2)?;
-                let inputs: Vec<Signal> = tokens[4..]
-                    .iter()
-                    .map(|t| parse_signal(line, t))
-                    .collect::<Result<_>>()?;
+                let inputs: Vec<Signal> =
+                    tokens[4..].iter().map(|t| parse_signal(line, t)).collect::<Result<_>>()?;
                 if inputs.len() != kind.input_count() {
                     return Err(parse_err(
                         line,
-                        &format!("{kind} needs {} inputs, found {}", kind.input_count(), inputs.len()),
+                        &format!(
+                            "{kind} needs {} inputs, found {}",
+                            kind.input_count(),
+                            inputs.len()
+                        ),
                     ));
                 }
                 gates.push(Gate::new(kind, Point::new(v[0], v[1]), inputs));
@@ -191,10 +192,8 @@ pub fn from_text(text: &str) -> Result<(Netlist, PathSet)> {
             "min" => PathKind::Min,
             other => return Err(parse_err(line, &format!("unknown path kind `{other}`"))),
         };
-        let gates: Vec<GateId> = tokens[4..]
-            .iter()
-            .map(|t| parse_gate_id(line, t))
-            .collect::<Result<_>>()?;
+        let gates: Vec<GateId> =
+            tokens[4..].iter().map(|t| parse_gate_id(line, t)).collect::<Result<_>>()?;
         paths.add(source, sink, gates, kind);
     }
 

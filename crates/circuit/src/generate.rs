@@ -24,8 +24,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::{
-    FlipFlop, FlipFlopId, Gate, GateId, GateKind, Netlist, PathKind, PathSet, Point, Rect,
-    Signal,
+    FlipFlop, FlipFlopId, Gate, GateId, GateKind, Netlist, PathKind, PathSet, Point, Rect, Signal,
 };
 
 /// Statistics-level description of a benchmark circuit (one row of the
@@ -250,9 +249,8 @@ impl GeneratedBenchmark {
         for b in 0..spec.nb {
             let c = b % n_clusters;
             let loc = random_in(&mut rng, &pools[c].rect);
-            let id = netlist.add_flip_flop(
-                FlipFlop::new(format!("hub{b}"), loc).with_buffer(placeholder),
-            );
+            let id = netlist
+                .add_flip_flop(FlipFlop::new(format!("hub{b}"), loc).with_buffer(placeholder));
             pools[c].ffs.push(id);
             pools[c].hubs.push(id);
         }
@@ -289,10 +287,9 @@ impl GeneratedBenchmark {
         );
 
         // --- Spine pools. ---
-        for c in 0..n_clusters {
-            let share = pool_total / n_clusters
-                + if c < pool_total % n_clusters { 1 } else { 0 };
-            build_spine(&mut rng, &mut netlist, &mut pools[c], share);
+        for (c, pool) in pools.iter_mut().enumerate().take(n_clusters) {
+            let share = pool_total / n_clusters + if c < pool_total % n_clusters { 1 } else { 0 };
+            build_spine(&mut rng, &mut netlist, pool, share);
         }
 
         // --- Required max paths (backward walks through the cones). ---
@@ -308,8 +305,7 @@ impl GeneratedBenchmark {
         // Gates whose side input (input 1) is load-bearing for some placed
         // path (entry flip-flop or an input-1 chain link): the short-path
         // carver must not rewire them.
-        let mut protected: std::collections::HashSet<GateId> =
-            std::collections::HashSet::new();
+        let mut protected: std::collections::HashSet<GateId> = std::collections::HashSet::new();
         // Per-path metadata for short-path construction.
         let mut path_meta: Vec<Option<PathMeta>> = Vec::new();
 
@@ -361,8 +357,7 @@ impl GeneratedBenchmark {
         // Wire every sink flip-flop's D input to its exit gate.
         for (&sink, &(cluster, pos)) in &exit_pos {
             let driver = pools[cluster].spine[pos];
-            netlist.flip_flop_mut(sink).expect("valid id").data_input =
-                Some(Signal::Gate(driver));
+            netlist.flip_flop_mut(sink).expect("valid id").data_input = Some(Signal::Gate(driver));
         }
 
         // --- Outlier paths: hub -> far background FF over a fresh chain. ---
@@ -377,8 +372,7 @@ impl GeneratedBenchmark {
             let chain = build_outlier_chain(&mut rng, &mut netlist, hub, sink, outlier_len, &die);
             let pid = paths.add(hub, sink, chain, PathKind::Max);
             let last = *paths.path(pid).gates.last().expect("chain non-empty");
-            netlist.flip_flop_mut(sink).expect("valid id").data_input =
-                Some(Signal::Gate(last));
+            netlist.flip_flop_mut(sink).expect("valid id").data_input = Some(Signal::Gate(last));
             used_pairs.insert((hub, sink));
             path_meta.push(None);
         }
@@ -392,14 +386,9 @@ impl GeneratedBenchmark {
             let pid = crate::PathId::new(idx as u32);
             let (source, sink) = paths.path(pid).endpoints();
             let chain = paths.path(pid).gates.clone();
-            if let Some(short) = carve_short_path(
-                &mut rng,
-                &mut netlist,
-                &chain,
-                &meta.via1,
-                source,
-                &mut protected,
-            ) {
+            if let Some(short) =
+                carve_short_path(&mut rng, &mut netlist, &chain, &meta.via1, source, &mut protected)
+            {
                 short_paths[idx] = Some(crate::TimedPath {
                     id: pid,
                     source,
@@ -410,12 +399,7 @@ impl GeneratedBenchmark {
             }
         }
 
-        let bench = GeneratedBenchmark {
-            netlist,
-            paths,
-            short_paths,
-            spec: spec.clone(),
-        };
+        let bench = GeneratedBenchmark { netlist, paths, short_paths, spec: spec.clone() };
         debug_assert!(bench.netlist.validate().is_ok());
         debug_assert!(bench.paths.validate(&bench.netlist).is_ok());
         bench
@@ -581,11 +565,8 @@ fn place_cluster_path(
         // Hub entries are sparser than member entries, so hub-sourced (and
         // relaxed) walks may overshoot slightly — but only slightly, or the
         // path would no longer be near-critical.
-        let walk_cap = if need_hub_source || relaxed {
-            spec.max_path_len + 4
-        } else {
-            spec.max_path_len
-        };
+        let walk_cap =
+            if need_hub_source || relaxed { spec.max_path_len + 4 } else { spec.max_path_len };
         let desired = rng.random_range(spec.min_path_len..=spec.max_path_len);
 
         'walk: for _walk in 0..24 {
@@ -600,8 +581,7 @@ fn place_cluster_path(
                 let len = chain_rev.len();
 
                 // Termination: an eligible flip-flop input at this gate.
-                if len >= spec.min_path_len && (len >= desired || rng.random::<f64>() < 0.25)
-                {
+                if len >= spec.min_path_len && (len >= desired || rng.random::<f64>() < 0.25) {
                     let mut term: Option<(FlipFlopId, bool)> = None;
                     for (idx, input) in gate.inputs.iter().enumerate() {
                         if let Signal::Ff(f) = *input {
@@ -616,12 +596,9 @@ fn place_cluster_path(
                     }
                     if let Some((source, via_input1)) = term {
                         // Commit the path.
-                        let positions: Vec<usize> =
-                            chain_rev.iter().rev().copied().collect();
-                        let gates: Vec<GateId> =
-                            positions.iter().map(|&p| pool.spine[p]).collect();
-                        let mut via1: Vec<bool> =
-                            via1_rev.iter().rev().copied().collect();
+                        let positions: Vec<usize> = chain_rev.iter().rev().copied().collect();
+                        let gates: Vec<GateId> = positions.iter().map(|&p| pool.spine[p]).collect();
+                        let mut via1: Vec<bool> = via1_rev.iter().rev().copied().collect();
                         via1[0] = via_input1;
                         // Protect load-bearing side inputs.
                         for (i, &v) in via1.iter().enumerate() {
@@ -631,9 +608,7 @@ fn place_cluster_path(
                         }
                         let _pid = paths.add(source, sink, gates, PathKind::Max);
                         used_pairs.insert((source, sink));
-                        if let std::collections::hash_map::Entry::Vacant(e) =
-                            exit_pos.entry(sink)
-                        {
+                        if let std::collections::hash_map::Entry::Vacant(e) = exit_pos.entry(sink) {
                             e.insert((cluster, exit));
                             positions_taken.insert(exit);
                         }
@@ -728,9 +703,7 @@ fn carve_short_path(
     let n = n.saturating_sub(2).max(lo); // keep at least 3 gates of suffix
     let candidates: Vec<usize> = (lo..n)
         .filter(|&k| {
-            !via1[k]
-                && !protected.contains(&chain[k])
-                && gate_is_two_input(netlist, chain[k])
+            !via1[k] && !protected.contains(&chain[k]) && gate_is_two_input(netlist, chain[k])
         })
         .collect();
     if candidates.is_empty() {

@@ -46,12 +46,7 @@ impl Rect {
     /// Creates a rectangle; coordinates are normalized so `x0 <= x1`,
     /// `y0 <= y1`.
     pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
-        Rect {
-            x0: x0.min(x1),
-            y0: y0.min(y1),
-            x1: x0.max(x1),
-            y1: y0.max(y1),
-        }
+        Rect { x0: x0.min(x1), y0: y0.min(y1), x1: x0.max(x1), y1: y0.max(y1) }
     }
 
     /// Width of the rectangle.

@@ -1,8 +1,6 @@
 use std::fmt;
 
-use crate::{
-    CircuitError, FlipFlopId, Gate, GateId, Point, Rect, Result, TuningBufferSpec,
-};
+use crate::{CircuitError, FlipFlopId, Gate, GateId, Point, Rect, Result, TuningBufferSpec};
 
 /// A signal source: either a flip-flop output or a gate output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,9 +146,7 @@ impl Netlist {
     ///
     /// Returns [`CircuitError::UnknownFlipFlop`] for out-of-range ids.
     pub fn flip_flop(&self, id: FlipFlopId) -> Result<&FlipFlop> {
-        self.ffs
-            .get(id.index())
-            .ok_or(CircuitError::UnknownFlipFlop { id, count: self.ffs.len() })
+        self.ffs.get(id.index()).ok_or(CircuitError::UnknownFlipFlop { id, count: self.ffs.len() })
     }
 
     /// Mutable flip-flop lookup.
@@ -160,9 +156,7 @@ impl Netlist {
     /// Returns [`CircuitError::UnknownFlipFlop`] for out-of-range ids.
     pub fn flip_flop_mut(&mut self, id: FlipFlopId) -> Result<&mut FlipFlop> {
         let count = self.ffs.len();
-        self.ffs
-            .get_mut(id.index())
-            .ok_or(CircuitError::UnknownFlipFlop { id, count })
+        self.ffs.get_mut(id.index()).ok_or(CircuitError::UnknownFlipFlop { id, count })
     }
 
     /// Looks up a gate.
@@ -186,10 +180,7 @@ impl Netlist {
 
     /// Ids of all flip-flops that carry tunable buffers.
     pub fn buffered_flip_flops(&self) -> Vec<FlipFlopId> {
-        self.flip_flops()
-            .filter(|(_, ff)| ff.has_buffer())
-            .map(|(id, _)| id)
-            .collect()
+        self.flip_flops().filter(|(_, ff)| ff.has_buffer()).map(|(id, _)| id).collect()
     }
 
     /// Sets the same buffer range on every buffered flip-flop.
@@ -386,8 +377,7 @@ mod tests {
         let mut n = Netlist::new("t", die());
         let ff = n.add_flip_flop(FlipFlop::new("a", Point::new(1.0, 1.0)));
         let g0 = n.add_gate(Gate::new(GateKind::Inv, Point::new(2.0, 2.0), vec![Signal::Ff(ff)]));
-        let g1 =
-            n.add_gate(Gate::new(GateKind::Buf, Point::new(3.0, 3.0), vec![Signal::Gate(g0)]));
+        let g1 = n.add_gate(Gate::new(GateKind::Buf, Point::new(3.0, 3.0), vec![Signal::Gate(g0)]));
         let d = n.nominal_chain_delay(&[g0, g1]).unwrap();
         assert_eq!(d, GateKind::Inv.nominal_delay() + GateKind::Buf.nominal_delay());
     }

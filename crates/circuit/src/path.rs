@@ -196,15 +196,10 @@ mod tests {
     fn fixture() -> (Netlist, Vec<FlipFlopId>, Vec<GateId>) {
         let mut n = Netlist::new("t", Rect::new(0.0, 0.0, 100.0, 100.0));
         let ffs: Vec<FlipFlopId> = (0..3)
-            .map(|i| {
-                n.add_flip_flop(FlipFlop::new(format!("ff{i}"), Point::new(i as f64, 0.0)))
-            })
+            .map(|i| n.add_flip_flop(FlipFlop::new(format!("ff{i}"), Point::new(i as f64, 0.0))))
             .collect();
-        let g0 = n.add_gate(Gate::new(
-            GateKind::Inv,
-            Point::new(0.0, 1.0),
-            vec![Signal::Ff(ffs[0])],
-        ));
+        let g0 =
+            n.add_gate(Gate::new(GateKind::Inv, Point::new(0.0, 1.0), vec![Signal::Ff(ffs[0])]));
         let g1 = n.add_gate(Gate::new(
             GateKind::Nand2,
             Point::new(1.0, 1.0),
@@ -262,10 +257,7 @@ mod tests {
         // gates[1] does not take ff1 as an input, so starting there breaks
         // the source link.
         set.add(ffs[1], ffs[0], vec![gates[1]], PathKind::Max);
-        assert!(matches!(
-            set.validate(&n),
-            Err(CircuitError::BrokenPathChain { position: 0, .. })
-        ));
+        assert!(matches!(set.validate(&n), Err(CircuitError::BrokenPathChain { position: 0, .. })));
     }
 
     #[test]

@@ -82,11 +82,8 @@ impl PathRequirements {
             let gate = netlist.gate(gid)?;
             // The on-path input: the predecessor gate, or the source
             // flip-flop for the first gate.
-            let on_path = if pos == 0 {
-                Signal::Ff(path.source)
-            } else {
-                Signal::Gate(path.gates[pos - 1])
-            };
+            let on_path =
+                if pos == 0 { Signal::Ff(path.source) } else { Signal::Gate(path.gates[pos - 1]) };
             for &input in &gate.inputs {
                 if input == on_path {
                     continue;
@@ -156,9 +153,7 @@ impl PathRequirements {
                 }
             }
             // Pinned to a different value by the other path?
-            if let Some(&(_, other_val)) =
-                other.stable.iter().find(|(s, _)| *s == sig)
-            {
+            if let Some(&(_, other_val)) = other.stable.iter().find(|(s, _)| *s == sig) {
                 if !val.compatible(other_val) {
                     return true;
                 }
@@ -222,10 +217,8 @@ impl MutualExclusions {
     ///
     /// Propagates requirement-computation errors.
     pub fn build(netlist: &Netlist, paths: &[&TimedPath]) -> Result<Self> {
-        let reqs: Vec<PathRequirements> = paths
-            .iter()
-            .map(|p| PathRequirements::compute(netlist, p))
-            .collect::<Result<_>>()?;
+        let reqs: Vec<PathRequirements> =
+            paths.iter().map(|p| PathRequirements::compute(netlist, p)).collect::<Result<_>>()?;
         let mut excluded = vec![Vec::new(); paths.len()];
         for i in 0..paths.len() {
             for j in (i + 1)..paths.len() {
@@ -275,8 +268,7 @@ mod tests {
 
         // Chain A: f0 -> g0(INV) -> g1(BUF) -> f1.
         let g0 = n.add_gate(Gate::new(GateKind::Inv, Point::new(1.0, 2.0), vec![Signal::Ff(f0)]));
-        let g1 =
-            n.add_gate(Gate::new(GateKind::Buf, Point::new(1.5, 2.0), vec![Signal::Gate(g0)]));
+        let g1 = n.add_gate(Gate::new(GateKind::Buf, Point::new(1.5, 2.0), vec![Signal::Gate(g0)]));
         // Chain B: f2 -> g2(INV) -> f3.
         let g2 = n.add_gate(Gate::new(GateKind::Inv, Point::new(3.0, 2.0), vec![Signal::Ff(f2)]));
         // Gate g3: NAND(f3, g1) — side input taps chain A's output.
@@ -337,16 +329,10 @@ mod tests {
             Point::new(2.0, 2.0),
             vec![Signal::Ff(f0), Signal::Ff(f2)],
         ));
-        let b1 = n.add_gate(Gate::new(
-            GateKind::Buf,
-            Point::new(2.5, 2.0),
-            vec![Signal::Gate(shared)],
-        ));
-        let b2 = n.add_gate(Gate::new(
-            GateKind::Buf,
-            Point::new(2.5, 3.0),
-            vec![Signal::Gate(shared)],
-        ));
+        let b1 =
+            n.add_gate(Gate::new(GateKind::Buf, Point::new(2.5, 2.0), vec![Signal::Gate(shared)]));
+        let b2 =
+            n.add_gate(Gate::new(GateKind::Buf, Point::new(2.5, 3.0), vec![Signal::Gate(shared)]));
         let mut paths = PathSet::new();
         paths.add(f0, f1, vec![shared, b1], PathKind::Max);
         paths.add(f2, f3, vec![shared, b2], PathKind::Max);

@@ -3,9 +3,7 @@ use effitest_circuit::BenchmarkSpec;
 use effitest_core::experiments::{table1_row, ExperimentConfig};
 
 fn main() {
-    let mut c = ExperimentConfig::default();
-    c.n_chips = 20;
-    c.baseline_chips = 2;
+    let c = ExperimentConfig { n_chips: 20, baseline_chips: 2, ..ExperimentConfig::default() };
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(|s| s.as_str()).unwrap_or("s9234");
     let spec = BenchmarkSpec::all_paper_circuits()

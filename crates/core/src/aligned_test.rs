@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use effitest_circuit::FlipFlopId;
-use effitest_solver::align::{AlignPath, AlignmentProblem, BufferVar};
 use effitest_solver::align::{sorted_center_weights, AlignmentSolution};
+use effitest_solver::align::{AlignPath, AlignmentProblem, BufferVar};
 use effitest_ssta::TimingModel;
 use effitest_tester::{DelayBounds, VirtualTester};
 
@@ -205,9 +205,7 @@ fn test_one_batch(
 
         // --- Update bounds; retire converged paths. ---
         let mut progressed = false;
-        for ((&p, &(_, shift)), &passed) in
-            active.iter().zip(&probes).zip(&results)
-        {
+        for ((&p, &(_, shift)), &passed) in active.iter().zip(&probes).zip(&results) {
             let b = bounds.get_mut(&p).expect("bounds exist for active path");
             let before = b.width();
             b.update(solution.period, shift, passed);
@@ -225,10 +223,7 @@ fn test_one_batch(
             let &widest = active
                 .iter()
                 .max_by(|&&a, &&b| {
-                    bounds[&a]
-                        .width()
-                        .partial_cmp(&bounds[&b].width())
-                        .expect("finite widths")
+                    bounds[&a].width().partial_cmp(&bounds[&b].width()).expect("finite widths")
                 })
                 .expect("non-empty active set");
             let period = bounds[&widest].center();
@@ -261,9 +256,8 @@ mod tests {
     }
 
     fn default_epsilon(model: &TimingModel) -> f64 {
-        let max_width = (0..model.path_count())
-            .map(|p| 6.0 * model.path_sigma(p))
-            .fold(0.0_f64, f64::max);
+        let max_width =
+            (0..model.path_count()).map(|p| 6.0 * model.path_sigma(p)).fold(0.0_f64, f64::max);
         max_width / 512.0
     }
 
@@ -279,17 +273,10 @@ mod tests {
 
         let chip = model.sample_chip(7);
         let mut tester = VirtualTester::new(&chip);
-        let config = AlignedTestConfig {
-            epsilon: default_epsilon(&model),
-            ..AlignedTestConfig::default()
-        };
-        let result = run_aligned_test(
-            &model,
-            &mut tester,
-            &batches,
-            &HoldBounds::default(),
-            &config,
-        );
+        let config =
+            AlignedTestConfig { epsilon: default_epsilon(&model), ..AlignedTestConfig::default() };
+        let result =
+            run_aligned_test(&model, &mut tester, &batches, &HoldBounds::default(), &config);
 
         assert_eq!(result.bounds.len(), selected.len());
         for (&p, b) in &result.bounds {
@@ -379,10 +366,7 @@ mod tests {
         let width_of = |p: usize| 6.0 * model.path_sigma(p);
         crate::batch::fill_slots(&oracle, &mut batches, &candidates, Some(6), &width_of);
         let tested: Vec<usize> = batches.iter().flatten().copied().collect();
-        assert!(
-            batches.iter().any(|b| b.len() >= 2),
-            "fixture produced only singleton batches"
-        );
+        assert!(batches.iter().any(|b| b.len() >= 2), "fixture produced only singleton batches");
         let epsilon = default_epsilon(&model);
 
         let chip = model.sample_chip(11);
@@ -400,8 +384,7 @@ mod tests {
         let mut pw_iters = 0;
         for &p in &tested {
             let mut b = DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), 3.0);
-            pw_iters +=
-                effitest_tester::path_wise_binary_search(&mut tester2, p, &mut b, epsilon);
+            pw_iters += effitest_tester::path_wise_binary_search(&mut tester2, p, &mut b, epsilon);
         }
         assert!(
             aligned.iterations < pw_iters,
@@ -436,11 +419,7 @@ mod tests {
             &mut t2,
             &batches,
             &HoldBounds::default(),
-            &AlignedTestConfig {
-                epsilon,
-                exact_alignment: true,
-                ..AlignedTestConfig::default()
-            },
+            &AlignedTestConfig { epsilon, exact_alignment: true, ..AlignedTestConfig::default() },
         );
         // Both must converge; iteration counts should be comparable.
         assert_eq!(fast.bounds.len(), exact.bounds.len());

@@ -66,12 +66,10 @@ impl<'a> ConflictOracle<'a> {
     ///
     /// Panics if a path index is out of range for the benchmark.
     pub fn new(bench: &'a GeneratedBenchmark, paths: &[usize]) -> Self {
-        let refs: Vec<&effitest_circuit::TimedPath> = paths
-            .iter()
-            .map(|&p| bench.paths.path(PathId::new(p as u32)))
-            .collect();
-        let exclusions = MutualExclusions::build(&bench.netlist, &refs)
-            .expect("generated paths are valid");
+        let refs: Vec<&effitest_circuit::TimedPath> =
+            paths.iter().map(|&p| bench.paths.path(PathId::new(p as u32))).collect();
+        let exclusions =
+            MutualExclusions::build(&bench.netlist, &refs).expect("generated paths are valid");
         let position = paths.iter().enumerate().map(|(pos, &p)| (p, pos)).collect();
         ConflictOracle { bench, exclusions, position, paths: paths.to_vec() }
     }
@@ -126,9 +124,7 @@ pub fn build_batches(
     match widths {
         Some(w) => {
             order.sort_by(|&a, &b| {
-                w[b].partial_cmp(&w[a])
-                    .expect("finite widths")
-                    .then(selected[a].cmp(&selected[b]))
+                w[b].partial_cmp(&w[a]).expect("finite widths").then(selected[a].cmp(&selected[b]))
             });
         }
         None => {
@@ -141,9 +137,7 @@ pub fn build_batches(
                     }
                 }
             }
-            order.sort_by(|&a, &b| {
-                degree[b].cmp(&degree[a]).then(selected[a].cmp(&selected[b]))
-            });
+            order.sort_by(|&a, &b| degree[b].cmp(&degree[a]).then(selected[a].cmp(&selected[b])));
         }
     }
 
@@ -162,10 +156,7 @@ pub fn build_batches(
                     .min_by(|(a, _), (b, _)| {
                         let ma = batch_widths[*a].0 / batch_widths[*a].1 as f64;
                         let mb = batch_widths[*b].0 / batch_widths[*b].1 as f64;
-                        (ma - width)
-                            .abs()
-                            .partial_cmp(&(mb - width).abs())
-                            .expect("finite widths")
+                        (ma - width).abs().partial_cmp(&(mb - width).abs()).expect("finite widths")
                     })
                     .map(|(i, _)| i)
             }
@@ -198,23 +189,18 @@ pub fn build_batches(
 /// candidate is used at most once.
 pub fn fill_slots(
     oracle: &ConflictOracle<'_>,
-    batches: &mut Vec<Vec<usize>>,
+    batches: &mut [Vec<usize>],
     candidates: &[(usize, f64, f64)],
     capacity: Option<usize>,
     widths_of_batched: &dyn Fn(usize) -> f64,
 ) -> Vec<usize> {
-    let cap = capacity
-        .unwrap_or_else(|| batches.iter().map(Vec::len).max().unwrap_or(0))
-        .max(1);
+    let cap = capacity.unwrap_or_else(|| batches.iter().map(Vec::len).max().unwrap_or(0)).max(1);
     let mut ranked: Vec<(usize, f64, f64)> = candidates.to_vec();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sigmas"));
-    let mut used: std::collections::HashSet<usize> =
-        batches.iter().flatten().copied().collect();
+    let mut used: std::collections::HashSet<usize> = batches.iter().flatten().copied().collect();
     let mut filled = Vec::new();
-    let mut means: Vec<(f64, usize)> = batches
-        .iter()
-        .map(|b| (b.iter().map(|&p| widths_of_batched(p)).sum(), b.len()))
-        .collect();
+    let mut means: Vec<(f64, usize)> =
+        batches.iter().map(|b| (b.iter().map(|&p| widths_of_batched(p)).sum(), b.len())).collect();
 
     for (p, _sigma, width) in ranked {
         if used.contains(&p) {
@@ -224,15 +210,14 @@ pub fn fill_slots(
             .iter()
             .enumerate()
             .filter(|(i, batch)| {
-                batch.len() < cap && batch.iter().all(|&q| !oracle.conflicts(p, q)) && means[*i].1 > 0
+                batch.len() < cap
+                    && batch.iter().all(|&q| !oracle.conflicts(p, q))
+                    && means[*i].1 > 0
             })
             .min_by(|(a, _), (b, _)| {
                 let ma = means[*a].0 / means[*a].1 as f64;
                 let mb = means[*b].0 / means[*b].1 as f64;
-                (ma - width)
-                    .abs()
-                    .partial_cmp(&(mb - width).abs())
-                    .expect("finite widths")
+                (ma - width).abs().partial_cmp(&(mb - width).abs()).expect("finite widths")
             })
             .map(|(i, _)| i);
         if let Some(b) = slot {
@@ -272,9 +257,7 @@ pub fn predicted_sigmas(
         // Observed values do not matter for the variance (eq. 5); condition
         // at the mean.
         let values: Vec<f64> = sel_pos.iter().map(|&pos| gauss.mean()[pos]).collect();
-        let cond = gauss
-            .condition(&sel_pos, &values)
-            .expect("group covariance is PSD");
+        let cond = gauss.condition(&sel_pos, &values).expect("group covariance is PSD");
         let remaining = gauss.remaining_indices(&sel_pos);
         for (cpos, &mpos) in remaining.iter().enumerate() {
             let sigma = cond.covariance()[(cpos, cpos)].max(0.0).sqrt();
@@ -317,10 +300,7 @@ mod tests {
             for batch in &batches {
                 for (i, &a) in batch.iter().enumerate() {
                     for &b in &batch[i + 1..] {
-                        assert!(
-                            !oracle.conflicts(a, b),
-                            "conflicting pair ({a}, {b}) in batch"
-                        );
+                        assert!(!oracle.conflicts(a, b), "conflicting pair ({a}, {b}) in batch");
                     }
                 }
             }
@@ -414,10 +394,7 @@ mod tests {
         let all: Vec<usize> = (0..model.path_count()).collect();
         let oracle = ConflictOracle::new(&bench, &all);
         let batches = build_batches(&oracle, &selected, None);
-        assert!(
-            batches.len() <= selected.len(),
-            "coloring can never exceed one batch per path"
-        );
+        assert!(batches.len() <= selected.len(), "coloring can never exceed one batch per path");
     }
 
     #[test]
@@ -452,10 +429,7 @@ mod tests {
 
     #[test]
     fn tested_paths_dedup() {
-        let b = Batches {
-            batches: vec![vec![3, 1], vec![2, 1]],
-            slot_filled: vec![],
-        };
+        let b = Batches { batches: vec![vec![3, 1], vec![2, 1]], slot_filled: vec![] };
         assert_eq!(b.tested_paths(), vec![1, 2, 3]);
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());

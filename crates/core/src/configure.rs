@@ -90,11 +90,7 @@ pub fn configure(problem: &ConfigProblem) -> Option<ConfigSolution> {
 }
 
 /// Per-path shifts `x_i - x_j` induced by a buffer assignment.
-pub fn shifts_for(
-    model: &TimingModel,
-    buffers: &BufferIndex,
-    buffer_values: &[f64],
-) -> Vec<f64> {
+pub fn shifts_for(model: &TimingModel, buffers: &BufferIndex, buffer_values: &[f64]) -> Vec<f64> {
     (0..model.path_count())
         .map(|p| {
             let (src, snk) = model.endpoints(p);
@@ -201,11 +197,7 @@ mod tests {
                 // Hand-build with exact hold bounds.
                 let spec = model.buffer_spec();
                 let buffer_vars: Vec<BufferVar> = (0..buffers.len())
-                    .map(|_| BufferVar {
-                        min: spec.min(),
-                        max: spec.max(),
-                        steps: spec.steps(),
-                    })
+                    .map(|_| BufferVar { min: spec.min(), max: spec.max(), steps: spec.steps() })
                     .collect();
                 let paths: Vec<ConfigPath> = (0..model.path_count())
                     .map(|p| {
@@ -255,10 +247,7 @@ mod tests {
                 ideal += 1;
             }
         }
-        assert!(
-            ideal >= untuned,
-            "ideal tuning ({ideal}) must not lose to no tuning ({untuned})"
-        );
+        assert!(ideal >= untuned, "ideal tuning ({ideal}) must not lose to no tuning ({untuned})");
         // At the median period roughly half the chips fail untuned; tuning
         // should rescue a visible fraction.
         assert!(ideal > untuned, "tuning rescued no chip at the median period");
@@ -270,10 +259,10 @@ mod tests {
         let buffers = BufferIndex::new(&model);
         let values: Vec<f64> = (0..buffers.len()).map(|i| i as f64).collect();
         let shifts = shifts_for(&model, &buffers, &values);
-        for p in 0..model.path_count() {
+        for (p, &shift) in shifts.iter().enumerate() {
             let (src, snk) = model.endpoints(p);
             if buffers.of(src).is_none() && buffers.of(snk).is_none() {
-                assert_eq!(shifts[p], 0.0);
+                assert_eq!(shift, 0.0);
             }
         }
     }

@@ -198,8 +198,7 @@ pub fn table2_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Table2Row 
             if ideal_configure_and_check(&model, &prepared.buffers, chip, td) {
                 yi[slot] += 1;
             }
-            let (_, passes, _) =
-                flow.configure_and_check(&prepared, chip, &predicted.ranges, td);
+            let (_, passes, _) = flow.configure_and_check(&prepared, chip, &predicted.ranges, td);
             if passes {
                 yt[slot] += 1;
             }
@@ -335,9 +334,8 @@ mod tests {
     use super::*;
 
     fn quick_config() -> ExperimentConfig {
-        let mut c = ExperimentConfig::default();
-        c.n_chips = 8;
-        c.baseline_chips = 2;
+        let mut c =
+            ExperimentConfig { n_chips: 8, baseline_chips: 2, ..ExperimentConfig::default() };
         c.flow.hold.samples = 32;
         c
     }

@@ -228,9 +228,8 @@ mod tests {
         let mut pass = 0;
         for c in 0..n {
             let chip = m.sample_chip(10_000 + c);
-            let ok = bounds
-                .iter()
-                .all(|(p, lam)| chip.hold_bound(p).expect("hold path") <= lam + 1e-12);
+            let ok =
+                bounds.iter().all(|(p, lam)| chip.hold_bound(p).expect("hold path") <= lam + 1e-12);
             if ok {
                 pass += 1;
             }
@@ -246,14 +245,10 @@ mod tests {
     #[test]
     fn discards_reduce_total() {
         let m = model();
-        let strict = compute_hold_bounds(
-            &m,
-            &HoldConfig { yield_target: 1.0, samples: 128, seed: 5 },
-        );
-        let relaxed = compute_hold_bounds(
-            &m,
-            &HoldConfig { yield_target: 0.9, samples: 128, seed: 5 },
-        );
+        let strict =
+            compute_hold_bounds(&m, &HoldConfig { yield_target: 1.0, samples: 128, seed: 5 });
+        let relaxed =
+            compute_hold_bounds(&m, &HoldConfig { yield_target: 0.9, samples: 128, seed: 5 });
         assert!(relaxed.total() <= strict.total() + 1e-9);
     }
 
@@ -296,10 +291,8 @@ mod tests {
     #[test]
     fn zero_samples_and_no_hold_paths_are_safe() {
         let m = model();
-        let empty = compute_hold_bounds(
-            &m,
-            &HoldConfig { yield_target: 0.99, samples: 0, seed: 1 },
-        );
+        let empty =
+            compute_hold_bounds(&m, &HoldConfig { yield_target: 0.99, samples: 0, seed: 1 });
         assert!(empty.is_empty());
         assert_eq!(empty.lambda(0), None);
         assert_eq!(empty.total(), 0.0);

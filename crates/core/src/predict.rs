@@ -54,12 +54,8 @@ pub fn predict_ranges(
 
     for group in groups {
         // Observed members of this group (selected or slot-filled).
-        let observed: Vec<usize> = group
-            .members
-            .iter()
-            .copied()
-            .filter(|p| tested.contains_key(p))
-            .collect();
+        let observed: Vec<usize> =
+            group.members.iter().copied().filter(|p| tested.contains_key(p)).collect();
         if observed.is_empty() || observed.len() == group.members.len() {
             continue;
         }
@@ -75,9 +71,7 @@ pub fn predict_ranges(
         // §3.4: "we use the upper bounds of d_t so that the estimated
         // delays are conservative").
         let values: Vec<f64> = observed.iter().map(|p| tested[p].upper).collect();
-        let cond = gauss
-            .condition(&obs_pos, &values)
-            .expect("group covariance is PSD");
+        let cond = gauss.condition(&obs_pos, &values).expect("group covariance is PSD");
         let remaining = gauss.remaining_indices(&obs_pos);
         for (cpos, &mpos) in remaining.iter().enumerate() {
             let p = group.members[mpos];
@@ -225,9 +219,7 @@ mod tests {
                     continue;
                 }
                 comparable += 1;
-                if predicted_hi.ranges[p].center()
-                    >= predicted_center.ranges[p].center() - 1e-9
-                {
+                if predicted_hi.ranges[p].center() >= predicted_center.ranges[p].center() - 1e-9 {
                     higher += 1;
                 }
             }
@@ -245,8 +237,7 @@ mod tests {
         let (_, model, groups) = fixture();
         let predicted = predict_ranges(&model, &groups, &HashMap::new(), 3.0);
         for p in 0..model.path_count() {
-            let prior =
-                DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), 3.0);
+            let prior = DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), 3.0);
             assert_eq!(predicted.ranges[p], prior);
             assert!(!predicted.measured[p]);
         }

@@ -89,12 +89,7 @@ pub fn select_paths(model: &TimingModel, config: &SelectConfig) -> Vec<PathGroup
             // Chunk oversized groups to keep the PCA tractable.
             let cap = config.max_group_size.max(2);
             for chunk in members.chunks(cap) {
-                groups.push(make_group(
-                    model,
-                    chunk.to_vec(),
-                    threshold,
-                    config.pca_energy,
-                ));
+                groups.push(make_group(model, chunk.to_vec(), threshold, config.pca_energy));
             }
             remaining = rest;
         }
@@ -121,12 +116,7 @@ fn make_group(
     pca_energy: f64,
 ) -> PathGroup {
     if members.len() == 1 {
-        return PathGroup {
-            selected: members.clone(),
-            members,
-            threshold,
-            n_pcs: 1,
-        };
+        return PathGroup { selected: members.clone(), members, threshold, n_pcs: 1 };
     }
     let cov = model.covariance_matrix(&members);
     let pca = Pca::from_covariance(&cov).expect("model covariances are symmetric");
@@ -246,14 +236,9 @@ mod tests {
     #[test]
     fn energy_threshold_controls_selection_size() {
         let m = model();
-        let tight = select_paths(
-            &m,
-            &SelectConfig { pca_energy: 0.999, ..SelectConfig::default() },
-        );
-        let loose = select_paths(
-            &m,
-            &SelectConfig { pca_energy: 0.5, ..SelectConfig::default() },
-        );
+        let tight =
+            select_paths(&m, &SelectConfig { pca_energy: 0.999, ..SelectConfig::default() });
+        let loose = select_paths(&m, &SelectConfig { pca_energy: 0.5, ..SelectConfig::default() });
         assert!(selected_count(&loose) <= selected_count(&tight));
     }
 

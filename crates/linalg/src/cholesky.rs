@@ -155,16 +155,16 @@ impl CholeskyDecomposition {
         let mut y = b.to_vec();
         for i in 0..n {
             let mut sum = y[i];
-            for j in 0..i {
-                sum -= self.l[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                sum -= self.l[(i, j)] * yj;
             }
             y[i] = sum / self.l[(i, i)];
         }
         // Back substitution: L^T x = y.
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for j in (i + 1)..n {
-                sum -= self.l[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(j, i)] * yj;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -225,12 +225,12 @@ impl CholeskyDecomposition {
             });
         }
         let mut out = vec![0.0; n];
-        for i in 0..n {
+        for (i, o) in out.iter_mut().enumerate() {
             let mut sum = 0.0;
-            for j in 0..=i {
-                sum += self.l[(i, j)] * v[j];
+            for (j, &vj) in v.iter().enumerate().take(i + 1) {
+                sum += self.l[(i, j)] * vj;
             }
-            out[i] = sum;
+            *o = sum;
         }
         Ok(out)
     }

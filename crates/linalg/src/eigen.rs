@@ -165,9 +165,7 @@ impl SymmetricEigen {
                 scaled[(i, j)] *= self.eigenvalues[j];
             }
         }
-        scaled
-            .matmul(&self.eigenvectors.transpose())
-            .expect("shapes agree by construction")
+        scaled.matmul(&self.eigenvectors.transpose()).expect("shapes agree by construction")
     }
 }
 
@@ -231,8 +229,7 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, 2.0, 0.2], &[0.5, 0.2, 1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, 2.0, 0.2], &[0.5, 0.2, 1.0]]).unwrap();
         let eig = SymmetricEigen::new(&a).unwrap();
         let sum: f64 = eig.eigenvalues().iter().sum();
         assert!((sum - a.trace().unwrap()).abs() < 1e-10);

@@ -84,17 +84,15 @@ impl fmt::Display for LinalgError {
             LinalgError::Singular { pivot } => {
                 write!(f, "matrix is singular at pivot {pivot}")
             }
-            LinalgError::NotPositiveDefinite { pivot, value } => write!(
-                f,
-                "matrix is not positive definite (diagonal {pivot} has value {value:e})"
-            ),
+            LinalgError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix is not positive definite (diagonal {pivot} has value {value:e})")
+            }
             LinalgError::NoConvergence { algorithm, iterations } => {
                 write!(f, "{algorithm} did not converge after {iterations} iterations")
             }
-            LinalgError::RaggedRows { expected, row, found } => write!(
-                f,
-                "ragged rows: row 0 has {expected} entries but row {row} has {found}"
-            ),
+            LinalgError::RaggedRows { expected, row, found } => {
+                write!(f, "ragged rows: row 0 has {expected} entries but row {row} has {found}")
+            }
             LinalgError::Empty => write!(f, "empty matrix or vector"),
             LinalgError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds (size {bound})")

@@ -139,20 +139,14 @@ impl MultivariateGaussian {
         let chol = CholeskyDecomposition::new_regularized(&sigma_t)?;
 
         // innovation = d_t - mu_t
-        let innovation: Vec<f64> = observed_idx
-            .iter()
-            .zip(observed_values)
-            .map(|(&i, &v)| v - self.mean[i])
-            .collect();
+        let innovation: Vec<f64> =
+            observed_idx.iter().zip(observed_values).map(|(&i, &v)| v - self.mean[i]).collect();
 
         // w = Sigma_t^{-1} (d_t - mu_t); mu' = mu_k + Sigma_kt w.
         let w = chol.solve_vec(&innovation)?;
         let shift = sigma_kt.matvec(&w)?;
-        let mean: Vec<f64> = remaining
-            .iter()
-            .zip(&shift)
-            .map(|(&i, &s)| self.mean[i] + s)
-            .collect();
+        let mean: Vec<f64> =
+            remaining.iter().zip(&shift).map(|(&i, &s)| self.mean[i] + s).collect();
 
         // Sigma' = Sigma_k - Sigma_kt Sigma_t^{-1} Sigma_tk.
         let sigma_k = self.covariance.submatrix(&remaining, &remaining)?;
@@ -193,9 +187,11 @@ impl MultivariateGaussian {
         if target >= self.dim() || observed_idx.contains(&target) {
             return Err(LinalgError::IndexOutOfBounds { index: target, bound: self.dim() });
         }
-        let cond = self
-            .marginal(&Self::union_sorted(target, observed_idx))?
-            .condition_on_mapped(target, observed_idx, observed_values)?;
+        let cond = self.marginal(&Self::union_sorted(target, observed_idx))?.condition_on_mapped(
+            target,
+            observed_idx,
+            observed_values,
+        )?;
         Ok(cond)
     }
 
@@ -228,12 +224,8 @@ mod tests {
 
     fn three_var() -> MultivariateGaussian {
         // Correlated triple with known structure.
-        let cov = Matrix::from_rows(&[
-            &[4.0, 1.8, 0.4],
-            &[1.8, 1.0, 0.3],
-            &[0.4, 0.3, 2.0],
-        ])
-        .unwrap();
+        let cov =
+            Matrix::from_rows(&[&[4.0, 1.8, 0.4], &[1.8, 1.0, 0.3], &[0.4, 0.3, 2.0]]).unwrap();
         MultivariateGaussian::new(vec![1.0, 2.0, 3.0], cov).unwrap()
     }
 

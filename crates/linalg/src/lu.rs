@@ -114,15 +114,15 @@ impl LuDecomposition {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum;
         }
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum / self.lu[(i, i)];
         }
@@ -184,8 +184,8 @@ mod tests {
 
     #[test]
     fn solves_small_system() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let b = [8.0, -11.0, -3.0];
         let lu = LuDecomposition::new(&a).unwrap();
         let x = lu.solve_vec(&b).unwrap();
@@ -216,8 +216,8 @@ mod tests {
 
     #[test]
     fn determinant_matches_cofactor_expansion() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
         let det = LuDecomposition::new(&a).unwrap().determinant();
         assert!((det - (-3.0)).abs() < 1e-12);
     }

@@ -242,9 +242,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>()
-            })
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -262,13 +260,13 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let vi = v[i];
+        for (i, &vi) in v.iter().enumerate() {
             if vi == 0.0 {
                 continue;
             }
-            for j in 0..self.cols {
-                out[j] += vi * self.data[i * self.cols + j];
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += vi * a;
             }
         }
         Ok(out)
@@ -599,8 +597,7 @@ mod tests {
 
     #[test]
     fn submatrix_reorders_and_repeats() {
-        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]])
-            .unwrap();
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
         let s = m.submatrix(&[2, 0], &[1, 1]).unwrap();
         assert_eq!(s, Matrix::from_rows(&[&[8.0, 8.0], &[2.0, 2.0]]).unwrap());
         assert!(m.submatrix(&[3], &[0]).is_err());
@@ -618,8 +615,8 @@ mod tests {
 
     #[test]
     fn gram_equals_explicit_product() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 3.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 3.0]]).unwrap();
         let g = a.gram();
         let explicit = a.matmul(&a.transpose()).unwrap();
         assert!((&g - &explicit).max_abs() < 1e-12);

@@ -153,10 +153,7 @@ pub fn sorted_center_weights(centers: &[f64], k0: f64, kd: f64) -> Vec<f64> {
 impl AlignmentProblem {
     /// Objective value for a period and buffer assignment.
     pub fn objective(&self, period: f64, x: &[f64]) -> f64 {
-        self.paths
-            .iter()
-            .map(|p| p.weight * (period - (p.center + p.shift(x))).abs())
-            .sum()
+        self.paths.iter().map(|p| p.weight * (period - (p.center + p.shift(x))).abs()).sum()
     }
 
     /// `true` if `x` lies on every buffer's discrete grid (within `tol`)
@@ -193,8 +190,7 @@ impl AlignmentProblem {
         assert_eq!(init.len(), self.buffers.len());
         let zeros: Vec<f64> = self.buffers.iter().map(|b| b.value(b.nearest(0.0))).collect();
         let lows: Vec<f64> = self.buffers.iter().map(|b| b.value(0)).collect();
-        let highs: Vec<f64> =
-            self.buffers.iter().map(|b| b.value(b.steps - 1)).collect();
+        let highs: Vec<f64> = self.buffers.iter().map(|b| b.value(b.steps - 1)).collect();
         let mut best: Option<AlignmentSolution> = None;
         for seed in [init.to_vec(), zeros, lows, highs] {
             let sol = self.descend_from(&seed);
@@ -314,20 +310,13 @@ impl AlignmentProblem {
             .enumerate()
             .map(|(b, buf)| buf.value(sol.values[1 + b].round() as u32))
             .collect();
-        Some(AlignmentSolution {
-            period: sol.values[0],
-            buffer_values,
-            objective: sol.objective,
-        })
+        Some(AlignmentSolution { period: sol.values[0], buffer_values, objective: sol.objective })
     }
 
     /// Optimal period for fixed buffers: weighted median of shifted centers.
     fn best_period(&self, x: &[f64]) -> f64 {
-        let pts: Vec<(f64, f64)> = self
-            .paths
-            .iter()
-            .map(|p| (p.center + p.shift(x), p.weight))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            self.paths.iter().map(|p| (p.center + p.shift(x), p.weight)).collect();
         weighted_median(&pts).unwrap_or(0.0)
     }
 
@@ -537,8 +526,7 @@ mod tests {
         let cases = 25;
         for _case in 0..cases {
             let nb = 1 + (next() as usize) % 2; // 1-2 buffers
-            let buffers: Vec<BufferVar> =
-                (0..nb).map(|_| buf(-2.0, 2.0, 9)).collect();
+            let buffers: Vec<BufferVar> = (0..nb).map(|_| buf(-2.0, 2.0, 9)).collect();
             let np = 2 + (next() as usize) % 3;
             let paths: Vec<AlignPath> = (0..np)
                 .map(|_| {

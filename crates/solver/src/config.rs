@@ -93,11 +93,7 @@ impl ConfigProblem {
         if let Some(x) = self.feasible(0.0, delta) {
             return Some(self.finish(0.0, x));
         }
-        let xi_max = self
-            .paths
-            .iter()
-            .map(|p| p.upper - p.lower)
-            .fold(0.0_f64, f64::max);
+        let xi_max = self.paths.iter().map(|p| p.upper - p.lower).fold(0.0_f64, f64::max);
         let x_at_max = self.feasible(xi_max, delta)?;
         // Binary search the smallest feasible xi.
         let mut lo = 0.0;
@@ -219,9 +215,7 @@ impl ConfigProblem {
         self.paths.iter().all(|p| {
             let assumed = p.lower.max(p.upper - xi);
             let setup = assumed + p.shift(x) <= self.clock_period + tol;
-            let hold = p
-                .hold_lower_bound
-                .is_none_or(|lambda| p.shift(x) >= lambda - tol);
+            let hold = p.hold_lower_bound.is_none_or(|lambda| p.shift(x) >= lambda - tol);
             setup && hold
         })
     }
@@ -296,7 +290,9 @@ impl ConfigProblem {
             self.buffers
                 .iter()
                 .enumerate()
-                .map(|(b, buf)| buf.value(k[1 + b].round().clamp(0.0, (buf.steps - 1) as f64) as u32))
+                .map(|(b, buf)| {
+                    buf.value(k[1 + b].round().clamp(0.0, (buf.steps - 1) as f64) as u32)
+                })
                 .collect(),
         )
     }
@@ -312,11 +308,7 @@ impl ConfigProblem {
     fn finish(&self, xi: f64, buffer_values: Vec<f64>) -> ConfigSolution {
         ConfigSolution {
             xi,
-            assumed_delays: self
-                .paths
-                .iter()
-                .map(|p| p.lower.max(p.upper - xi))
-                .collect(),
+            assumed_delays: self.paths.iter().map(|p| p.lower.max(p.upper - xi)).collect(),
             buffer_values,
         }
     }
@@ -330,19 +322,8 @@ mod tests {
         BufferVar { min, max, steps }
     }
 
-    fn cpath(
-        lower: f64,
-        upper: f64,
-        src: Option<usize>,
-        snk: Option<usize>,
-    ) -> ConfigPath {
-        ConfigPath {
-            lower,
-            upper,
-            source_buffer: src,
-            sink_buffer: snk,
-            hold_lower_bound: None,
-        }
+    fn cpath(lower: f64, upper: f64, src: Option<usize>, snk: Option<usize>) -> ConfigPath {
+        ConfigPath { lower, upper, source_buffer: src, sink_buffer: snk, hold_lower_bound: None }
     }
 
     #[test]
@@ -407,15 +388,13 @@ mod tests {
         // the rescue is capped and xi must absorb the rest.
         let problem = ConfigProblem {
             clock_period: 10.0,
-            paths: vec![
-                ConfigPath {
-                    lower: 9.0,
-                    upper: 12.0,
-                    source_buffer: None,
-                    sink_buffer: Some(0),
-                    hold_lower_bound: Some(-1.0),
-                },
-            ],
+            paths: vec![ConfigPath {
+                lower: 9.0,
+                upper: 12.0,
+                source_buffer: None,
+                sink_buffer: Some(0),
+                hold_lower_bound: Some(-1.0),
+            }],
             buffers: vec![buf(-2.0, 2.0, 21)],
         };
         let sol = problem.solve().expect("feasible");
@@ -457,12 +436,7 @@ mod tests {
             match (lattice, milp) {
                 (None, None) => {}
                 (Some(a), Some(b)) => {
-                    assert!(
-                        (a.xi - b.xi).abs() < 1e-5,
-                        "lattice xi {} vs milp xi {}",
-                        a.xi,
-                        b.xi
-                    );
+                    assert!((a.xi - b.xi).abs() < 1e-5, "lattice xi {} vs milp xi {}", a.xi, b.xi);
                     assert!(problem.is_feasible_config(&a.buffer_values, a.xi + 1e-9, 1e-6));
                 }
                 (a, b) => panic!("feasibility disagreement: lattice {a:?} vs milp {b:?}"),
@@ -486,11 +460,8 @@ mod tests {
 
     #[test]
     fn empty_problem_is_trivially_feasible() {
-        let problem = ConfigProblem {
-            clock_period: 1.0,
-            paths: vec![],
-            buffers: vec![buf(-1.0, 1.0, 5)],
-        };
+        let problem =
+            ConfigProblem { clock_period: 1.0, paths: vec![], buffers: vec![buf(-1.0, 1.0, 5)] };
         let sol = problem.solve().expect("feasible");
         assert_eq!(sol.xi, 0.0);
         assert_eq!(sol.buffer_values.len(), 1);

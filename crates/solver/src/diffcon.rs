@@ -119,8 +119,7 @@ impl DifferenceSystem {
 
     /// Verifies a candidate assignment against all constraints.
     pub fn is_satisfied(&self, x: &[f64], tol: f64) -> bool {
-        x.len() == self.n
-            && self.edges.iter().all(|&(u, v, w)| x[u] - x[v] <= w + tol)
+        x.len() == self.n && self.edges.iter().all(|&(u, v, w)| x[u] - x[v] <= w + tol)
     }
 }
 

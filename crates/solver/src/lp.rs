@@ -49,10 +49,13 @@ pub struct LinearProgram {
     n: usize,
     objective: Vec<f64>,
     maximize: bool,
-    rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)>,
+    rows: Vec<RawRow>,
     lower: Vec<f64>,
     upper: Vec<f64>,
 }
+
+/// One user-level constraint: sparse terms, operator, right-hand side.
+type RawRow = (Vec<(usize, f64)>, ConstraintOp, f64);
 
 const EPS: f64 = 1e-9;
 const MAX_ITER: usize = 20_000;
@@ -155,8 +158,8 @@ impl LinearProgram {
         if x.len() != self.n {
             return false;
         }
-        for j in 0..self.n {
-            if x[j] < self.lower[j] - tol || x[j] > self.upper[j] + tol {
+        for ((&xj, &lo), &hi) in x.iter().zip(&self.lower).zip(&self.upper) {
+            if xj < lo - tol || xj > hi + tol {
                 return false;
             }
         }
@@ -222,7 +225,7 @@ impl Tableau {
         // --- Map variables to non-negative standard-form columns. ---
         let mut var_map = Vec::with_capacity(lp.n);
         let mut n_struct = 0;
-        let mut extra_rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = Vec::new();
+        let mut extra_rows: Vec<RawRow> = Vec::new();
         for j in 0..lp.n {
             let (lo, hi) = (lp.lower[j], lp.upper[j]);
             let vm = if lo.is_finite() {
@@ -248,15 +251,11 @@ impl Tableau {
 
         // --- Expand rows into standard-form coefficients. ---
         // Each row: dense over structural columns, then op and adjusted rhs.
-        let all_rows: Vec<&(Vec<(usize, f64)>, ConstraintOp, f64)> =
-            lp.rows.iter().chain(extra_rows.iter()).collect();
+        let all_rows: Vec<&RawRow> = lp.rows.iter().chain(extra_rows.iter()).collect();
         let m = all_rows.len();
 
         // Slack columns: one per inequality row.
-        let n_slack = all_rows
-            .iter()
-            .filter(|(_, op, _)| *op != ConstraintOp::Eq)
-            .count();
+        let n_slack = all_rows.iter().filter(|(_, op, _)| *op != ConstraintOp::Eq).count();
         let n_cols = n_struct + n_slack;
 
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
@@ -348,8 +347,8 @@ impl Tableau {
             // Price out the basic artificials.
             for r in 0..m {
                 if self.basis[r] >= self.n_cols {
-                    for c in 0..=total_cols {
-                        cost[c] -= self.rows[r][c];
+                    for (cv, &rv) in cost.iter_mut().zip(&self.rows[r]) {
+                        *cv -= rv;
                     }
                 }
             }
@@ -373,8 +372,7 @@ impl Tableau {
             // Drive any remaining artificial out of the basis.
             for r in 0..m {
                 if self.basis[r] >= self.n_cols {
-                    let pivot_col = (0..self.n_cols)
-                        .find(|&c| self.rows[r][c].abs() > EPS);
+                    let pivot_col = (0..self.n_cols).find(|&c| self.rows[r][c].abs() > EPS);
                     if let Some(c) = pivot_col {
                         self.pivot(r, c);
                     }
@@ -418,8 +416,8 @@ impl Tableau {
             let b = self.basis[r];
             if b < cost.len() - 1 && cost[b] != 0.0 && cost[b].is_finite() {
                 let factor = cost[b];
-                for c in 0..=total_cols {
-                    cost[c] -= factor * self.rows[r][c];
+                for (cv, &rv) in cost.iter_mut().zip(&self.rows[r]) {
+                    *cv -= factor * rv;
                 }
             }
         }
@@ -441,8 +439,8 @@ impl Tableau {
             }
         }
         let mut values = vec![0.0; lp.n];
-        for j in 0..lp.n {
-            values[j] = match self.var_map[j] {
+        for (vj, vm) in values.iter_mut().zip(&self.var_map) {
+            *vj = match *vm {
                 VarMap::Shifted { col, shift } => std_vals[col] + shift,
                 VarMap::Flipped { col, shift } => shift - std_vals[col],
                 VarMap::Split { plus, minus } => std_vals[plus] - std_vals[minus],
@@ -463,8 +461,7 @@ impl Tableau {
             let bland = iter > MAX_ITER / 2;
             let mut enter = None;
             let mut best = -EPS;
-            for c in 0..total_cols {
-                let rc = cost[c];
+            for (c, &rc) in cost.iter().enumerate().take(total_cols) {
                 if !rc.is_finite() {
                     continue;
                 }
@@ -504,10 +501,9 @@ impl Tableau {
             // Update cost row.
             let factor = cost[enter];
             if factor != 0.0 {
-                for c in 0..=total_cols {
-                    let v = self.rows[leave][c];
-                    if v != 0.0 && cost[c].is_finite() {
-                        cost[c] -= factor * v;
+                for (cv, &v) in cost.iter_mut().zip(&self.rows[leave]) {
+                    if v != 0.0 && cv.is_finite() {
+                        *cv -= factor * v;
                     }
                 }
             }

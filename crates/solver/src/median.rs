@@ -25,8 +25,7 @@ pub fn weighted_median(points: &[(f64, f64)]) -> Option<f64> {
     if total <= 0.0 {
         return None;
     }
-    let mut sorted: Vec<(f64, f64)> =
-        points.iter().map(|&(x, w)| (x, w.max(0.0))).collect();
+    let mut sorted: Vec<(f64, f64)> = points.iter().map(|&(x, w)| (x, w.max(0.0))).collect();
     sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite positions"));
     let half = total / 2.0;
     let mut acc = 0.0;
@@ -77,8 +76,7 @@ mod tests {
         };
         for _case in 0..40 {
             let n = 1 + (next() as usize % 9);
-            let pts: Vec<(f64, f64)> =
-                (0..n).map(|_| (next() - 5.0, next() + 0.1)).collect();
+            let pts: Vec<(f64, f64)> = (0..n).map(|_| (next() - 5.0, next() + 0.1)).collect();
             let m = weighted_median(&pts).unwrap();
             let best = weighted_l1(m, &pts);
             // No candidate point does better (the optimum of a piecewise

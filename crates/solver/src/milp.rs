@@ -177,7 +177,6 @@ impl MixedIntegerProgram {
             },
         }
     }
-
 }
 
 #[cfg(test)]

@@ -55,8 +55,7 @@ impl CanonicalDelay {
     /// Panics (in debug builds) if the factor-space dimensions differ.
     pub fn covariance(&self, other: &CanonicalDelay) -> f64 {
         debug_assert_eq!(self.coeffs.len(), other.coeffs.len(), "factor spaces differ");
-        let mut cov: f64 =
-            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| a * b).sum();
+        let mut cov: f64 = self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| a * b).sum();
         // Sorted-merge intersection of the per-gate independent parts.
         let (mut i, mut j) = (0, 0);
         while i < self.indep.len() && j < other.indep.len() {

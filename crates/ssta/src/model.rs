@@ -242,11 +242,7 @@ impl TimingModel {
             // physical cone).
             let path_eps = sampler.next_normal();
             setup.push(self.setup_forms[i].evaluate(&z, &gate_eps, path_eps));
-            hold.push(
-                self.hold_forms[i]
-                    .as_ref()
-                    .map(|f| f.evaluate(&z, &gate_eps, path_eps)),
-            );
+            hold.push(self.hold_forms[i].as_ref().map(|f| f.evaluate(&z, &gate_eps, path_eps)));
         }
         ChipInstance::new(seed, setup, hold)
     }
@@ -265,8 +261,7 @@ impl TimingModel {
     /// Panics if `factor < 1`.
     pub fn with_inflated_sigma(&self, factor: f64) -> TimingModel {
         let mut out = self.clone();
-        out.setup_forms =
-            self.setup_forms.iter().map(|f| f.with_inflated_sigma(factor)).collect();
+        out.setup_forms = self.setup_forms.iter().map(|f| f.with_inflated_sigma(factor)).collect();
         out.hold_forms = self
             .hold_forms
             .iter()
@@ -337,9 +332,7 @@ mod tests {
     #[test]
     fn nominal_period_is_max_mean() {
         let (_, model) = small_model();
-        let max_mean = (0..model.path_count())
-            .map(|i| model.path_mean(i))
-            .fold(0.0_f64, f64::max);
+        let max_mean = (0..model.path_count()).map(|i| model.path_mean(i)).fold(0.0_f64, f64::max);
         assert_eq!(model.nominal_period(), max_mean);
         let spec = model.buffer_spec();
         assert!((spec.width() - model.nominal_period() / 8.0).abs() < 1e-9);
@@ -402,7 +395,8 @@ mod tests {
         let mean = effitest_linalg::stats::mean(&samples);
         let sd = effitest_linalg::stats::std_dev(&samples);
         assert!(
-            (mean - model.path_mean(idx)).abs() < 4.0 * model.path_sigma(idx) / (n_chips as f64).sqrt() + 1e-9,
+            (mean - model.path_mean(idx)).abs()
+                < 4.0 * model.path_sigma(idx) / (n_chips as f64).sqrt() + 1e-9,
             "sample mean {mean} vs model {}",
             model.path_mean(idx)
         );
@@ -421,10 +415,7 @@ mod tests {
         let b: Vec<f64> = chips.iter().map(|c| c.setup_delay(1)).collect();
         let emp = effitest_linalg::stats::correlation(&a, &b);
         let model_corr = model.correlation(0, 1);
-        assert!(
-            (emp - model_corr).abs() < 0.08,
-            "empirical {emp} vs model {model_corr}"
-        );
+        assert!((emp - model_corr).abs() < 0.08, "empirical {emp} vs model {model_corr}");
     }
 
     #[test]
@@ -455,9 +446,7 @@ mod tests {
             assert!((inflated.path_sigma(i) - 1.1 * model.path_sigma(i)).abs() < 1e-9);
             for j in 0..model.path_count().min(4) {
                 if i != j {
-                    assert!(
-                        (inflated.covariance(i, j) - model.covariance(i, j)).abs() < 1e-9
-                    );
+                    assert!((inflated.covariance(i, j) - model.covariance(i, j)).abs() < 1e-9);
                 }
             }
         }
@@ -471,9 +460,7 @@ mod tests {
         assert_eq!(g.dim(), 3);
         for (pos, &i) in idx.iter().enumerate() {
             assert!((g.mean()[pos] - model.path_mean(i)).abs() < 1e-12);
-            assert!(
-                (g.covariance()[(pos, pos)] - model.path_sigma(i).powi(2)).abs() < 1e-9
-            );
+            assert!((g.covariance()[(pos, pos)] - model.path_sigma(i).powi(2)).abs() < 1e-9);
         }
     }
 

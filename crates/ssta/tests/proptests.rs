@@ -33,7 +33,8 @@ proptest! {
         prop_assume!(model.path_count() >= 2);
         let n = 400;
         let chips: Vec<_> = (0..n).map(|k| model.sample_chip(seed * 7919 + k)).collect();
-        for (i, j) in [(0_usize, 1_usize)] {
+        {
+            let (i, j) = (0_usize, 1_usize);
             let a: Vec<f64> = chips.iter().map(|c| c.setup_delay(i)).collect();
             let b: Vec<f64> = chips.iter().map(|c| c.setup_delay(j)).collect();
             let emp = stats::correlation(&a, &b);

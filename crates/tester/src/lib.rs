@@ -142,10 +142,7 @@ impl<'a> VirtualTester<'a> {
     pub fn apply_batch(&mut self, period: f64, probes: &[(usize, f64)]) -> Vec<bool> {
         self.iterations += 1;
         self.scan_loads += 1;
-        probes
-            .iter()
-            .map(|&(idx, shift)| self.chip.setup_delay(idx) + shift <= period)
-            .collect()
+        probes.iter().map(|&(idx, shift)| self.chip.setup_delay(idx) + shift <= period).collect()
     }
 
     /// Applies one clock period to a single path (the path-wise baseline).
@@ -204,12 +201,12 @@ pub fn path_wise_binary_search(
 /// Panics if `shifts.len()` differs from the chip's path count.
 pub fn chip_passes(chip: &ChipInstance, period: f64, shifts: &[f64]) -> bool {
     assert_eq!(shifts.len(), chip.path_count(), "one shift per path required");
-    for idx in 0..chip.path_count() {
-        if chip.setup_delay(idx) + shifts[idx] > period {
+    for (idx, &shift) in shifts.iter().enumerate() {
+        if chip.setup_delay(idx) + shift > period {
             return false;
         }
         if let Some(hold_bound) = chip.hold_bound(idx) {
-            if shifts[idx] < hold_bound {
+            if shift < hold_bound {
                 return false;
             }
         }
@@ -303,8 +300,12 @@ mod tests {
         let eps = 0.01;
         let iters = path_wise_binary_search(&mut t, 0, &mut b, eps);
         assert!(b.converged(eps));
-        assert!(b.lower <= true_delay && true_delay <= b.upper + 1e-12,
-            "bounds [{}, {}] miss {true_delay}", b.lower, b.upper);
+        assert!(
+            b.lower <= true_delay && true_delay <= b.upper + 1e-12,
+            "bounds [{}, {}] miss {true_delay}",
+            b.lower,
+            b.upper
+        );
         // log2(16 / 0.01) ~ 10.6 -> 11 iterations.
         assert_eq!(iters, 11);
     }

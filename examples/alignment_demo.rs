@@ -7,17 +7,13 @@
 //!
 //! Run with: `cargo run --release --example alignment_demo`
 
-
-use effitest::solver::align::{
-    sorted_center_weights, AlignPath, AlignmentProblem, BufferVar,
-};
+use effitest::solver::align::{sorted_center_weights, AlignPath, AlignmentProblem, BufferVar};
 
 const COLS: usize = 72;
 
 fn render(label: &str, lo: f64, hi: f64, left: f64, right: f64, marker: Option<f64>) {
-    let scale = |v: f64| {
-        (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (COLS - 1) as f64).round() as usize
-    };
+    let scale =
+        |v: f64| (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (COLS - 1) as f64).round() as usize;
     let mut row = vec![b' '; COLS];
     let (a, b) = (scale(left), scale(right));
     for cell in row.iter_mut().take(b + 1).skip(a) {
@@ -65,21 +61,16 @@ fn main() {
         let problem = AlignmentProblem { paths, buffers: buffers.clone() };
         let sol = problem.solve_coordinate_descent(&[0.0, 0.0]);
 
-        println!("iteration {iteration}: T = {:.2}, buffers = [{:+.2}, {:+.2}]",
-            sol.period, sol.buffer_values[0], sol.buffer_values[1]);
+        println!(
+            "iteration {iteration}: T = {:.2}, buffers = [{:+.2}, {:+.2}]",
+            sol.period, sol.buffer_values[0], sol.buffer_values[1]
+        );
         for p in 0..3 {
             let shift = roles[p].0.map_or(0.0, |b| sol.buffer_values[b])
                 - roles[p].1.map_or(0.0, |b| sol.buffer_values[b]);
             let (l, u) = bounds[p];
             // Ranges drawn in the *shifted* domain the tester sees.
-            render(
-                &format!("path {p}"),
-                view_lo,
-                view_hi,
-                l + shift,
-                u + shift,
-                Some(sol.period),
-            );
+            render(&format!("path {p}"), view_lo, view_hi, l + shift, u + shift, Some(sol.period));
             // Apply the probe: pass iff truth + shift <= T.
             let passed = truths[p] + shift <= sol.period;
             let measured = sol.period - shift;
@@ -96,11 +87,7 @@ fn main() {
 
     println!("final ranges after {iteration} frequency steps:");
     for (p, (l, u)) in bounds.iter().enumerate() {
-        println!(
-            "  path {p}: [{l:7.2}, {u:7.2}]  width {:.2}  (true delay {})",
-            u - l,
-            truths[p]
-        );
+        println!("  path {p}: [{l:7.2}, {u:7.2}]  width {:.2}  (true delay {})", u - l, truths[p]);
         assert!(*l - 1e-9 <= truths[p] && truths[p] <= *u + 1e-9, "range must bracket truth");
     }
     println!("\nEvery iteration probed all three paths with ONE clock period —");

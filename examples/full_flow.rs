@@ -53,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[offline]   preparation took {:?}", prepared.prep_time);
 
     // Designated period: the median of the untuned population.
-    let periods: Vec<f64> =
-        (0..200).map(|s| model.sample_chip(s).min_period_untuned()).collect();
+    let periods: Vec<f64> = (0..200).map(|s| model.sample_chip(s).min_period_untuned()).collect();
     let td = stats::empirical_quantile(&periods, 0.5);
     println!("[period]    T_d = {td:.1} ps (median untuned period)\n");
 

@@ -36,18 +36,14 @@ fn main() {
     for target in [1.0, 0.999, 0.99, 0.95, 0.90] {
         let config = HoldConfig { yield_target: target, samples: 512, seed: 99 };
         let bounds = compute_hold_bounds(&model, &config);
-        let max_lambda = bounds
-            .iter()
-            .map(|(_, l)| l)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_lambda = bounds.iter().map(|(_, l)| l).fold(f64::NEG_INFINITY, f64::max);
         // Fresh Monte-Carlo validation of the achieved hold yield.
         let n = 600;
         let mut pass = 0;
         for seed in 0..n {
             let chip = model.sample_chip(50_000 + seed);
-            let ok = bounds
-                .iter()
-                .all(|(p, lam)| chip.hold_bound(p).expect("hold path") <= lam + 1e-12);
+            let ok =
+                bounds.iter().all(|(p, lam)| chip.hold_bound(p).expect("hold path") <= lam + 1e-12);
             if ok {
                 pass += 1;
             }

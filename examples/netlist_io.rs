@@ -12,9 +12,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = GeneratedBenchmark::generate(&spec, 3);
     let text = format::to_text(&bench.netlist, Some(&bench.paths));
 
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| std::env::temp_dir().join("effitest_demo.netlist").display().to_string());
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir().join("effitest_demo.netlist").display().to_string()
+    });
     std::fs::write(&path, &text)?;
     println!("wrote {} bytes to {path}", text.len());
 

@@ -32,10 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Yield study: {} ({n_chips} chips) ===", spec.name);
     println!("T1 = {t1:.1} ps (50% untuned), T2 = {t2:.1} ps (84.13% untuned)\n");
 
-    let header = format!(
-        "{:<22} {:>10} {:>10}",
-        "configuration policy", "yield@T1", "yield@T2"
-    );
+    let header = format!("{:<22} {:>10} {:>10}", "configuration policy", "yield@T1", "yield@T2");
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
 
@@ -47,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if untuned_check(chip, td) {
                 rows[0].1[slot] += 1;
             }
-            let (_, passes, _) =
-                flow.configure_and_check(&prepared, chip, &predicted.ranges, td);
+            let (_, passes, _) = flow.configure_and_check(&prepared, chip, &predicted.ranges, td);
             if passes {
                 rows[1].1[slot] += 1;
             }

@@ -36,6 +36,8 @@
 //! assert!(outcome.iterations > 0);
 //! ```
 
+pub mod testkit;
+
 pub use effitest_circuit as circuit;
 pub use effitest_core as flow;
 pub use effitest_linalg as linalg;
@@ -46,8 +48,7 @@ pub use effitest_tester as tester;
 /// Convenience re-exports of the types most programs need.
 pub mod prelude {
     pub use effitest_circuit::{
-        BenchmarkSpec, FlipFlopId, GateId, GeneratedBenchmark, Netlist, PathId,
-        TuningBufferSpec,
+        BenchmarkSpec, FlipFlopId, GateId, GeneratedBenchmark, Netlist, PathId, TuningBufferSpec,
     };
     pub use effitest_core::experiments::ExperimentConfig;
     pub use effitest_core::{ChipOutcome, EffiTestFlow, FlowConfig, PreparedFlow};

@@ -5,13 +5,7 @@
 use effitest::flow::configure::{ideal_configure_and_check, untuned_check};
 use effitest::linalg::stats;
 use effitest::prelude::*;
-
-fn fixture(scale: usize, seed: u64) -> (GeneratedBenchmark, TimingModel) {
-    let spec = BenchmarkSpec::iscas89_s13207().scaled_down(scale);
-    let bench = GeneratedBenchmark::generate(&spec, seed);
-    let model = TimingModel::build(&bench, &VariationConfig::paper());
-    (bench, model)
-}
+use effitest::testkit::{assert_within, fixture};
 
 #[test]
 fn flow_is_deterministic_for_fixed_seeds() {
@@ -78,7 +72,7 @@ fn measured_and_predicted_ranges_cover_true_delays() {
         }
     }
     let coverage = hits as f64 / total as f64;
-    assert!(coverage > 0.9, "range coverage too low: {coverage:.3}");
+    assert_within(coverage, 0.9, 1.0);
 }
 
 #[test]
@@ -87,8 +81,7 @@ fn yield_ordering_untuned_effitest_ideal() {
     let flow = EffiTestFlow::new(FlowConfig::default());
     let prepared = flow.prepare(&bench, &model).expect("prepare");
 
-    let periods: Vec<f64> =
-        (0..150).map(|s| model.sample_chip(s).min_period_untuned()).collect();
+    let periods: Vec<f64> = (0..150).map(|s| model.sample_chip(s).min_period_untuned()).collect();
     let td = stats::empirical_quantile(&periods, 0.5);
 
     let n = 60_u64;
@@ -137,9 +130,7 @@ fn tested_paths_converge_to_epsilon() {
 #[test]
 fn facade_prelude_compiles_and_runs() {
     // The README quickstart path, as a test.
-    let spec = BenchmarkSpec::iscas89_s9234().scaled_down(20);
-    let bench = GeneratedBenchmark::generate(&spec, 7);
-    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let (bench, model) = effitest::testkit::quickstart_fixture();
     let flow = EffiTestFlow::new(FlowConfig::default());
     let prepared = flow.prepare(&bench, &model).expect("prepare");
     let chip = model.sample_chip(42);

@@ -1,0 +1,552 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's test suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`, implemented
+//!   for numeric ranges, tuples, [`Just`], [`collection::vec`],
+//!   [`option::of`] and [`bool::ANY`];
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`
+//!   header) plus [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`]
+//!   and [`prop_assume!`];
+//! * [`ProptestConfig`] with `with_cases`, capped by the `PROPTEST_CASES`
+//!   environment variable so CI can bound runtimes globally.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case reports
+//! its case number, derivation seed, and the `Debug` rendering of the
+//! generated inputs. Generation is fully deterministic — the per-case RNG
+//! seed is derived from the test name, the case index, and the optional
+//! `PROPTEST_SEED` environment variable — so failures always reproduce.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Runner configuration. Only the `cases` knob is implemented.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of test cases to run.
+    pub cases: u32,
+}
+
+fn env_u32(name: &str) -> Option<u32> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, overridable via `PROPTEST_CASES`.
+    fn default() -> Self {
+        ProptestConfig { cases: env_u32("PROPTEST_CASES").unwrap_or(256).max(1) }
+    }
+}
+
+impl ProptestConfig {
+    /// Requests `cases` cases; if `PROPTEST_CASES` is set it acts as a
+    /// global cap so CI can shorten every suite at once.
+    pub fn with_cases(cases: u32) -> Self {
+        let cases = match env_u32("PROPTEST_CASES") {
+            Some(cap) => cases.min(cap.max(1)),
+            None => cases,
+        };
+        ProptestConfig { cases: cases.max(1) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+    /// A `prop_assume!` precondition was not met; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of an associated type from a seeded RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to obtain a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.start..self.end)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{RngExt, StdRng, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec`]: an exact `usize` or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{RngExt, StdRng, Strategy};
+
+    /// Strategy yielding `None` half the time and `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.random::<bool>() {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `bool` strategies.
+pub mod bool {
+    use super::{RngExt, StdRng, Strategy};
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true`/`false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Test-runner internals used by the [`proptest!`] macro expansion.
+pub mod runner {
+    use super::{ProptestConfig, SeedableRng, StdRng, TestCaseError};
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn case_seed(name: &str, case: u32) -> u64 {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        fnv1a(name.as_bytes()) ^ base.rotate_left(17) ^ ((case as u64) << 32 | case as u64)
+    }
+
+    /// Runs `run_case` for each configured case with a deterministic RNG.
+    ///
+    /// On failure, `describe` is called with an identically seeded RNG to
+    /// re-derive and render the failing inputs, then the test panics.
+    pub fn run<F, G>(name: &str, config: &ProptestConfig, mut run_case: F, mut describe: G)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+        G: FnMut(&mut StdRng) -> String,
+    {
+        let mut rejected: u64 = 0;
+        for case in 0..config.cases {
+            let seed = case_seed(name, case);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match run_case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let input = describe(&mut rng);
+                    panic!(
+                        "proptest `{name}` failed at case {case}/{} (seed {seed}):\n  \
+                         {msg}\n  input: {input}",
+                        config.cases
+                    );
+                }
+            }
+        }
+        if rejected > 0 && rejected as u32 >= config.cases {
+            panic!("proptest `{name}`: every one of the {} cases was rejected", config.cases);
+        }
+    }
+}
+
+/// Common imports for proptest-based test files.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Fails the current case with a formatted message if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case if the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format_args!($($fmt)+), l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Skips the current case (without failing) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategies = ($($strat,)+);
+                $crate::runner::run(
+                    stringify!($name),
+                    &config,
+                    |rng| {
+                        let ($($pat,)+) = $crate::Strategy::generate(&strategies, rng);
+                        (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    },
+                    |rng| format!("{:#?}", $crate::Strategy::generate(&strategies, rng)),
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config(<$crate::ProptestConfig as ::std::default::Default>::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn with_cases_is_positive() {
+        assert!(ProptestConfig::with_cases(16).cases >= 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            n in 1..8_usize,
+            xs in crate::collection::vec(-1.0_f64..1.0, 3..10),
+            flag in crate::bool::ANY,
+            maybe in crate::option::of(0..5_u32),
+        ) {
+            prop_assert!((1..8).contains(&n));
+            prop_assert!(xs.len() >= 3 && xs.len() < 10);
+            for &x in &xs {
+                prop_assert!((-1.0..1.0).contains(&x));
+            }
+            prop_assert_ne!(flag, !flag);
+            if let Some(v) = maybe {
+                prop_assert!(v < 5);
+            }
+        }
+
+        #[test]
+        fn flat_map_threads_dependencies(pair in (1..6_usize).prop_flat_map(|n| {
+            crate::collection::vec(0..100_u64, n).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0..10_u32) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}
