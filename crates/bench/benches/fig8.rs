@@ -50,7 +50,7 @@ fn bench_multiplexed(c: &mut Criterion) {
     let bench = GeneratedBenchmark::generate(&spec, 1);
     let model = TimingModel::build(&bench, &VariationConfig::paper());
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let prepared = flow.plan(&bench, &model).expect("non-empty benchmark");
     let chip = model.sample_chip(5);
     let paths: Vec<usize> = (0..model.path_count()).collect();
 

@@ -1,0 +1,105 @@
+//! Serial-vs-parallel throughput of the chip-population engine on a
+//! Table-1 circuit.
+//!
+//! The paper evaluates every circuit over a 10 000-chip Monte-Carlo
+//! population; the `FlowPlan` is built once and the per-chip step is
+//! embarrassingly parallel. This bench times the same population at
+//! 1 worker thread and at 4 (plus the machine's full parallelism when
+//! that differs), prints the wall-clock speedup, and then runs Criterion
+//! measurements of both configurations.
+//!
+//! Run with `EFFITEST_CHIPS=<n>` to change the population size (default
+//! here: 64) and `EFFITEST_THREADS=<n>` to add an extra thread count to
+//! the comparison.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use effitest_bench::bench_config;
+use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+use effitest_core::population::{run_flow_population, PopulationConfig};
+use effitest_core::{EffiTestFlow, FlowConfig};
+use effitest_ssta::{TimingModel, VariationConfig};
+
+fn print_comparison() {
+    let config = bench_config(64);
+    let spec = BenchmarkSpec::iscas89_s9234();
+    let bench = GeneratedBenchmark::generate(&spec, config.seed);
+    let model = TimingModel::build(&bench, &config.variation);
+    let flow = EffiTestFlow::new(config.flow.clone());
+    let plan = flow.plan(&bench, &model).expect("non-empty benchmark");
+    let td = model.nominal_period();
+
+    println!("\nPopulation engine: {} chips of {} per run", config.n_chips, spec.name);
+    println!(
+        "(available parallelism: {}; EFFITEST_THREADS={})",
+        effitest_core::population::default_threads(),
+        config.threads
+    );
+    let header = format!("{:>8} {:>12} {:>10} {:>10}", "threads", "wall", "chips/s", "speedup");
+    println!("{header}");
+    effitest_bench::rule(&header);
+
+    let mut thread_counts = vec![1_usize, 4];
+    if !thread_counts.contains(&config.threads) {
+        thread_counts.push(config.threads);
+    }
+    // Untimed warmup so the serial baseline is not inflated by cold-start
+    // costs (allocator growth, first touch of the plan's data).
+    let warmup =
+        PopulationConfig { n_chips: config.n_chips.min(8), base_seed: config.seed, threads: 1 };
+    black_box(run_flow_population(&flow, &plan, td, &warmup).len());
+    let mut serial_wall = None;
+    for &threads in &thread_counts {
+        let pop = PopulationConfig {
+            n_chips: config.n_chips,
+            base_seed: config.seed.wrapping_add(1000),
+            threads,
+        };
+        let started = Instant::now();
+        let outcomes = run_flow_population(&flow, &plan, td, &pop);
+        let wall = started.elapsed();
+        black_box(outcomes.len());
+        let serial = *serial_wall.get_or_insert(wall);
+        println!(
+            "{:>8} {:>12.2?} {:>10.1} {:>9.2}x",
+            threads,
+            wall,
+            config.n_chips as f64 / wall.as_secs_f64(),
+            serial.as_secs_f64() / wall.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn bench_population(c: &mut Criterion) {
+    let spec = BenchmarkSpec::iscas89_s9234();
+    let bench = GeneratedBenchmark::generate(&spec, 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let plan = flow.plan(&bench, &model).expect("non-empty benchmark");
+    let td = model.nominal_period();
+
+    for threads in [1_usize, 4] {
+        let pop = PopulationConfig { n_chips: 16, base_seed: 1000, threads };
+        c.bench_function(&format!("population/s9234/16chips/{threads}thread"), |b| {
+            b.iter(|| {
+                let outcomes = run_flow_population(&flow, &plan, td, black_box(&pop));
+                black_box(outcomes.iter().map(|o| o.iterations).sum::<u64>())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_population
+}
+
+fn main() {
+    print_comparison();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

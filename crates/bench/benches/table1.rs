@@ -46,7 +46,7 @@ fn bench_flow(c: &mut Criterion) {
     let bench = GeneratedBenchmark::generate(&spec, 1);
     let model = TimingModel::build(&bench, &VariationConfig::paper());
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let prepared = flow.plan(&bench, &model).expect("non-empty benchmark");
     let td = model.nominal_period();
     let chip = model.sample_chip(7);
 
@@ -60,7 +60,7 @@ fn bench_flow(c: &mut Criterion) {
         b.iter(|| black_box(flow.run_chip_path_wise(&prepared, black_box(&chip)).iterations))
     });
     c.bench_function("table1/prepare/s9234", |b| {
-        b.iter(|| black_box(flow.prepare(&bench, &model).expect("ok").tested_path_count()))
+        b.iter(|| black_box(flow.plan(&bench, &model).expect("ok").tested_path_count()))
     });
 }
 

@@ -43,9 +43,9 @@ fn bench_configuration(c: &mut Criterion) {
     let bench = GeneratedBenchmark::generate(&spec, 1);
     let model = TimingModel::build(&bench, &VariationConfig::paper());
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let prepared = flow.plan(&bench, &model).expect("non-empty benchmark");
     let chip = model.sample_chip(3);
-    let (predicted, _, _) = flow.test_and_predict(&prepared, &chip);
+    let (predicted, _aligned) = flow.test_and_predict(&prepared, &chip);
     let td = model.nominal_period();
 
     c.bench_function("table2/configure_and_check/s13207", |b| {

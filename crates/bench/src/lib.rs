@@ -5,13 +5,13 @@
 //! the underlying kernels. Chip counts default to bench-friendly values;
 //! set `EFFITEST_CHIPS` to raise them (the paper used 10 000).
 
-use effitest_core::experiments::ExperimentConfig;
+use effitest_core::experiments::{ExperimentConfig, CHIPS_ENV};
 
 /// Experiment configuration for benches: `EFFITEST_CHIPS` override with a
 /// bench-appropriate default.
 pub fn bench_config(default_chips: usize) -> ExperimentConfig {
     let mut config = ExperimentConfig::from_env();
-    if std::env::var("EFFITEST_CHIPS").is_err() {
+    if std::env::var(CHIPS_ENV).is_err() {
         config.n_chips = default_chips;
     }
     config

@@ -21,7 +21,7 @@ use effitest_circuit::FlipFlopId;
 use effitest_solver::align::{sorted_center_weights, AlignmentSolution};
 use effitest_solver::align::{AlignPath, AlignmentProblem, BufferVar};
 use effitest_ssta::TimingModel;
-use effitest_tester::{DelayBounds, VirtualTester};
+use effitest_tester::{DelayBounds, Observation, VirtualTester};
 
 use crate::hold::HoldBounds;
 
@@ -70,6 +70,11 @@ pub struct AlignedTestResult {
     /// accounts this separately because it runs concurrently with the scan
     /// test).
     pub align_time: Duration,
+    /// Observations that contradicted a path's assumed `mu ± k sigma`
+    /// window (out-of-model chips; the range saturates to zero width at
+    /// the contradicted endpoint). Nonzero counts deserve scrutiny —
+    /// silent saturation is exactly what this counter surfaces.
+    pub contradictions: u64,
 }
 
 /// Runs Procedure 2 over the given batches.
@@ -86,20 +91,24 @@ pub fn run_aligned_test(
     let start_iterations = tester.iterations();
     let mut all_bounds: HashMap<usize, DelayBounds> = HashMap::new();
     let mut align_time = Duration::ZERO;
+    let mut contradictions = 0_u64;
 
     for batch in batches {
-        let t = test_one_batch(model, tester, batch, lambda, config, &mut all_bounds);
+        let (t, c) = test_one_batch(model, tester, batch, lambda, config, &mut all_bounds);
         align_time += t;
+        contradictions += c;
     }
 
     AlignedTestResult {
         bounds: all_bounds,
         iterations: tester.iterations() - start_iterations,
         align_time,
+        contradictions,
     }
 }
 
-/// Tests one batch to convergence; returns alignment solve time.
+/// Tests one batch to convergence; returns the alignment solve time and
+/// the number of contradictory observations.
 fn test_one_batch(
     model: &TimingModel,
     tester: &mut VirtualTester<'_>,
@@ -107,8 +116,9 @@ fn test_one_batch(
     lambda: &HoldBounds,
     config: &AlignedTestConfig,
     all_bounds: &mut HashMap<usize, DelayBounds>,
-) -> Duration {
+) -> (Duration, u64) {
     let mut align_time = Duration::ZERO;
+    let mut contradictions = 0_u64;
     // Dense buffer indexing over the buffered flip-flops touched by this
     // batch.
     let spec = model.buffer_spec();
@@ -208,7 +218,11 @@ fn test_one_batch(
         for ((&p, &(_, shift)), &passed) in active.iter().zip(&probes).zip(&results) {
             let b = bounds.get_mut(&p).expect("bounds exist for active path");
             let before = b.width();
-            b.update(solution.period, shift, passed);
+            if b.update(solution.period, shift, passed) == Observation::Contradictory {
+                // Out-of-model chip: the range saturated to zero width and
+                // the retain() below retires the path as converged.
+                contradictions += 1;
+            }
             if b.width() < before - 1e-15 {
                 progressed = true;
             }
@@ -222,19 +236,20 @@ fn test_one_batch(
         if !progressed && !active.is_empty() {
             let &widest = active
                 .iter()
-                .max_by(|&&a, &&b| {
-                    bounds[&a].width().partial_cmp(&bounds[&b].width()).expect("finite widths")
-                })
+                .max_by(|&&a, &&b| bounds[&a].width().total_cmp(&bounds[&b].width()))
                 .expect("non-empty active set");
             let period = bounds[&widest].center();
             let passed = tester.apply_single(period, widest, 0.0);
-            bounds.get_mut(&widest).expect("exists").update(period, 0.0, passed);
+            let obs = bounds.get_mut(&widest).expect("exists").update(period, 0.0, passed);
+            // A center probe sits strictly inside the interval and cannot
+            // contradict either bound.
+            debug_assert_eq!(obs, Observation::Tightened);
             active.retain(|&p| !bounds[&p].converged(config.epsilon));
         }
     }
 
     all_bounds.extend(bounds);
-    align_time
+    (align_time, contradictions)
 }
 
 #[cfg(test)]
@@ -299,6 +314,45 @@ mod tests {
             }
         }
         assert!(result.iterations > 0);
+    }
+
+    #[test]
+    fn out_of_model_chips_are_counted_as_contradictions() {
+        // A chip whose true delay lies far outside its assumed mu ± 3 sigma
+        // window fails a probe above that window; the bound saturates to
+        // zero width and the run reports it — never silently.
+        let (_, model) = fixture();
+        let mut idx: Vec<usize> = (0..model.path_count()).collect();
+        idx.sort_by(|&a, &b| model.path_mean(a).total_cmp(&model.path_mean(b)));
+        let (a, b, c) = (idx[0], idx[idx.len() / 2], idx[idx.len() - 1]);
+        // Without alignment the first probe lands at the middle center
+        // (sorted-center weights), which must clear path a's window.
+        let upper_a = model.path_mean(a) + 3.0 * model.path_sigma(a);
+        assert!(
+            model.path_mean(b) > upper_a,
+            "fixture lacks mean separation: {} vs {upper_a}",
+            model.path_mean(b)
+        );
+        let mut delays: Vec<f64> = (0..model.path_count()).map(|p| model.path_mean(p)).collect();
+        delays[a] = model.path_mean(c) + 100.0; // far beyond every probe
+        let chip = effitest_ssta::ChipInstance::new(0, delays, vec![None; model.path_count()]);
+        let mut tester = VirtualTester::new(&chip);
+        let config = AlignedTestConfig {
+            epsilon: default_epsilon(&model),
+            use_alignment: false,
+            ..AlignedTestConfig::default()
+        };
+        let result = run_aligned_test(
+            &model,
+            &mut tester,
+            &[vec![a, b, c]],
+            &HoldBounds::default(),
+            &config,
+        );
+        assert!(result.contradictions > 0, "out-of-model chip must be counted");
+        // The contradicted path saturated at its assumed window boundary.
+        assert_eq!(result.bounds[&a].width(), 0.0);
+        assert!((result.bounds[&a].upper - upper_a).abs() < 1e-9);
     }
 
     #[test]

@@ -123,9 +123,7 @@ pub fn build_batches(
     let mut order: Vec<usize> = (0..n).collect();
     match widths {
         Some(w) => {
-            order.sort_by(|&a, &b| {
-                w[b].partial_cmp(&w[a]).expect("finite widths").then(selected[a].cmp(&selected[b]))
-            });
+            order.sort_by(|&a, &b| w[b].total_cmp(&w[a]).then(selected[a].cmp(&selected[b])));
         }
         None => {
             let mut degree = vec![0_usize; n];
@@ -156,7 +154,7 @@ pub fn build_batches(
                     .min_by(|(a, _), (b, _)| {
                         let ma = batch_widths[*a].0 / batch_widths[*a].1 as f64;
                         let mb = batch_widths[*b].0 / batch_widths[*b].1 as f64;
-                        (ma - width).abs().partial_cmp(&(mb - width).abs()).expect("finite widths")
+                        (ma - width).abs().total_cmp(&(mb - width).abs())
                     })
                     .map(|(i, _)| i)
             }
@@ -196,7 +194,7 @@ pub fn fill_slots(
 ) -> Vec<usize> {
     let cap = capacity.unwrap_or_else(|| batches.iter().map(Vec::len).max().unwrap_or(0)).max(1);
     let mut ranked: Vec<(usize, f64, f64)> = candidates.to_vec();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sigmas"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut used: std::collections::HashSet<usize> = batches.iter().flatten().copied().collect();
     let mut filled = Vec::new();
     let mut means: Vec<(f64, usize)> =
@@ -217,7 +215,7 @@ pub fn fill_slots(
             .min_by(|(a, _), (b, _)| {
                 let ma = means[*a].0 / means[*a].1 as f64;
                 let mb = means[*b].0 / means[*b].1 as f64;
-                (ma - width).abs().partial_cmp(&(mb - width).abs()).expect("finite widths")
+                (ma - width).abs().total_cmp(&(mb - width).abs())
             })
             .map(|(i, _)| i);
         if let Some(b) = slot {

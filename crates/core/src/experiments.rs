@@ -2,18 +2,30 @@
 //! evaluation (§4).
 //!
 //! Each driver consumes [`BenchmarkSpec`]s, generates the synthetic
-//! circuit, builds the timing model, runs the relevant flows over a
-//! Monte-Carlo chip population, and returns structured rows that the bench
-//! harness prints in the paper's format. Chip counts are configurable —
-//! the paper used 10 000 chips; the benches default lower and can be
-//! raised via the `EFFITEST_CHIPS` environment variable.
+//! circuit, builds the timing model, builds the chip-independent
+//! [`crate::FlowPlan`] **once**, and then runs the per-chip step over a
+//! Monte-Carlo chip population through the parallel
+//! [`population`](crate::population) engine — every counted result is
+//! bitwise identical at any thread count (the wall-clock columns are
+//! measurement noise by nature; see [`Table1Row::tt_s`]). Chip counts are
+//! configurable — the paper
+//! used 10 000 chips; the benches default lower and can be raised via the
+//! `EFFITEST_CHIPS` environment variable. Worker threads come from
+//! `EFFITEST_THREADS` (default: available parallelism). Invalid values of
+//! either variable are hard errors, never silent fallbacks.
 
 use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
 use effitest_linalg::stats::empirical_quantile;
 use effitest_ssta::{TimingModel, VariationConfig};
 
 use crate::configure::{ideal_configure_and_check, untuned_check};
+use crate::population::{
+    default_threads, env_count, run_population, threads_from_env, PopulationConfig,
+};
 use crate::{EffiTestFlow, FlowConfig};
+
+/// Name of the environment variable overriding the chip count.
+pub const CHIPS_ENV: &str = "EFFITEST_CHIPS";
 
 /// Shared experiment parameters.
 #[derive(Debug, Clone)]
@@ -22,6 +34,9 @@ pub struct ExperimentConfig {
     pub n_chips: usize,
     /// Base seed for chip sampling.
     pub seed: u64,
+    /// Worker threads for the population engine (default: available
+    /// parallelism). Results are identical at any value.
+    pub threads: usize,
     /// Flow configuration.
     pub flow: FlowConfig,
     /// Process-variation configuration.
@@ -36,6 +51,7 @@ impl Default for ExperimentConfig {
         ExperimentConfig {
             n_chips: 300,
             seed: 1,
+            threads: default_threads(),
             flow: FlowConfig::default(),
             variation: VariationConfig::paper(),
             baseline_chips: 10,
@@ -44,15 +60,43 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// Reads the chip count from `EFFITEST_CHIPS` if set.
-    pub fn from_env() -> Self {
+    /// Reads the chip count from `EFFITEST_CHIPS` and the worker-thread
+    /// count from `EFFITEST_THREADS`, when set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when either variable is set to
+    /// anything but a positive integer. A typo'd override must abort the
+    /// experiment, not silently run with the default chip count.
+    pub fn try_from_env() -> Result<Self, String> {
         let mut config = ExperimentConfig::default();
-        if let Ok(s) = std::env::var("EFFITEST_CHIPS") {
-            if let Ok(n) = s.trim().parse::<usize>() {
-                config.n_chips = n.max(1);
-            }
+        if let Some(n) = env_count(CHIPS_ENV)? {
+            config.n_chips = n;
         }
-        config
+        config.threads = threads_from_env()?;
+        Ok(config)
+    }
+
+    /// Like [`try_from_env`](Self::try_from_env), but panics on invalid
+    /// input — the right behavior for bench and example binaries, where an
+    /// aborted run beats a silently wrong population size.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the parse error when `EFFITEST_CHIPS` or
+    /// `EFFITEST_THREADS` is set to anything but a positive integer.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The population layout shared by all drivers: `n_chips` chips whose
+    /// seeds start at `seed + seed_offset`, on `threads` workers.
+    fn population(&self, seed_offset: u64, n_chips: usize) -> PopulationConfig {
+        PopulationConfig {
+            n_chips,
+            base_seed: self.seed.wrapping_add(seed_offset),
+            threads: self.threads,
+        }
     }
 }
 
@@ -86,8 +130,16 @@ pub struct Table1Row {
     /// Offline preparation runtime, seconds (`T_p`).
     pub tp_s: f64,
     /// Average per-chip alignment-solving runtime, seconds (`T_t`).
+    ///
+    /// Wall-clock, measured inside the population workers: with more than
+    /// one thread it includes scheduling/cache contention and is *not*
+    /// covered by the bitwise thread-count determinism guarantee (which
+    /// applies to every counted column). Compare timing columns across
+    /// machines or thread counts with care; run at `EFFITEST_THREADS=1`
+    /// for contention-free per-chip times.
     pub tt_s: f64,
-    /// Average per-chip configuration runtime, seconds (`T_s`).
+    /// Average per-chip configuration runtime, seconds (`T_s`); same
+    /// wall-clock caveat as [`tt_s`](Self::tt_s).
     pub ts_s: f64,
 }
 
@@ -96,30 +148,28 @@ pub fn table1_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Table1Row 
     let bench = GeneratedBenchmark::generate(spec, config.seed);
     let model = TimingModel::build(&bench, &config.variation);
     let flow = EffiTestFlow::new(config.flow.clone());
-    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let plan = flow.plan(&bench, &model).expect("non-empty benchmark");
     let td = model.nominal_period();
 
-    let mut total_iters = 0_u64;
-    let mut total_align = std::time::Duration::ZERO;
-    let mut total_config = std::time::Duration::ZERO;
-    for k in 0..config.n_chips {
-        let chip = model.sample_chip(config.seed.wrapping_add(1000 + k as u64));
-        let outcome = flow.run_chip(&prepared, &chip, td).expect("matched chip");
-        total_iters += outcome.iterations;
-        total_align += outcome.align_time;
-        total_config += outcome.config_time;
-    }
+    let per_chip = run_population(&model, &config.population(1000, config.n_chips), |_k, chip| {
+        let outcome = flow.run_chip(&plan, chip, td).expect("matched chip");
+        (outcome.iterations, outcome.align_time, outcome.config_time)
+    });
+    let total_iters: u64 = per_chip.iter().map(|&(i, _, _)| i).sum();
+    let total_align: std::time::Duration = per_chip.iter().map(|&(_, a, _)| a).sum();
+    let total_config: std::time::Duration = per_chip.iter().map(|&(_, _, c)| c).sum();
 
     // Path-wise baseline: iteration counts barely vary across chips
     // (binary-search depth is range-driven), so a small sample suffices.
     let baseline_chips = config.baseline_chips.min(config.n_chips).max(1);
-    let mut baseline_iters = 0_u64;
-    for k in 0..baseline_chips {
-        let chip = model.sample_chip(config.seed.wrapping_add(1000 + k as u64));
-        baseline_iters += flow.run_chip_path_wise(&prepared, &chip).iterations;
-    }
+    let baseline_iters: u64 =
+        run_population(&model, &config.population(1000, baseline_chips), |_k, chip| {
+            flow.run_chip_path_wise(&plan, chip).iterations
+        })
+        .into_iter()
+        .sum();
 
-    let npt = prepared.tested_path_count();
+    let npt = plan.tested_path_count();
     let np = model.path_count();
     let ta = total_iters as f64 / config.n_chips as f64;
     let ta_prime = baseline_iters as f64 / baseline_chips as f64;
@@ -139,7 +189,7 @@ pub fn table1_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Table1Row 
         tv_prime,
         ra: (ta_prime - ta) / ta_prime * 100.0,
         rv: (tv_prime - tv) / tv_prime * 100.0,
-        tp_s: prepared.prep_time.as_secs_f64(),
+        tp_s: plan.prep_time.as_secs_f64(),
         tt_s: total_align.as_secs_f64() / config.n_chips as f64,
         ts_s: total_config.as_secs_f64() / config.n_chips as f64,
     }
@@ -178,32 +228,35 @@ pub fn table2_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Table2Row 
     let bench = GeneratedBenchmark::generate(spec, config.seed);
     let model = TimingModel::build(&bench, &config.variation);
     let flow = EffiTestFlow::new(config.flow.clone());
-    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let plan = flow.plan(&bench, &model).expect("non-empty benchmark");
+    let pop = config.population(1000, config.n_chips);
 
     // Designated periods from the untuned population quantiles, exactly
     // the paper's "original yields without buffers were 50% and 84.13%".
-    let chips: Vec<_> = (0..config.n_chips)
-        .map(|k| model.sample_chip(config.seed.wrapping_add(1000 + k as u64)))
-        .collect();
-    let untuned_periods: Vec<f64> = chips.iter().map(|c| c.min_period_untuned()).collect();
+    // Both passes resample their chips from the same seeds rather than
+    // holding the population in memory: sampling is microseconds against
+    // the milliseconds of the per-chip flow, while materializing 10 000
+    // chips of a large circuit costs hundreds of megabytes.
+    let untuned_periods = run_population(&model, &pop, |_k, chip| chip.min_period_untuned());
     let t1 = empirical_quantile(&untuned_periods, 0.5);
     let t2 = empirical_quantile(&untuned_periods, 0.8413);
 
-    let mut yi = [0_usize; 2];
-    let mut yt = [0_usize; 2];
-    for chip in &chips {
-        // Test + predict once; configure per period.
-        let (predicted, _iters, _t) = flow.test_and_predict(&prepared, chip);
+    // Test + predict once per chip; configure per period.
+    let per_chip = run_population(&model, &pop, |_k, chip| {
+        let (predicted, _aligned) = flow.test_and_predict(&plan, chip);
+        let mut yi = [false; 2];
+        let mut yt = [false; 2];
         for (slot, &td) in [t1, t2].iter().enumerate() {
-            if ideal_configure_and_check(&model, &prepared.buffers, chip, td) {
-                yi[slot] += 1;
-            }
-            let (_, passes, _) = flow.configure_and_check(&prepared, chip, &predicted.ranges, td);
-            if passes {
-                yt[slot] += 1;
-            }
+            yi[slot] = ideal_configure_and_check(&model, &plan.buffers, chip, td);
+            let (_, passes, _) = flow.configure_and_check(&plan, chip, &predicted.ranges, td);
+            yt[slot] = passes;
         }
-    }
+        (yi, yt)
+    });
+    let count = |slot: usize, ideal: bool| {
+        per_chip.iter().filter(|(yi, yt)| if ideal { yi[slot] } else { yt[slot] }).count()
+    };
+    let (yi, yt) = ([count(0, true), count(1, true)], [count(0, false), count(1, false)]);
     let n = config.n_chips as f64;
     let pct = |c: usize| c as f64 / n * 100.0;
     Table2Row {
@@ -244,35 +297,26 @@ pub fn fig7_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Fig7Row {
     let base_model = TimingModel::build(&bench, &config.variation);
     let model = base_model.with_inflated_sigma(1.1);
     let flow = EffiTestFlow::new(config.flow.clone());
-    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let plan = flow.plan(&bench, &model).expect("non-empty benchmark");
+    let pop = config.population(9000, config.n_chips);
 
-    let chips: Vec<_> = (0..config.n_chips)
-        .map(|k| model.sample_chip(config.seed.wrapping_add(9000 + k as u64)))
-        .collect();
-    let untuned_periods: Vec<f64> = chips.iter().map(|c| c.min_period_untuned()).collect();
+    let untuned_periods = run_population(&model, &pop, |_k, chip| chip.min_period_untuned());
     let td = empirical_quantile(&untuned_periods, 0.5);
 
-    let mut no_buffer = 0_usize;
-    let mut proposed = 0_usize;
-    let mut ideal = 0_usize;
-    for chip in &chips {
-        if untuned_check(chip, td) {
-            no_buffer += 1;
-        }
-        if ideal_configure_and_check(&model, &prepared.buffers, chip, td) {
-            ideal += 1;
-        }
-        let outcome = flow.run_chip(&prepared, chip, td).expect("matched chip");
-        if outcome.passes {
-            proposed += 1;
-        }
-    }
+    let per_chip = run_population(&model, &pop, |_k, chip| {
+        let outcome = flow.run_chip(&plan, chip, td).expect("matched chip");
+        (
+            untuned_check(chip, td),
+            ideal_configure_and_check(&model, &plan.buffers, chip, td),
+            outcome.passes,
+        )
+    });
     let n = config.n_chips as f64;
     Fig7Row {
         name: spec.name.clone(),
-        no_buffer: no_buffer as f64 / n,
-        proposed: proposed as f64 / n,
-        ideal: ideal as f64 / n,
+        no_buffer: per_chip.iter().filter(|&&(u, _, _)| u).count() as f64 / n,
+        proposed: per_chip.iter().filter(|&&(_, _, p)| p).count() as f64 / n,
+        ideal: per_chip.iter().filter(|&&(_, i, _)| i).count() as f64 / n,
     }
 }
 
@@ -300,21 +344,22 @@ pub fn fig8_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Fig8Row {
     let bench = GeneratedBenchmark::generate(spec, config.seed);
     let model = TimingModel::build(&bench, &config.variation);
     let flow = EffiTestFlow::new(config.flow.clone());
-    let prepared = flow.prepare(&bench, &model).expect("non-empty benchmark");
+    let plan = flow.plan(&bench, &model).expect("non-empty benchmark");
     let paths: Vec<usize> = (0..model.path_count()).collect();
 
     // Iteration counts are tightly concentrated across chips; a small
     // sample gives stable per-path averages.
     let n_chips = config.baseline_chips.min(config.n_chips).max(1);
-    let mut pw = 0_u64;
-    let mut mux = 0_u64;
-    let mut aligned = 0_u64;
-    for k in 0..n_chips {
-        let chip = model.sample_chip(config.seed.wrapping_add(4000 + k as u64));
-        pw += flow.run_chip_path_wise(&prepared, &chip).iterations;
-        mux += flow.test_paths_multiplexed(&prepared, &chip, &paths, false).0;
-        aligned += flow.test_paths_multiplexed(&prepared, &chip, &paths, true).0;
-    }
+    let per_chip = run_population(&model, &config.population(4000, n_chips), |_k, chip| {
+        (
+            flow.run_chip_path_wise(&plan, chip).iterations,
+            flow.test_paths_multiplexed(&plan, chip, &paths, false).0,
+            flow.test_paths_multiplexed(&plan, chip, &paths, true).0,
+        )
+    });
+    let (pw, mux, aligned) = per_chip
+        .iter()
+        .fold((0_u64, 0_u64, 0_u64), |(a, b, c), &(p, m, al)| (a + p, b + m, c + al));
     let denom = (n_chips * paths.len()) as f64;
     Fig8Row {
         name: spec.name.clone(),
@@ -393,8 +438,25 @@ mod tests {
 
     #[test]
     fn from_env_respects_override() {
-        // Not setting the variable: default stands.
+        // Not setting the variables: defaults stand.
         let c = ExperimentConfig::from_env();
         assert!(c.n_chips >= 1);
+        assert!(c.threads >= 1);
+    }
+
+    #[test]
+    fn drivers_are_thread_count_invariant() {
+        // The full Table 2 row exercises two population passes plus the
+        // per-chip flow; it must not depend on the worker count.
+        let serial = ExperimentConfig { threads: 1, ..quick_config() };
+        let parallel = ExperimentConfig { threads: 4, ..quick_config() };
+        let a = table2_row(&small_spec(), &serial);
+        let b = table2_row(&small_spec(), &parallel);
+        assert_eq!(a.t1.to_bits(), b.t1.to_bits());
+        assert_eq!(a.t2.to_bits(), b.t2.to_bits());
+        assert_eq!(
+            [a.yi1.to_bits(), a.yt1.to_bits(), a.yi2.to_bits(), a.yt2.to_bits()],
+            [b.yi1.to_bits(), b.yt1.to_bits(), b.yi2.to_bits(), b.yt2.to_bits()]
+        );
     }
 }

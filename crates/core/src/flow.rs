@@ -7,7 +7,7 @@ use effitest_circuit::GeneratedBenchmark;
 use effitest_ssta::{ChipInstance, TimingModel};
 use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
 
-use crate::aligned_test::{run_aligned_test, AlignedTestConfig};
+use crate::aligned_test::{run_aligned_test, AlignedTestConfig, AlignedTestResult};
 use crate::batch::{build_batches, fill_slots, predicted_sigmas, Batches, ConflictOracle};
 use crate::configure::{build_config_problem, configure, shifts_for, BufferIndex};
 use crate::hold::{compute_hold_bounds, HoldBounds, HoldConfig};
@@ -84,10 +84,19 @@ impl Default for FlowConfig {
     }
 }
 
-/// Everything computed *offline* for one circuit (the paper's `T_p`):
-/// groups, selected paths, batches, hold bounds, buffer indexing.
+/// The chip-independent **flow plan**: everything computed *offline*, once
+/// per `(benchmark, model, config)` triple (the paper's `T_p`).
+///
+/// The plan bundles Procedure 1's correlation groups and representative
+/// selection, the Welsh–Powell test batches with their slot fills, the
+/// sensitization [`ConflictOracle`], the predicted sigmas driving slot
+/// filling, the hold-time tuning bounds, the dense buffer indexing, and
+/// the convergence threshold. None of it depends on any individual chip,
+/// so one plan is shared — by reference, across threads — over the whole
+/// Monte-Carlo population (the paper evaluates 10 000 chips per circuit);
+/// see [`crate::population`].
 #[derive(Debug)]
-pub struct PreparedFlow<'a> {
+pub struct FlowPlan<'a> {
     /// The benchmark under test.
     pub bench: &'a GeneratedBenchmark,
     /// Its timing model.
@@ -100,13 +109,23 @@ pub struct PreparedFlow<'a> {
     pub lambda: HoldBounds,
     /// Dense buffer indexing.
     pub buffers: BufferIndex,
+    /// Sensitization conflict oracle over **all** required paths (valid
+    /// for any path subset).
+    pub oracle: ConflictOracle<'a>,
+    /// Predicted standard deviation per unselected path (paper eq. 5),
+    /// the slot-filling priority.
+    pub predicted_sigmas: Vec<(usize, f64)>,
     /// Convergence threshold for this circuit.
     pub epsilon: f64,
     /// Wall-clock time spent preparing (the paper's `T_p`).
     pub prep_time: Duration,
 }
 
-impl PreparedFlow<'_> {
+/// Former name of [`FlowPlan`], kept for source compatibility.
+#[deprecated(note = "renamed to `FlowPlan`; build it with `EffiTestFlow::plan`")]
+pub type PreparedFlow<'a> = FlowPlan<'a>;
+
+impl FlowPlan<'_> {
     /// Number of paths actually tested on silicon (`n_pt` in Table 1).
     pub fn tested_path_count(&self) -> usize {
         self.batches.tested_paths().len()
@@ -127,6 +146,10 @@ pub struct ChipOutcome {
     pub configured: Option<Vec<f64>>,
     /// Result of the final pass/fail test at the designated period.
     pub passes: bool,
+    /// Observations during the aligned test that contradicted a path's
+    /// assumed initial window (see
+    /// [`AlignedTestResult::contradictions`](crate::aligned_test::AlignedTestResult::contradictions)).
+    pub contradictions: u64,
     /// Final delay ranges for every path (measured or predicted).
     pub ranges: Vec<DelayBounds>,
     /// Which ranges came from silicon measurement.
@@ -161,18 +184,21 @@ impl EffiTestFlow {
         &self.config
     }
 
-    /// Offline preparation for one circuit: Procedure 1, multiplexing with
-    /// slot filling, and hold-bound computation.
+    /// Builds the chip-independent [`FlowPlan`] for one circuit:
+    /// Procedure 1, multiplexing with slot filling, and hold-bound
+    /// computation. Build it **once** per circuit and share it across the
+    /// whole chip population — every per-chip entry point borrows the plan
+    /// immutably.
     ///
     /// # Errors
     ///
     /// Returns [`FlowError::EmptyPaths`] / [`FlowError::ModelMismatch`] on
     /// malformed inputs.
-    pub fn prepare<'a>(
+    pub fn plan<'a>(
         &self,
         bench: &'a GeneratedBenchmark,
         model: &'a TimingModel,
-    ) -> Result<PreparedFlow<'a>, FlowError> {
+    ) -> Result<FlowPlan<'a>, FlowError> {
         if bench.paths.is_empty() {
             return Err(FlowError::EmptyPaths);
         }
@@ -192,11 +218,10 @@ impl EffiTestFlow {
         let widths: Vec<f64> = selected.iter().map(|&p| width_of(p)).collect();
         let mut raw_batches = build_batches(&oracle, &selected, Some(&widths));
         let buffers = BufferIndex::new(model);
+        let sigmas = predicted_sigmas(model, &groups);
         let slot_filled = if self.config.slot_fill {
-            let candidates: Vec<(usize, f64, f64)> = predicted_sigmas(model, &groups)
-                .into_iter()
-                .map(|(p, sigma)| (p, sigma, width_of(p)))
-                .collect();
+            let candidates: Vec<(usize, f64, f64)> =
+                sigmas.iter().map(|&(p, sigma)| (p, sigma, width_of(p))).collect();
             // A series batch holds at most one source and one sink per
             // buffered flip-flop, so 2 * nb is the structural slot count
             // for buffer-incident paths (which required paths all are).
@@ -211,16 +236,32 @@ impl EffiTestFlow {
         let lambda = compute_hold_bounds(model, &self.config.hold);
         let epsilon = self.epsilon_for(model);
 
-        Ok(PreparedFlow {
+        Ok(FlowPlan {
             bench,
             model,
             groups,
             batches,
             lambda,
             buffers,
+            oracle,
+            predicted_sigmas: sigmas,
             epsilon,
             prep_time: started.elapsed(),
         })
+    }
+
+    /// Former name of [`plan`](Self::plan), kept for source compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`plan`](Self::plan).
+    #[deprecated(note = "renamed to `plan`")]
+    pub fn prepare<'a>(
+        &self,
+        bench: &'a GeneratedBenchmark,
+        model: &'a TimingModel,
+    ) -> Result<FlowPlan<'a>, FlowError> {
+        self.plan(bench, model)
     }
 
     /// The convergence threshold derived from the model.
@@ -233,12 +274,14 @@ impl EffiTestFlow {
 
     /// Phase 1+2 on a chip: aligned test of all batches, then statistical
     /// prediction. The result is independent of the designated period, so
-    /// yield studies can reuse it across periods.
+    /// yield studies can reuse it across periods. The returned
+    /// [`AlignedTestResult`] carries the iteration count, alignment solve
+    /// time, and contradiction count.
     pub fn test_and_predict(
         &self,
-        prepared: &PreparedFlow<'_>,
+        prepared: &FlowPlan<'_>,
         chip: &ChipInstance,
-    ) -> (PredictedRanges, u64, Duration) {
+    ) -> (PredictedRanges, AlignedTestResult) {
         let mut tester = VirtualTester::new(chip);
         let aligned = run_aligned_test(
             prepared.model,
@@ -253,14 +296,14 @@ impl EffiTestFlow {
             &aligned.bounds,
             self.config.bound_sigma,
         );
-        (predicted, aligned.iterations, aligned.align_time)
+        (predicted, aligned)
     }
 
     /// Phase 3 on a chip: configure the buffers for `clock_period` from
     /// the given ranges and run the final pass/fail test.
     pub fn configure_and_check(
         &self,
-        prepared: &PreparedFlow<'_>,
+        prepared: &FlowPlan<'_>,
         chip: &ChipInstance,
         ranges: &[DelayBounds],
         clock_period: f64,
@@ -293,7 +336,7 @@ impl EffiTestFlow {
     /// not match the prepared model.
     pub fn run_chip(
         &self,
-        prepared: &PreparedFlow<'_>,
+        prepared: &FlowPlan<'_>,
         chip: &ChipInstance,
         clock_period: f64,
     ) -> Result<ChipOutcome, FlowError> {
@@ -303,15 +346,16 @@ impl EffiTestFlow {
                 model_paths: prepared.model.path_count(),
             });
         }
-        let (predicted, iterations, align_time) = self.test_and_predict(prepared, chip);
+        let (predicted, aligned) = self.test_and_predict(prepared, chip);
         let (configured, passes, config_time) =
             self.configure_and_check(prepared, chip, &predicted.ranges, clock_period);
         Ok(ChipOutcome {
-            iterations,
-            align_time,
+            iterations: aligned.iterations,
+            align_time: aligned.align_time,
             config_time,
             configured,
             passes,
+            contradictions: aligned.contradictions,
             ranges: predicted.ranges,
             measured: predicted.measured,
         })
@@ -322,7 +366,7 @@ impl EffiTestFlow {
     /// methods the paper compares against.
     pub fn run_chip_path_wise(
         &self,
-        prepared: &PreparedFlow<'_>,
+        prepared: &FlowPlan<'_>,
         chip: &ChipInstance,
     ) -> PathWiseOutcome {
         let model = prepared.model;
@@ -345,17 +389,18 @@ impl EffiTestFlow {
     /// Returns the iterations consumed and the measured bounds.
     pub fn test_paths_multiplexed(
         &self,
-        prepared: &PreparedFlow<'_>,
+        prepared: &FlowPlan<'_>,
         chip: &ChipInstance,
         paths: &[usize],
         use_alignment: bool,
     ) -> (u64, HashMap<usize, DelayBounds>) {
-        let oracle = ConflictOracle::new(prepared.bench, paths);
+        // The plan's oracle covers all required paths, so any subset can be
+        // batched against it — no per-call conflict-graph rebuild.
         let widths: Vec<f64> = paths
             .iter()
             .map(|&p| 2.0 * self.config.bound_sigma * prepared.model.path_sigma(p))
             .collect();
-        let batches = build_batches(&oracle, paths, Some(&widths));
+        let batches = build_batches(&prepared.oracle, paths, Some(&widths));
         let mut tester = VirtualTester::new(chip);
         let mut config = self.aligned_config(prepared.epsilon);
         config.use_alignment = use_alignment;
@@ -395,7 +440,7 @@ mod tests {
     fn prepare_reports_sane_statistics() {
         let (bench, model) = fixture();
         let flow = EffiTestFlow::new(FlowConfig::default());
-        let prepared = flow.prepare(&bench, &model).unwrap();
+        let prepared = flow.plan(&bench, &model).unwrap();
         let npt = prepared.tested_path_count();
         assert!(npt >= 1);
         assert!(npt <= model.path_count());
@@ -407,6 +452,28 @@ mod tests {
     }
 
     #[test]
+    fn plan_exposes_chip_independent_artifacts() {
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let plan = flow.plan(&bench, &model).unwrap();
+        // The oracle spans every required path, so any subset can be
+        // re-batched against it without rebuilding the conflict graph.
+        assert_eq!(plan.oracle.paths().len(), model.path_count());
+        // Predicted sigmas cover exactly the unselected paths.
+        let selected = crate::select::all_selected(&plan.groups);
+        assert_eq!(plan.predicted_sigmas.len(), model.path_count() - selected.len());
+        for &(p, sigma) in &plan.predicted_sigmas {
+            assert!(!selected.contains(&p));
+            assert!(sigma >= 0.0);
+        }
+        // `prepare` is the same computation under the legacy name.
+        #[allow(deprecated)]
+        let prepared = flow.prepare(&bench, &model).unwrap();
+        assert_eq!(prepared.batches.batches, plan.batches.batches);
+        assert_eq!(prepared.epsilon, plan.epsilon);
+    }
+
+    #[test]
     fn full_flow_reduces_iterations_massively() {
         // Slightly larger than the shared fixture: with only ~8 paths the
         // multiplexing and prediction savings cannot amortize and the
@@ -415,7 +482,7 @@ mod tests {
         let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(8), 1);
         let model = TimingModel::build(&bench, &VariationConfig::paper());
         let flow = EffiTestFlow::new(FlowConfig::default());
-        let prepared = flow.prepare(&bench, &model).unwrap();
+        let prepared = flow.plan(&bench, &model).unwrap();
         let td = model.nominal_period();
 
         let mut ours = 0_u64;
@@ -440,7 +507,7 @@ mod tests {
         // >= untuned at a stringent period.
         let (bench, model) = fixture();
         let flow = EffiTestFlow::new(FlowConfig::default());
-        let prepared = flow.prepare(&bench, &model).unwrap();
+        let prepared = flow.plan(&bench, &model).unwrap();
         let periods: Vec<f64> =
             (0..200).map(|s| model.sample_chip(s).min_period_untuned()).collect();
         let td = empirical_quantile(&periods, 0.5);
@@ -473,7 +540,7 @@ mod tests {
     fn passes_implies_configured() {
         let (bench, model) = fixture();
         let flow = EffiTestFlow::new(FlowConfig::default());
-        let prepared = flow.prepare(&bench, &model).unwrap();
+        let prepared = flow.plan(&bench, &model).unwrap();
         let td = model.nominal_period() * 0.97;
         for seed in 0..10 {
             let chip = model.sample_chip(50 + seed);
@@ -489,7 +556,7 @@ mod tests {
     fn mismatched_chip_is_rejected() {
         let (bench, model) = fixture();
         let flow = EffiTestFlow::new(FlowConfig::default());
-        let prepared = flow.prepare(&bench, &model).unwrap();
+        let prepared = flow.plan(&bench, &model).unwrap();
         let bogus = ChipInstance::new(0, vec![1.0], vec![None]);
         assert!(matches!(
             flow.run_chip(&prepared, &bogus, 1.0),
@@ -501,7 +568,7 @@ mod tests {
     fn ablation_no_alignment_still_converges() {
         let (bench, model) = fixture();
         let flow = EffiTestFlow::new(FlowConfig::default());
-        let prepared = flow.prepare(&bench, &model).unwrap();
+        let prepared = flow.plan(&bench, &model).unwrap();
         let chip = model.sample_chip(77);
         let paths: Vec<usize> = (0..model.path_count()).collect();
         let (iters_plain, bounds_plain) =

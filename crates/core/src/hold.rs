@@ -121,7 +121,7 @@ fn greedy_discard(samples: &[Vec<f64>], discards: usize) -> Vec<bool> {
         .iter()
         .map(|vals| {
             let mut idx: Vec<usize> = (0..m).collect();
-            idx.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).expect("finite samples"));
+            idx.sort_by(|&a, &b| vals[b].total_cmp(&vals[a]));
             idx
         })
         .collect();
@@ -153,7 +153,7 @@ fn greedy_discard(samples: &[Vec<f64>], discards: usize) -> Vec<bool> {
         // nothing.
         let victim = reduction
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite reductions"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(&k, _)| k)
             .or_else(|| kept.iter().position(|&b| b));
         match victim {

@@ -25,9 +25,12 @@
 //! 6. **Buffer configuration** ([`configure`]) — eqs. 15–18 via
 //!    `effitest_solver::config`, followed by the final pass/fail test.
 //!
-//! [`EffiTestFlow`] orchestrates all of it; [`experiments`] contains the
-//! drivers that regenerate every table and figure of the paper's
-//! evaluation.
+//! [`EffiTestFlow`] orchestrates all of it. The chip-independent offline
+//! artifacts live in a [`FlowPlan`] built once per circuit;
+//! [`population`] fans the per-chip step out across worker threads with
+//! bitwise-deterministic results; [`experiments`] contains the drivers
+//! that regenerate every table and figure of the paper's evaluation on
+//! top of the population engine.
 //!
 //! # Example
 //!
@@ -39,7 +42,7 @@
 //! let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(20), 1);
 //! let model = TimingModel::build(&bench, &VariationConfig::paper());
 //! let flow = EffiTestFlow::new(FlowConfig::default());
-//! let prepared = flow.prepare(&bench, &model).unwrap();
+//! let prepared = flow.plan(&bench, &model).unwrap();
 //! let chip = model.sample_chip(42);
 //! let td = model.nominal_period();
 //! let outcome = flow.run_chip(&prepared, &chip, td).unwrap();
@@ -58,7 +61,10 @@ pub mod configure;
 pub mod experiments;
 mod flow;
 pub mod hold;
+pub mod population;
 pub mod predict;
 pub mod select;
 
-pub use flow::{ChipOutcome, EffiTestFlow, FlowConfig, FlowError, PreparedFlow};
+#[allow(deprecated)]
+pub use flow::PreparedFlow;
+pub use flow::{ChipOutcome, EffiTestFlow, FlowConfig, FlowError, FlowPlan};

@@ -1,0 +1,326 @@
+//! Parallel chip-population engine.
+//!
+//! The paper's evaluation (§4, Table 1) runs the EffiTest flow over a
+//! **10 000-chip Monte-Carlo population per circuit**. Everything the flow
+//! needs besides the chip itself — path grouping, Welsh–Powell batches,
+//! the sensitization conflict graph, predicted sigmas, hold bounds — is
+//! chip-independent and lives in a [`FlowPlan`] built once per circuit.
+//! This module supplies the other half: a deterministic engine that fans
+//! the *per-chip* step out across worker threads.
+//!
+//! # Determinism
+//!
+//! Results are **bitwise identical regardless of thread count or
+//! completion order**:
+//!
+//! * every chip `k` is sampled from the seed
+//!   [`PopulationConfig::chip_seed`]`(k)` — derived from the base seed and
+//!   `k` alone, never from which worker picks the chip up;
+//! * the per-chip closure receives only the shared plan (immutable) and
+//!   its own chip, so no cross-chip state can leak;
+//! * results are scattered back into position `k`, so the output order is
+//!   the chip order, not the completion order.
+//!
+//! The CI workflow runs the end-to-end suite at `EFFITEST_THREADS=1` and
+//! `EFFITEST_THREADS=4` to keep this property load-bearing.
+//!
+//! # Threads
+//!
+//! The worker count comes from [`PopulationConfig::threads`]; drivers fill
+//! it from the `EFFITEST_THREADS` environment variable via
+//! [`threads_from_env`] (default: the machine's available parallelism).
+//! An unparseable override is a hard error, not a silent fallback.
+//!
+//! # Example
+//!
+//! ```
+//! use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+//! use effitest_core::population::{run_population, PopulationConfig};
+//! use effitest_core::{EffiTestFlow, FlowConfig};
+//! use effitest_ssta::{TimingModel, VariationConfig};
+//!
+//! let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(20), 1);
+//! let model = TimingModel::build(&bench, &VariationConfig::paper());
+//! let flow = EffiTestFlow::new(FlowConfig::default());
+//! let plan = flow.plan(&bench, &model).unwrap();
+//! let td = model.nominal_period();
+//!
+//! let pop = PopulationConfig { n_chips: 8, base_seed: 1000, threads: 2 };
+//! let iterations: Vec<u64> = run_population(&model, &pop, |_k, chip| {
+//!     flow.run_chip(&plan, chip, td).unwrap().iterations
+//! });
+//! assert_eq!(iterations.len(), 8);
+//! // Identical to the serial run, element for element:
+//! let serial = run_population(&model, &PopulationConfig { threads: 1, ..pop }, |_k, chip| {
+//!     flow.run_chip(&plan, chip, td).unwrap().iterations
+//! });
+//! assert_eq!(iterations, serial);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use effitest_ssta::{ChipInstance, TimingModel};
+
+use crate::{ChipOutcome, EffiTestFlow, FlowPlan};
+
+/// Name of the environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "EFFITEST_THREADS";
+
+/// How a population run samples and distributes its chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationConfig {
+    /// Number of chips in the Monte-Carlo population (paper: 10 000).
+    pub n_chips: usize,
+    /// Base sampling seed; chip `k` uses `base_seed.wrapping_add(k)`.
+    pub base_seed: u64,
+    /// Worker threads. `1` runs inline on the calling thread; results are
+    /// identical either way.
+    pub threads: usize,
+}
+
+impl PopulationConfig {
+    /// A config with the default thread count ([`default_threads`]).
+    pub fn new(n_chips: usize, base_seed: u64) -> Self {
+        PopulationConfig { n_chips, base_seed, threads: default_threads() }
+    }
+
+    /// A single-threaded config (the reference serial order).
+    pub fn serial(n_chips: usize, base_seed: u64) -> Self {
+        PopulationConfig { n_chips, base_seed, threads: 1 }
+    }
+
+    /// The sampling seed of chip `k` — a pure function of the base seed
+    /// and the chip index, which is what makes the engine deterministic
+    /// under any scheduling.
+    pub fn chip_seed(&self, k: usize) -> u64 {
+        self.base_seed.wrapping_add(k as u64)
+    }
+}
+
+/// The default worker count: the machine's available parallelism (1 if it
+/// cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses a positive integer override such as `EFFITEST_CHIPS` or
+/// `EFFITEST_THREADS`.
+///
+/// # Errors
+///
+/// Returns a descriptive message when `raw` is not a positive integer —
+/// callers must treat this as a hard error (a typo'd override silently
+/// falling back to a default has burned us before).
+pub fn parse_env_count(name: &str, raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!("{name} must be a positive integer, got 0")),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!("{name} must be a positive integer, got {raw:?}: {e}")),
+    }
+}
+
+/// Reads an optional positive-integer environment override: `Ok(None)`
+/// when `name` is unset, `Ok(Some(n))` when it parses.
+///
+/// # Errors
+///
+/// Returns an error when the variable is set but not a positive integer
+/// (or not valid UTF-8). Invalid input is never silently ignored.
+pub fn env_count(name: &str) -> Result<Option<usize>, String> {
+    match std::env::var(name) {
+        Ok(raw) => parse_env_count(name, &raw).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(v)) => Err(format!("{name} is not valid UTF-8: {v:?}")),
+    }
+}
+
+/// Reads the worker-thread count from `EFFITEST_THREADS`, defaulting to
+/// [`default_threads`] when the variable is unset.
+///
+/// # Errors
+///
+/// Same as [`env_count`].
+pub fn threads_from_env() -> Result<usize, String> {
+    Ok(env_count(THREADS_ENV)?.unwrap_or_else(default_threads))
+}
+
+/// Runs `per_chip` over the whole population, in parallel, returning one
+/// result per chip **in chip order**.
+///
+/// Chip `k` is sampled from [`PopulationConfig::chip_seed`]`(k)` inside
+/// whichever worker claims index `k`, so sampling cost parallelizes along
+/// with the flow itself. With `threads <= 1` the loop runs inline on the
+/// calling thread; the results are bitwise identical either way.
+///
+/// # Panics
+///
+/// Propagates a panic from `per_chip` (the first panicking worker's
+/// payload is re-raised on the calling thread).
+pub fn run_population<R, F>(model: &TimingModel, config: &PopulationConfig, per_chip: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &ChipInstance) -> R + Sync,
+{
+    let n = config.n_chips;
+    let work = |k: usize| {
+        let chip = model.sample_chip(config.chip_seed(k));
+        per_chip(k, &chip)
+    };
+    let threads = config.threads.min(n).max(1);
+    if threads == 1 {
+        return (0..n).map(work).collect();
+    }
+
+    // Work stealing over a shared atomic index; each worker accumulates
+    // `(index, result)` locally and the caller scatters by index, so the
+    // output never depends on completion order.
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        local.push((k, work(k)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (k, r) in local {
+                        slots[k] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every chip index was claimed exactly once")).collect()
+}
+
+/// Convenience wrapper: the complete per-chip flow
+/// ([`EffiTestFlow::run_chip`]) over a population at one designated clock
+/// period, sharing a single plan.
+///
+/// # Panics
+///
+/// Panics if the plan's model disagrees with its own chip sampling — which
+/// cannot happen for a plan built by [`EffiTestFlow::plan`].
+pub fn run_flow_population(
+    flow: &EffiTestFlow,
+    plan: &FlowPlan<'_>,
+    clock_period: f64,
+    config: &PopulationConfig,
+) -> Vec<ChipOutcome> {
+    run_population(plan.model, config, |_k, chip| {
+        flow.run_chip(plan, chip, clock_period).expect("plan-sampled chip always matches")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowConfig;
+    use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+    use effitest_ssta::VariationConfig;
+
+    fn fixture() -> (GeneratedBenchmark, TimingModel) {
+        let bench =
+            GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(10), 1);
+        let model = TimingModel::build(&bench, &VariationConfig::paper());
+        (bench, model)
+    }
+
+    #[test]
+    fn plan_and_flow_are_shareable_across_threads() {
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_sync::<FlowPlan<'static>>();
+        assert_send::<FlowPlan<'static>>();
+        assert_sync::<EffiTestFlow>();
+        assert_send::<ChipOutcome>();
+    }
+
+    #[test]
+    fn results_are_in_chip_order_and_thread_invariant() {
+        let (_, model) = fixture();
+        let base = PopulationConfig { n_chips: 13, base_seed: 400, threads: 1 };
+        let serial = run_population(&model, &base, |k, chip| (k, chip.seed()));
+        for (k, &(rk, seed)) in serial.iter().enumerate() {
+            assert_eq!(rk, k);
+            assert_eq!(seed, base.chip_seed(k));
+        }
+        for threads in [2, 3, 8, 64] {
+            let par = run_population(&model, &PopulationConfig { threads, ..base }, |k, chip| {
+                (k, chip.seed())
+            });
+            assert_eq!(par, serial, "thread count {threads} reordered results");
+        }
+    }
+
+    #[test]
+    fn full_flow_outcomes_are_bitwise_deterministic_across_threads() {
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let plan = flow.plan(&bench, &model).unwrap();
+        let td = model.nominal_period();
+        let key = |o: &ChipOutcome| {
+            (
+                o.iterations,
+                o.passes,
+                o.configured.clone().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+            )
+        };
+        let base = PopulationConfig { n_chips: 6, base_seed: 900, threads: 1 };
+        let serial: Vec<_> = run_flow_population(&flow, &plan, td, &base).iter().map(key).collect();
+        for threads in [2, 4] {
+            let par: Vec<_> =
+                run_flow_population(&flow, &plan, td, &PopulationConfig { threads, ..base })
+                    .iter()
+                    .map(key)
+                    .collect();
+            assert_eq!(par, serial, "outcomes drifted at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_population_is_fine() {
+        let (_, model) = fixture();
+        let pop = PopulationConfig { n_chips: 0, base_seed: 1, threads: 4 };
+        let out: Vec<u64> = run_population(&model, &pop, |_k, chip| chip.seed());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parse_env_count_accepts_positive_integers_only() {
+        assert_eq!(parse_env_count("X", "12"), Ok(12));
+        assert_eq!(parse_env_count("X", "  3 "), Ok(3));
+        assert!(parse_env_count("X", "0").unwrap_err().contains("got 0"));
+        assert!(parse_env_count("X", "ten").unwrap_err().contains("positive integer"));
+        assert!(parse_env_count("X", "-4").unwrap_err().contains("X"));
+        assert!(parse_env_count("X", "3.5").unwrap_err().contains("3.5"));
+        assert!(parse_env_count("X", "").unwrap_err().contains("positive integer"));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let (_, model) = fixture();
+        let pop = PopulationConfig { n_chips: 8, base_seed: 0, threads: 3 };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_population(&model, &pop, |k, _chip| {
+                assert!(k != 5, "boom on chip 5");
+                k
+            })
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+}

@@ -121,7 +121,7 @@ impl SymmetricEigen {
         let n = m.rows();
         let mut order: Vec<usize> = (0..n).collect();
         let diag = m.diagonal();
-        order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+        order.sort_by(|&a, &b| diag[b].total_cmp(&diag[a]));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
         let mut eigenvectors = Matrix::zeros(n, n);
         for (new_col, &old_col) in order.iter().enumerate() {

@@ -135,7 +135,7 @@ impl Pca {
             .iter()
             .enumerate()
             .filter(|(i, _)| !excluded.contains(i))
-            .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).expect("finite loadings"))
+            .max_by(|(_, a), (_, b)| a.abs().total_cmp(&b.abs()))
             .map(|(i, _)| i)
     }
 }

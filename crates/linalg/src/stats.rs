@@ -139,12 +139,20 @@ pub fn normal_quantile(p: f64) -> f64 {
 /// Empirical quantile by linear interpolation on the sorted sample.
 ///
 /// Returns `f64::NAN` for empty input; `q` is clamped to `[0, 1]`.
+///
+/// # NaN handling
+///
+/// Samples are ordered with [`f64::total_cmp`], so NaN inputs never panic
+/// mid-experiment: positive NaNs sort above `+inf` and negative NaNs below
+/// `-inf`. A NaN sample therefore only contaminates the extreme quantiles
+/// it sorts into (and any interpolation touching it) instead of aborting
+/// the whole run.
 pub fn empirical_quantile(xs: &[f64], q: f64) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -212,5 +220,15 @@ mod tests {
         assert_eq!(empirical_quantile(&xs, 1.0), 4.0);
         assert!((empirical_quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
         assert!(empirical_quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn empirical_quantile_tolerates_nan_samples() {
+        // A NaN sample must not panic; it sorts to an extreme end
+        // (total_cmp order) and only affects the quantiles that touch it.
+        let xs = [4.0, f64::NAN, 1.0, 3.0, 2.0];
+        assert_eq!(empirical_quantile(&xs, 0.0), 1.0);
+        assert!((empirical_quantile(&xs, 0.5) - 3.0).abs() < 1e-12);
+        assert!(empirical_quantile(&xs, 1.0).is_nan());
     }
 }

@@ -140,7 +140,7 @@ pub fn sorted_center_weights(centers: &[f64], k0: f64, kd: f64) -> Vec<f64> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| centers[a].partial_cmp(&centers[b]).expect("finite centers"));
+    order.sort_by(|&a, &b| centers[a].total_cmp(&centers[b]));
     let middle = (n - 1) / 2;
     let mut weights = vec![0.0; n];
     for (rank, &idx) in order.iter().enumerate() {

@@ -26,7 +26,7 @@ pub fn weighted_median(points: &[(f64, f64)]) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<(f64, f64)> = points.iter().map(|&(x, w)| (x, w.max(0.0))).collect();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite positions"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let half = total / 2.0;
     let mut acc = 0.0;
     for &(x, w) in &sorted {

@@ -43,13 +43,39 @@
 
 use effitest_ssta::ChipInstance;
 
+/// What one frequency-stepping observation did to a [`DelayBounds`]
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observation {
+    /// The observation moved one of the bounds inward.
+    Tightened,
+    /// The observation lies outside the interval on the side it cannot
+    /// tighten; the interval is unchanged.
+    Uninformative,
+    /// The observation contradicts the *opposite* bound: a pass below
+    /// `lower` or a fail above `upper`. The interval saturates to zero
+    /// width at the contradicted endpoint (see [`DelayBounds::update`]).
+    Contradictory,
+}
+
 /// A delay interval `[lower, upper]` being narrowed by frequency stepping.
+///
+/// The initial bounds (from [`new`](Self::new) or
+/// [`from_gaussian`](Self::from_gaussian)) are *assumed*: the paper
+/// initializes at `mu ± 3 sigma` without any silicon evidence. Each call to
+/// [`update`](Self::update) that tightens a bound marks that side *proven*
+/// — backed by an actual pass/fail observation. The distinction matters
+/// for contradiction handling: see [`update`](Self::update).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelayBounds {
-    /// Proven lower bound `l_ij`.
+    /// Lower bound `l_ij` (assumed until a fail proves it).
     pub lower: f64,
-    /// Proven (or assumed, before the first pass) upper bound `u_ij`.
+    /// Upper bound `u_ij` (assumed until a pass proves it).
     pub upper: f64,
+    /// `true` once a fail observation established `lower`.
+    lower_proven: bool,
+    /// `true` once a pass observation established `upper`.
+    upper_proven: bool,
 }
 
 impl DelayBounds {
@@ -60,12 +86,22 @@ impl DelayBounds {
     /// Panics if `lower > upper`.
     pub fn new(lower: f64, upper: f64) -> Self {
         assert!(lower <= upper, "inverted delay bounds");
-        DelayBounds { lower, upper }
+        DelayBounds { lower, upper, lower_proven: false, upper_proven: false }
     }
 
     /// The paper's initialization: `mu +- k sigma` (k = 3 in §3.3).
     pub fn from_gaussian(mu: f64, sigma: f64, k: f64) -> Self {
-        DelayBounds { lower: mu - k * sigma, upper: mu + k * sigma }
+        DelayBounds::new(mu - k * sigma, mu + k * sigma)
+    }
+
+    /// `true` once a fail observation has established the lower bound.
+    pub fn lower_proven(&self) -> bool {
+        self.lower_proven
+    }
+
+    /// `true` once a pass observation has established the upper bound.
+    pub fn upper_proven(&self) -> bool {
+        self.upper_proven
     }
 
     /// Interval midpoint (the "center" the alignment step targets).
@@ -88,16 +124,76 @@ impl DelayBounds {
     ///
     /// Pass (`passed == true`) proves `D <= period - shift`, tightening the
     /// upper bound; fail proves `D > period - shift`, raising the lower
-    /// bound (paper Procedure 2, lines 8–12). Observations outside the
-    /// current interval are clamped (they carry no new information).
-    pub fn update(&mut self, period: f64, shift: f64, passed: bool) {
+    /// bound (paper Procedure 2, lines 8–12). The return value reports what
+    /// the observation did — see [`Observation`].
+    ///
+    /// # Contradictions
+    ///
+    /// A pass below `lower` or a fail above `upper` contradicts the
+    /// opposite bound. The interval **saturates** to zero width at the
+    /// contradicted endpoint (`[lower, lower]` respectively
+    /// `[upper, upper]`) instead of inverting, and the call returns
+    /// [`Observation::Contradictory`] so callers can count or reject the
+    /// chip. Against the initial *assumed* `mu ± k sigma` window this is
+    /// the paper's accepted out-of-model inaccuracy (a chip beyond
+    /// 3 sigma converges to the window boundary). Against a bound that was
+    /// *proven* by an earlier observation it is physically impossible for a
+    /// chip with frozen delays — it indicates an inconsistent tester or
+    /// caller bug, and fires a debug assertion. A nominal contradiction of
+    /// a *proven* bound within a relative slack of ~1e-9 is treated as
+    /// rounding noise and reported [`Observation::Uninformative`] with the
+    /// interval untouched: the tester evaluates `D + shift <= period`
+    /// while this method reconstructs `period - shift`, and the two
+    /// roundings can disagree by a few ulps on a perfectly consistent
+    /// chip.
+    #[must_use = "check for Observation::Contradictory — in release builds a contradiction \
+                  saturates the interval silently otherwise"]
+    pub fn update(&mut self, period: f64, shift: f64, passed: bool) -> Observation {
+        // Tolerance against a *proven* bound only (never for the interval
+        // arithmetic itself): rounding noise between the tester's
+        // `D + shift <= period` and our `period - shift` stays many orders
+        // of magnitude below this.
+        let slack = self.lower.abs().max(self.upper.abs()).max(1.0) * 1e-9;
         let measured = period - shift;
         if passed {
-            if measured < self.upper {
-                self.upper = measured.max(self.lower);
+            if measured < self.lower {
+                if self.lower_proven && measured > self.lower - slack {
+                    // Rounding noise against a proven bound: no information.
+                    return Observation::Uninformative;
+                }
+                debug_assert!(
+                    !self.lower_proven,
+                    "contradictory pass: proves delay <= {measured}, but an earlier fail \
+                     proved delay > {}",
+                    self.lower
+                );
+                self.upper = self.lower;
+                Observation::Contradictory
+            } else if measured < self.upper {
+                self.upper = measured;
+                self.upper_proven = true;
+                Observation::Tightened
+            } else {
+                Observation::Uninformative
             }
+        } else if measured > self.upper {
+            if self.upper_proven && measured < self.upper + slack {
+                return Observation::Uninformative;
+            }
+            debug_assert!(
+                !self.upper_proven,
+                "contradictory fail: proves delay > {measured}, but an earlier pass \
+                 proved delay <= {}",
+                self.upper
+            );
+            self.lower = self.upper;
+            Observation::Contradictory
         } else if measured > self.lower {
-            self.lower = measured.min(self.upper);
+            self.lower = measured;
+            self.lower_proven = true;
+            Observation::Tightened
+        } else {
+            Observation::Uninformative
         }
     }
 }
@@ -187,7 +283,10 @@ pub fn path_wise_binary_search(
     while !bounds.converged(epsilon) {
         let period = bounds.center();
         let passed = tester.apply_single(period, path, 0.0);
-        bounds.update(period, 0.0, passed);
+        let obs = bounds.update(period, 0.0, passed);
+        // The probe sits strictly inside the interval, so it can only
+        // tighten the side the pass/fail selects.
+        debug_assert_eq!(obs, Observation::Tightened);
     }
     tester.iterations() - start
 }
@@ -226,31 +325,84 @@ mod tests {
     fn bounds_update_rules() {
         let mut b = DelayBounds::new(0.0, 10.0);
         // Pass at T=6, shift 0: delay <= 6.
-        b.update(6.0, 0.0, true);
+        assert_eq!(b.update(6.0, 0.0, true), Observation::Tightened);
         assert_eq!(b.upper, 6.0);
         // Fail at T=3: delay > 3.
-        b.update(3.0, 0.0, false);
+        assert_eq!(b.update(3.0, 0.0, false), Observation::Tightened);
         assert_eq!(b.lower, 3.0);
         // Shifted probe: pass at T=7 with shift +2 proves delay <= 5.
-        b.update(7.0, 2.0, true);
+        assert_eq!(b.update(7.0, 2.0, true), Observation::Tightened);
         assert_eq!(b.upper, 5.0);
         // Uninformative observations are clamped.
-        b.update(100.0, 0.0, true);
+        assert_eq!(b.update(100.0, 0.0, true), Observation::Uninformative);
         assert_eq!(b.upper, 5.0);
-        b.update(-100.0, 0.0, false);
+        assert_eq!(b.update(-100.0, 0.0, false), Observation::Uninformative);
         assert_eq!(b.lower, 3.0);
     }
 
     #[test]
     fn bounds_never_invert() {
         let mut b = DelayBounds::new(4.0, 6.0);
-        // A fail above the upper bound clamps to upper.
-        b.update(100.0, 0.0, false);
+        // A fail above the *assumed* upper bound saturates to upper and is
+        // reported as contradictory (documented saturating behavior).
+        assert_eq!(b.update(100.0, 0.0, false), Observation::Contradictory);
         assert!(b.lower <= b.upper);
         assert_eq!(b.lower, 6.0);
+        assert_eq!(b.width(), 0.0);
         let mut b2 = DelayBounds::new(4.0, 6.0);
-        b2.update(-50.0, 0.0, true);
+        assert_eq!(b2.update(-50.0, 0.0, true), Observation::Contradictory);
         assert!(b2.lower <= b2.upper);
+        assert_eq!(b2.upper, 4.0);
+    }
+
+    #[test]
+    fn update_classifies_observations() {
+        let mut b = DelayBounds::new(0.0, 10.0);
+        assert!(!b.lower_proven() && !b.upper_proven());
+        assert_eq!(b.update(6.0, 0.0, true), Observation::Tightened);
+        assert!(b.upper_proven() && !b.lower_proven());
+        assert_eq!(b.update(2.0, 0.0, false), Observation::Tightened);
+        assert!(b.lower_proven());
+        // Outside the interval on the uninformative side: no change.
+        assert_eq!(b.update(9.0, 0.0, true), Observation::Uninformative);
+        assert_eq!(b.update(1.0, 0.0, false), Observation::Uninformative);
+        assert_eq!((b.lower, b.upper), (2.0, 6.0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "contradictory fail")]
+    fn contradicting_a_proven_upper_bound_asserts_in_debug() {
+        let mut b = DelayBounds::new(0.0, 10.0);
+        // A pass at 6 proves delay <= 6 ...
+        assert_eq!(b.update(6.0, 0.0, true), Observation::Tightened);
+        // ... so a fail at 8 (delay > 8) is impossible for a frozen chip.
+        let _ = b.update(8.0, 0.0, false);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "contradictory pass")]
+    fn contradicting_a_proven_lower_bound_asserts_in_debug() {
+        let mut b = DelayBounds::new(0.0, 10.0);
+        // A fail at 5 proves delay > 5 ...
+        assert_eq!(b.update(5.0, 0.0, false), Observation::Tightened);
+        // ... so a pass at 3 (delay <= 3) is impossible for a frozen chip.
+        let _ = b.update(3.0, 0.0, true);
+    }
+
+    #[test]
+    fn tester_types_are_send_and_sync_clean() {
+        // The population engine shares chips across worker threads and
+        // moves testers into them; keep these bounds load-bearing.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<ChipInstance>();
+        assert_sync::<ChipInstance>();
+        assert_send::<VirtualTester<'static>>();
+        assert_sync::<VirtualTester<'static>>();
+        assert_send::<DelayBounds>();
+        assert_sync::<DelayBounds>();
     }
 
     #[test]

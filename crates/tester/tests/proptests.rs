@@ -2,7 +2,9 @@
 //! iteration-count invariants of frequency stepping.
 
 use effitest_ssta::ChipInstance;
-use effitest_tester::{chip_passes, path_wise_binary_search, DelayBounds, VirtualTester};
+use effitest_tester::{
+    chip_passes, path_wise_binary_search, DelayBounds, Observation, VirtualTester,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -75,19 +77,49 @@ proptest! {
         prop_assert_eq!(chip_passes(&chip, period, &shifts), expected);
     }
 
-    /// Bounds updates are monotone: widths never grow.
+    /// Bounds updates are monotone: widths never grow. Observations are
+    /// generated from a frozen true delay (as a real chip produces them),
+    /// so no probe sequence can contradict a previously proven bound.
     #[test]
     fn bounds_updates_never_widen(
         lo in 0.0_f64..50.0,
         width in 0.1_f64..50.0,
-        probes in proptest::collection::vec((0.0_f64..120.0, -10.0_f64..10.0, proptest::bool::ANY), 1..20),
+        truth in 0.0_f64..110.0,
+        probes in proptest::collection::vec((0.0_f64..120.0, -10.0_f64..10.0), 1..20),
     ) {
         let mut b = DelayBounds::new(lo, lo + width);
-        for &(t, shift, passed) in &probes {
+        for &(t, shift) in &probes {
+            let passed = truth + shift <= t;
             let before = b.width();
-            b.update(t, shift, passed);
+            let _ = b.update(t, shift, passed);
             prop_assert!(b.width() <= before + 1e-12);
             prop_assert!(b.lower <= b.upper);
         }
+    }
+
+    /// A contradictory observation (only possible against the *assumed*
+    /// initial window: a chip whose true delay lies outside it) saturates
+    /// the interval to zero width at the contradicted endpoint — it never
+    /// inverts the bounds.
+    #[test]
+    fn contradictions_saturate_without_inverting(
+        lo in 0.0_f64..50.0,
+        width in 0.1_f64..50.0,
+        margin in 0.001_f64..30.0,
+        fail_side in proptest::bool::ANY,
+    ) {
+        let mut b = DelayBounds::new(lo, lo + width);
+        let obs = if fail_side {
+            // Fail above the assumed upper bound.
+            b.update(lo + width + margin, 0.0, false)
+        } else {
+            // Pass below the assumed lower bound.
+            b.update(lo - margin, 0.0, true)
+        };
+        prop_assert_eq!(obs, Observation::Contradictory);
+        prop_assert!(b.lower <= b.upper);
+        prop_assert_eq!(b.width(), 0.0);
+        let endpoint = if fail_side { lo + width } else { lo };
+        prop_assert_eq!(b.lower, endpoint);
     }
 }

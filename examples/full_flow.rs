@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model)?;
+    let prepared = flow.plan(&bench, &model)?;
     println!(
         "[select]    {} groups; representatives per group: {:?}",
         prepared.groups.len(),

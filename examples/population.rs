@@ -1,0 +1,88 @@
+//! Serial-vs-parallel equivalence of the chip-population engine.
+//!
+//! Builds the chip-independent `FlowPlan` once, runs the same Monte-Carlo
+//! population serially and on worker threads, verifies the outcomes are
+//! bitwise identical, and reports the wall-clock comparison and the
+//! population yield.
+//!
+//! Run with: `cargo run --release --example population [n_chips] [threads]`
+//! (default: 64 chips, available parallelism).
+
+use std::time::Instant;
+
+use effitest::flow::population::{default_threads, parse_env_count, run_flow_population};
+use effitest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    // Same hard-error rule as the EFFITEST_* variables: a typo'd count
+    // must abort, not silently run the default population.
+    let n_chips: usize = match args.get(1) {
+        Some(raw) => parse_env_count("n_chips", raw)?,
+        None => 64,
+    };
+    let threads: usize = match args.get(2) {
+        Some(raw) => parse_env_count("threads", raw)?,
+        None => default_threads(),
+    };
+
+    let spec = BenchmarkSpec::iscas89_s9234();
+    println!("=== Population engine: {} chips of {} ===\n", n_chips, spec.name);
+
+    let bench = GeneratedBenchmark::generate(&spec, 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let plan = flow.plan(&bench, &model)?;
+    let td = model.nominal_period();
+    println!(
+        "[plan]      built once in {:?}: {} batches, {} tested of {} paths",
+        plan.prep_time,
+        plan.batches.len(),
+        plan.tested_path_count(),
+        model.path_count()
+    );
+
+    let serial_pop = PopulationConfig { n_chips, base_seed: 1000, threads: 1 };
+    let started = Instant::now();
+    let serial = run_flow_population(&flow, &plan, td, &serial_pop);
+    let serial_wall = started.elapsed();
+    println!("[serial]    1 thread:  {serial_wall:?}");
+
+    let parallel_pop = PopulationConfig { threads, ..serial_pop };
+    let started = Instant::now();
+    let parallel = run_flow_population(&flow, &plan, td, &parallel_pop);
+    let parallel_wall = started.elapsed();
+    println!(
+        "[parallel]  {} threads: {:?} ({:.2}x)",
+        threads,
+        parallel_wall,
+        serial_wall.as_secs_f64() / parallel_wall.as_secs_f64()
+    );
+
+    // Bitwise equivalence of everything the experiments consume.
+    assert_eq!(serial.len(), parallel.len());
+    for (k, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a.iterations, b.iterations, "iteration count differs on chip {k}");
+        assert_eq!(a.passes, b.passes, "pass/fail differs on chip {k}");
+        assert_eq!(a.configured, b.configured, "buffer configuration differs on chip {k}");
+        for (p, (ra, rb)) in a.ranges.iter().zip(&b.ranges).enumerate() {
+            assert!(
+                ra.lower.to_bits() == rb.lower.to_bits()
+                    && ra.upper.to_bits() == rb.upper.to_bits(),
+                "range differs on chip {k}, path {p}"
+            );
+        }
+    }
+    println!("[check]     serial and parallel outcomes are bitwise identical");
+
+    let passed = serial.iter().filter(|o| o.passes).count();
+    let iters: u64 = serial.iter().map(|o| o.iterations).sum();
+    println!(
+        "[result]    yield {}/{} ({:.1}%), {:.1} tester iterations per chip",
+        passed,
+        n_chips,
+        passed as f64 / n_chips as f64 * 100.0,
+        iters as f64 / n_chips as f64
+    );
+    Ok(())
+}

@@ -69,7 +69,7 @@ fn flow_demo() -> Result<(), Box<dyn std::error::Error>> {
 
     let model = TimingModel::build(&bench, &VariationConfig::paper());
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model)?;
+    let prepared = flow.plan(&bench, &model)?;
     println!(
         "prepared: {} groups, {} paths tested ({} batches), epsilon {:.3} ps",
         prepared.groups.len(),

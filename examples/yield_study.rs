@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = GeneratedBenchmark::generate(&spec, 1);
     let model = TimingModel::build(&bench, &VariationConfig::paper());
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model)?;
+    let prepared = flow.plan(&bench, &model)?;
 
     let chips: Vec<ChipInstance> =
         (0..n_chips as u64).map(|s| model.sample_chip(1000 + s)).collect();
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows: Vec<(&str, [usize; 2])> =
         vec![("untuned (x = 0)", [0, 0]), ("EffiTest flow", [0, 0]), ("ideal measurement", [0, 0])];
     for chip in &chips {
-        let (predicted, _, _) = flow.test_and_predict(&prepared, chip);
+        let (predicted, _aligned) = flow.test_and_predict(&prepared, chip);
         for (slot, &td) in [t1, t2].iter().enumerate() {
             if untuned_check(chip, td) {
                 rows[0].1[slot] += 1;

@@ -17,8 +17,9 @@
 //!   constraints, alignment and buffer-configuration solvers.
 //! * [`tester`] — the virtual tester (frequency stepping with tuning-buffer
 //!   scan configuration).
-//! * [`flow`] — the EffiTest flow itself plus drivers for every experiment
-//!   in the paper (`flow::experiments`).
+//! * [`flow`] — the EffiTest flow itself: the chip-independent
+//!   `FlowPlan`, the parallel chip-population engine (`flow::population`),
+//!   and drivers for every experiment in the paper (`flow::experiments`).
 //!
 //! # Quickstart
 //!
@@ -30,7 +31,7 @@
 //! let bench = GeneratedBenchmark::generate(&spec, 7);
 //! let model = TimingModel::build(&bench, &VariationConfig::paper());
 //! let flow = EffiTestFlow::new(FlowConfig::default());
-//! let prepared = flow.prepare(&bench, &model).unwrap();
+//! let prepared = flow.plan(&bench, &model).unwrap();
 //! let chip = model.sample_chip(42);
 //! let outcome = flow.run_chip(&prepared, &chip, model.nominal_period()).unwrap();
 //! assert!(outcome.iterations > 0);
@@ -51,7 +52,10 @@ pub mod prelude {
         BenchmarkSpec, FlipFlopId, GateId, GeneratedBenchmark, Netlist, PathId, TuningBufferSpec,
     };
     pub use effitest_core::experiments::ExperimentConfig;
-    pub use effitest_core::{ChipOutcome, EffiTestFlow, FlowConfig, PreparedFlow};
+    pub use effitest_core::population::{run_population, PopulationConfig};
+    #[allow(deprecated)]
+    pub use effitest_core::PreparedFlow;
+    pub use effitest_core::{ChipOutcome, EffiTestFlow, FlowConfig, FlowPlan};
     pub use effitest_ssta::{ChipInstance, TimingModel, VariationConfig};
     pub use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
 }

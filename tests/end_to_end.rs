@@ -12,8 +12,8 @@ fn flow_is_deterministic_for_fixed_seeds() {
     let (bench_a, model_a) = fixture(8, 3);
     let (bench_b, model_b) = fixture(8, 3);
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prep_a = flow.prepare(&bench_a, &model_a).expect("prepare");
-    let prep_b = flow.prepare(&bench_b, &model_b).expect("prepare");
+    let prep_a = flow.plan(&bench_a, &model_a).expect("prepare");
+    let prep_b = flow.plan(&bench_b, &model_b).expect("prepare");
     assert_eq!(prep_a.batches.batches, prep_b.batches.batches);
 
     let chip_a = model_a.sample_chip(5);
@@ -31,7 +31,7 @@ fn flow_is_deterministic_for_fixed_seeds() {
 fn iteration_reduction_holds_across_seeds() {
     let (bench, model) = fixture(8, 1);
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let prepared = flow.plan(&bench, &model).expect("prepare");
     let td = model.nominal_period();
 
     let mut ours = 0_u64;
@@ -55,7 +55,7 @@ fn iteration_reduction_holds_across_seeds() {
 fn measured_and_predicted_ranges_cover_true_delays() {
     let (bench, model) = fixture(8, 2);
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let prepared = flow.plan(&bench, &model).expect("prepare");
     let td = model.nominal_period();
 
     let mut hits = 0_usize;
@@ -79,7 +79,7 @@ fn measured_and_predicted_ranges_cover_true_delays() {
 fn yield_ordering_untuned_effitest_ideal() {
     let (bench, model) = fixture(8, 4);
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let prepared = flow.plan(&bench, &model).expect("prepare");
 
     let periods: Vec<f64> = (0..150).map(|s| model.sample_chip(s).min_period_untuned()).collect();
     let td = stats::empirical_quantile(&periods, 0.5);
@@ -108,7 +108,7 @@ fn yield_ordering_untuned_effitest_ideal() {
 fn tested_paths_converge_to_epsilon() {
     let (bench, model) = fixture(8, 6);
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let prepared = flow.plan(&bench, &model).expect("prepare");
     let chip = model.sample_chip(77);
     let outcome = flow.run_chip(&prepared, &chip, model.nominal_period()).expect("run");
     let tested = prepared.batches.tested_paths();
@@ -132,8 +132,29 @@ fn facade_prelude_compiles_and_runs() {
     // The README quickstart path, as a test.
     let (bench, model) = effitest::testkit::quickstart_fixture();
     let flow = EffiTestFlow::new(FlowConfig::default());
-    let prepared = flow.prepare(&bench, &model).expect("prepare");
+    let prepared = flow.plan(&bench, &model).expect("prepare");
     let chip = model.sample_chip(42);
     let outcome = flow.run_chip(&prepared, &chip, model.nominal_period()).expect("run");
     assert!(outcome.iterations > 0);
+}
+
+#[test]
+fn population_engine_runs_the_flow_at_env_threads() {
+    // Thread count straight from EFFITEST_THREADS (the CI matrix runs
+    // this suite at 1 and 4), so each matrix leg drives the full flow
+    // through a genuinely different worker count.
+    use effitest::flow::population::{run_flow_population, threads_from_env, PopulationConfig};
+    let threads = threads_from_env().expect("EFFITEST_THREADS must be a positive integer");
+    let (bench, model) = fixture(8, 3);
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let plan = flow.plan(&bench, &model).expect("plan");
+    let td = model.nominal_period();
+    let pop = PopulationConfig { n_chips: 8, base_seed: 500, threads };
+    let outcomes = run_flow_population(&flow, &plan, td, &pop);
+    let serial = run_flow_population(&flow, &plan, td, &PopulationConfig { threads: 1, ..pop });
+    for (k, (a, b)) in outcomes.iter().zip(&serial).enumerate() {
+        assert_eq!(a.iterations, b.iterations, "iterations drifted on chip {k}");
+        assert_eq!(a.passes, b.passes, "pass/fail drifted on chip {k}");
+        assert_eq!(a.configured, b.configured, "configuration drifted on chip {k}");
+    }
 }

@@ -1,0 +1,118 @@
+//! Thread-count determinism of the population engine and the experiment
+//! drivers built on it.
+//!
+//! The CI workflow runs this suite at `EFFITEST_THREADS=1` and
+//! `EFFITEST_THREADS=4`: `env_threads_match_the_serial_reference` reads
+//! the variable and compares against a pinned serial run, so each matrix
+//! leg genuinely exercises a different worker count. The remaining tests
+//! pin explicit thread counts so the guarantee also holds regardless of
+//! the environment.
+
+use effitest::flow::experiments::{table1_row, ExperimentConfig, Table1Row};
+use effitest::flow::population::{run_flow_population, run_population, PopulationConfig};
+use effitest::prelude::*;
+
+fn quick_config(threads: usize) -> ExperimentConfig {
+    let mut c =
+        ExperimentConfig { n_chips: 10, baseline_chips: 2, threads, ..ExperimentConfig::default() };
+    c.flow.hold.samples = 32;
+    c
+}
+
+/// Everything in a `Table1Row` except the wall-clock columns, bitwise.
+fn deterministic_fields(r: &Table1Row) -> (String, [usize; 5], [u64; 6]) {
+    (
+        r.name.clone(),
+        [r.ns, r.ng, r.nb, r.np, r.npt],
+        [
+            r.ta.to_bits(),
+            r.tv.to_bits(),
+            r.ta_prime.to_bits(),
+            r.tv_prime.to_bits(),
+            r.ra.to_bits(),
+            r.rv.to_bits(),
+        ],
+    )
+}
+
+#[test]
+fn env_threads_match_the_serial_reference() {
+    // Thread count straight from EFFITEST_THREADS (the CI matrix sets 1
+    // and 4); chip counts pinned so the reference run stays comparable.
+    let threads = ExperimentConfig::from_env().threads;
+    let env_driven = quick_config(threads);
+    let spec = BenchmarkSpec::iscas89_s9234().scaled_down(10);
+    assert_eq!(
+        deterministic_fields(&table1_row(&spec, &env_driven)),
+        deterministic_fields(&table1_row(&spec, &quick_config(1))),
+        "EFFITEST_THREADS={threads} drifted from the serial reference"
+    );
+}
+
+#[test]
+fn parallel_table1_rows_match_serial_for_two_circuits() {
+    let specs = [
+        BenchmarkSpec::iscas89_s9234().scaled_down(10),
+        BenchmarkSpec::iscas89_s13207().scaled_down(8),
+    ];
+    for spec in &specs {
+        let serial = table1_row(spec, &quick_config(1));
+        for threads in [2, 4] {
+            let parallel = table1_row(spec, &quick_config(threads));
+            assert_eq!(
+                deterministic_fields(&parallel),
+                deterministic_fields(&serial),
+                "{}: Table 1 row drifted at {threads} threads",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_is_built_once_and_shared_across_chips_and_threads() {
+    let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(10), 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    // ONE plan; every run below borrows it immutably — the borrow checker
+    // itself guarantees no per-chip rebuild or mutation can happen.
+    let plan = flow.plan(&bench, &model).expect("plan");
+    let td = model.nominal_period();
+    let key = |o: &ChipOutcome| {
+        (
+            o.iterations,
+            o.passes,
+            o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+        )
+    };
+
+    let base = PopulationConfig { n_chips: 16, base_seed: 1000, threads: 1 };
+    let serial: Vec<_> = run_flow_population(&flow, &plan, td, &base).iter().map(key).collect();
+    for threads in [2, 4] {
+        let parallel: Vec<_> =
+            run_flow_population(&flow, &plan, td, &PopulationConfig { threads, ..base })
+                .iter()
+                .map(key)
+                .collect();
+        assert_eq!(parallel, serial, "shared-plan outcomes drifted at {threads} threads");
+    }
+
+    // And the shared plan gives the same answers as a fresh plan per chip
+    // (the pre-refactor behavior): the plan really is chip-independent.
+    for (k, expected) in serial.iter().enumerate().take(4) {
+        let fresh = flow.plan(&bench, &model).expect("plan");
+        let chip = model.sample_chip(base.chip_seed(k));
+        let outcome = flow.run_chip(&fresh, &chip, td).expect("matched chip");
+        assert_eq!(&key(&outcome), expected, "fresh plan disagrees on chip {k}");
+    }
+}
+
+#[test]
+fn engine_respects_chip_order_under_oversubscription() {
+    let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(20), 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let pop = PopulationConfig { n_chips: 40, base_seed: 7, threads: 16 };
+    let seeds: Vec<u64> = run_population(&model, &pop, |_k, chip| chip.seed());
+    let expected: Vec<u64> = (0..40).map(|k| pop.chip_seed(k)).collect();
+    assert_eq!(seeds, expected);
+}

@@ -56,7 +56,7 @@ proptest! {
         let bench = GeneratedBenchmark::generate(&spec, seed);
         let model = TimingModel::build(&bench, &VariationConfig::paper());
         let flow = EffiTestFlow::new(FlowConfig::default());
-        let prepared = flow.prepare(&bench, &model).expect("prepare");
+        let prepared = flow.plan(&bench, &model).expect("prepare");
         let chip = model.sample_chip(seed ^ 0xA5A5);
         let mut tester = VirtualTester::new(&chip);
         let result = run_aligned_test(
