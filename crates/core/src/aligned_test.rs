@@ -14,12 +14,12 @@
 //! buffers at zero, which is the paper's "path multiplexing without delay
 //! alignment" ablation (Fig. 8, middle bars).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use effitest_circuit::FlipFlopId;
-use effitest_solver::align::{sorted_center_weights, AlignmentSolution};
-use effitest_solver::align::{AlignPath, AlignmentProblem, BufferVar};
+use effitest_solver::align::{sorted_center_weights_into, AlignPath, AlignmentEngine, BufferVar};
+use effitest_solver::weighted_median_in_place;
 use effitest_ssta::TimingModel;
 use effitest_tester::{DelayBounds, Observation, VirtualTester};
 
@@ -77,11 +77,60 @@ pub struct AlignedTestResult {
     pub contradictions: u64,
 }
 
-/// Runs Procedure 2 over the given batches.
+/// Reusable per-worker scratch for the aligned-test loop: the warm-started
+/// [`AlignmentEngine`] plus every per-batch collection (buffer indexing,
+/// centers, weights, probes, bounds). A workspace carries **no results
+/// across calls** — every field is rebuilt from scratch per batch — so a
+/// long-lived workspace returns bitwise-identical results to a fresh one;
+/// what it saves is the allocation churn, which dominated the
+/// per-iteration alignment solve before the engine existed.
+///
+/// Population workers hold one workspace per thread (see
+/// [`crate::population`]); single-chip callers can let
+/// [`run_aligned_test`] create a throwaway one.
+#[derive(Debug, Default)]
+pub struct AlignedTestWorkspace {
+    engine: AlignmentEngine,
+    buffered: HashSet<FlipFlopId>,
+    buffer_index: HashMap<FlipFlopId, usize>,
+    buffers: Vec<BufferVar>,
+    zeros: Vec<f64>,
+    active: Vec<usize>,
+    centers: Vec<f64>,
+    weights: Vec<f64>,
+    order: Vec<usize>,
+    pts: Vec<(f64, f64)>,
+    probes: Vec<(usize, f64)>,
+    results: Vec<bool>,
+    bounds: HashMap<usize, DelayBounds>,
+}
+
+impl AlignedTestWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs Procedure 2 over the given batches with a throwaway workspace.
 ///
 /// `lambda` supplies the hold bounds added to the alignment constraints
-/// (paper eq. 21).
+/// (paper eq. 21). Callers testing many chips should hold an
+/// [`AlignedTestWorkspace`] and use [`run_aligned_test_with`] — results
+/// are identical, allocations are not.
 pub fn run_aligned_test(
+    model: &TimingModel,
+    tester: &mut VirtualTester<'_>,
+    batches: &[Vec<usize>],
+    lambda: &HoldBounds,
+    config: &AlignedTestConfig,
+) -> AlignedTestResult {
+    run_aligned_test_with(&mut AlignedTestWorkspace::new(), model, tester, batches, lambda, config)
+}
+
+/// Runs Procedure 2 over the given batches, reusing `ws` across calls.
+pub fn run_aligned_test_with(
+    ws: &mut AlignedTestWorkspace,
     model: &TimingModel,
     tester: &mut VirtualTester<'_>,
     batches: &[Vec<usize>],
@@ -93,8 +142,11 @@ pub fn run_aligned_test(
     let mut align_time = Duration::ZERO;
     let mut contradictions = 0_u64;
 
+    ws.buffered.clear();
+    ws.buffered.extend(model.buffered_ffs().iter().copied());
+
     for batch in batches {
-        let (t, c) = test_one_batch(model, tester, batch, lambda, config, &mut all_bounds);
+        let (t, c) = test_one_batch(ws, model, tester, batch, lambda, config, &mut all_bounds);
         align_time += t;
         contradictions += c;
     }
@@ -110,6 +162,7 @@ pub fn run_aligned_test(
 /// Tests one batch to convergence; returns the alignment solve time and
 /// the number of contradictory observations.
 fn test_one_batch(
+    ws: &mut AlignedTestWorkspace,
     model: &TimingModel,
     tester: &mut VirtualTester<'_>,
     batch: &[usize],
@@ -122,103 +175,97 @@ fn test_one_batch(
     // Dense buffer indexing over the buffered flip-flops touched by this
     // batch.
     let spec = model.buffer_spec();
-    let buffered: std::collections::HashSet<FlipFlopId> =
-        model.buffered_ffs().iter().copied().collect();
-    let mut buffer_index: HashMap<FlipFlopId, usize> = HashMap::new();
+    ws.buffer_index.clear();
     for &p in batch {
         let (src, snk) = model.endpoints(p);
         for ff in [src, snk] {
-            if buffered.contains(&ff) {
-                let next = buffer_index.len();
-                buffer_index.entry(ff).or_insert(next);
+            if ws.buffered.contains(&ff) {
+                let next = ws.buffer_index.len();
+                ws.buffer_index.entry(ff).or_insert(next);
             }
         }
     }
-    let buffers: Vec<BufferVar> = (0..buffer_index.len())
-        .map(|_| BufferVar { min: spec.min(), max: spec.max(), steps: spec.steps() })
-        .collect();
+    ws.buffers.clear();
+    ws.buffers.extend((0..ws.buffer_index.len()).map(|_| BufferVar {
+        min: spec.min(),
+        max: spec.max(),
+        steps: spec.steps(),
+    }));
+    ws.zeros.clear();
+    ws.zeros.resize(ws.buffers.len(), 0.0);
+    // The engine resets its warm start here: nothing carries over from
+    // the previous batch (or chip), by construction.
+    ws.engine.begin_batch(&ws.buffers);
 
-    let mut active: Vec<usize> = batch.to_vec();
-    let mut bounds: HashMap<usize, DelayBounds> = batch
-        .iter()
-        .map(|&p| {
-            (
-                p,
-                DelayBounds::from_gaussian(
-                    model.path_mean(p),
-                    model.path_sigma(p),
-                    config.bound_sigma,
-                ),
-            )
-        })
-        .collect();
+    ws.bounds.clear();
+    ws.bounds.extend(batch.iter().map(|&p| {
+        (p, DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), config.bound_sigma))
+    }));
+    ws.active.clear();
+    ws.active.extend(batch.iter().copied());
+    let (active, bounds) = (&mut ws.active, &mut ws.bounds);
     active.retain(|&p| !bounds[&p].converged(config.epsilon));
 
-    let mut warm_start = vec![0.0; buffers.len()];
     let mut iterations = 0_usize;
 
-    while !active.is_empty() && iterations < config.max_iterations_per_batch {
+    while !ws.active.is_empty() && iterations < config.max_iterations_per_batch {
         iterations += 1;
-        // --- Build and solve the alignment problem. ---
-        let centers: Vec<f64> = active.iter().map(|&p| bounds[&p].center()).collect();
-        let weights = sorted_center_weights(&centers, config.k0, config.kd);
-        let align_paths: Vec<AlignPath> = active
-            .iter()
-            .zip(&weights)
-            .map(|(&p, &w)| {
-                let (src, snk) = model.endpoints(p);
-                AlignPath {
-                    center: bounds[&p].center(),
-                    weight: w,
-                    source_buffer: buffer_index.get(&src).copied(),
-                    sink_buffer: buffer_index.get(&snk).copied(),
-                    hold_lower_bound: lambda.lambda(p),
-                }
-            })
-            .collect();
+        // --- Rebuild the alignment problem in place and solve it. ---
+        ws.centers.clear();
+        ws.centers.extend(ws.active.iter().map(|&p| ws.bounds[&p].center()));
+        sorted_center_weights_into(
+            &ws.centers,
+            config.k0,
+            config.kd,
+            &mut ws.order,
+            &mut ws.weights,
+        );
 
         let solve_started = Instant::now();
-        let solution = if config.use_alignment {
-            let problem = AlignmentProblem { paths: align_paths, buffers: buffers.clone() };
-            let sol = if config.exact_alignment {
-                problem
-                    .solve_exact()
-                    .unwrap_or_else(|| problem.solve_coordinate_descent(&warm_start))
-            } else {
-                problem.solve_coordinate_descent(&warm_start)
-            };
-            warm_start.clone_from(&sol.buffer_values);
-            sol
+        let (period, buffer_values): (f64, &[f64]) = if config.use_alignment {
+            let paths = ws.engine.paths_mut();
+            paths.clear();
+            paths.extend(ws.active.iter().zip(&ws.weights).map(|(&p, &w)| {
+                let (src, snk) = model.endpoints(p);
+                AlignPath {
+                    center: ws.bounds[&p].center(),
+                    weight: w,
+                    source_buffer: ws.buffer_index.get(&src).copied(),
+                    sink_buffer: ws.buffer_index.get(&snk).copied(),
+                    hold_lower_bound: lambda.lambda(p),
+                }
+            }));
+            let solved_exact = config.exact_alignment && ws.engine.solve_exact().is_some();
+            let sol = if solved_exact { ws.engine.last_solution() } else { ws.engine.solve() };
+            (sol.period, &sol.buffer_values)
         } else {
             // Multiplexing-only ablation (paper Fig. 8, middle bars): "all
             // the buffer values were set to zero". Exact zero, not the
             // nearest grid point — the probe must bisect the median range
             // precisely.
-            let zeros = vec![0.0; buffers.len()];
-            let pts: Vec<(f64, f64)> = centers.iter().copied().zip(weights).collect();
-            let period = effitest_solver::weighted_median(&pts).unwrap_or(0.0);
-            AlignmentSolution { period, buffer_values: zeros, objective: 0.0 }
+            ws.pts.clear();
+            ws.pts.extend(ws.centers.iter().copied().zip(ws.weights.iter().copied()));
+            let period = weighted_median_in_place(&mut ws.pts).unwrap_or(0.0);
+            (period, &ws.zeros)
         };
         align_time += solve_started.elapsed();
 
         // --- One frequency step over the whole batch. ---
-        let probes: Vec<(usize, f64)> = active
-            .iter()
-            .map(|&p| {
-                let (src, snk) = model.endpoints(p);
-                let xi = buffer_index.get(&src).map_or(0.0, |&b| solution.buffer_values[b]);
-                let xj = buffer_index.get(&snk).map_or(0.0, |&b| solution.buffer_values[b]);
-                (p, xi - xj)
-            })
-            .collect();
-        let results = tester.apply_batch(solution.period, &probes);
+        ws.probes.clear();
+        ws.probes.extend(ws.active.iter().map(|&p| {
+            let (src, snk) = model.endpoints(p);
+            let xi = ws.buffer_index.get(&src).map_or(0.0, |&b| buffer_values[b]);
+            let xj = ws.buffer_index.get(&snk).map_or(0.0, |&b| buffer_values[b]);
+            (p, xi - xj)
+        }));
+        tester.apply_batch_into(period, &ws.probes, &mut ws.results);
 
         // --- Update bounds; retire converged paths. ---
         let mut progressed = false;
-        for ((&p, &(_, shift)), &passed) in active.iter().zip(&probes).zip(&results) {
-            let b = bounds.get_mut(&p).expect("bounds exist for active path");
+        for ((&p, &(_, shift)), &passed) in ws.active.iter().zip(&ws.probes).zip(&ws.results) {
+            let b = ws.bounds.get_mut(&p).expect("bounds exist for active path");
             let before = b.width();
-            if b.update(solution.period, shift, passed) == Observation::Contradictory {
+            if b.update(period, shift, passed) == Observation::Contradictory {
                 // Out-of-model chip: the range saturated to zero width and
                 // the retain() below retires the path as converged.
                 contradictions += 1;
@@ -227,6 +274,7 @@ fn test_one_batch(
                 progressed = true;
             }
         }
+        let (active, bounds) = (&mut ws.active, &mut ws.bounds);
         active.retain(|&p| !bounds[&p].converged(config.epsilon));
 
         // Degenerate stall (period landed outside every active range):
@@ -248,7 +296,7 @@ fn test_one_batch(
         }
     }
 
-    all_bounds.extend(bounds);
+    all_bounds.extend(ws.bounds.drain());
     (align_time, contradictions)
 }
 

@@ -20,9 +20,10 @@ use effitest_ssta::{TimingModel, VariationConfig};
 
 use crate::configure::{ideal_configure_and_check, untuned_check};
 use crate::population::{
-    default_threads, env_count, run_population, threads_from_env, PopulationConfig,
+    default_threads, env_count, run_population, run_population_scratch, threads_from_env,
+    PopulationConfig,
 };
-use crate::{EffiTestFlow, FlowConfig};
+use crate::{EffiTestFlow, FlowConfig, FlowWorkspace};
 
 /// Name of the environment variable overriding the chip count.
 pub const CHIPS_ENV: &str = "EFFITEST_CHIPS";
@@ -151,10 +152,15 @@ pub fn table1_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Table1Row 
     let plan = flow.plan(&bench, &model).expect("non-empty benchmark");
     let td = model.nominal_period();
 
-    let per_chip = run_population(&model, &config.population(1000, config.n_chips), |_k, chip| {
-        let outcome = flow.run_chip(&plan, chip, td).expect("matched chip");
-        (outcome.iterations, outcome.align_time, outcome.config_time)
-    });
+    let per_chip = run_population_scratch(
+        &model,
+        &config.population(1000, config.n_chips),
+        FlowWorkspace::new,
+        |ws, _k, chip| {
+            let outcome = flow.run_chip_with(ws, &plan, chip, td).expect("matched chip");
+            (outcome.iterations, outcome.align_time, outcome.config_time)
+        },
+    );
     let total_iters: u64 = per_chip.iter().map(|&(i, _, _)| i).sum();
     let total_align: std::time::Duration = per_chip.iter().map(|&(_, a, _)| a).sum();
     let total_config: std::time::Duration = per_chip.iter().map(|&(_, _, c)| c).sum();
@@ -242,8 +248,8 @@ pub fn table2_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Table2Row 
     let t2 = empirical_quantile(&untuned_periods, 0.8413);
 
     // Test + predict once per chip; configure per period.
-    let per_chip = run_population(&model, &pop, |_k, chip| {
-        let (predicted, _aligned) = flow.test_and_predict(&plan, chip);
+    let per_chip = run_population_scratch(&model, &pop, FlowWorkspace::new, |ws, _k, chip| {
+        let (predicted, _aligned) = flow.test_and_predict_with(ws, &plan, chip);
         let mut yi = [false; 2];
         let mut yt = [false; 2];
         for (slot, &td) in [t1, t2].iter().enumerate() {
@@ -303,8 +309,8 @@ pub fn fig7_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Fig7Row {
     let untuned_periods = run_population(&model, &pop, |_k, chip| chip.min_period_untuned());
     let td = empirical_quantile(&untuned_periods, 0.5);
 
-    let per_chip = run_population(&model, &pop, |_k, chip| {
-        let outcome = flow.run_chip(&plan, chip, td).expect("matched chip");
+    let per_chip = run_population_scratch(&model, &pop, FlowWorkspace::new, |ws, _k, chip| {
+        let outcome = flow.run_chip_with(ws, &plan, chip, td).expect("matched chip");
         (
             untuned_check(chip, td),
             ideal_configure_and_check(&model, &plan.buffers, chip, td),
@@ -350,13 +356,18 @@ pub fn fig8_row(spec: &BenchmarkSpec, config: &ExperimentConfig) -> Fig8Row {
     // Iteration counts are tightly concentrated across chips; a small
     // sample gives stable per-path averages.
     let n_chips = config.baseline_chips.min(config.n_chips).max(1);
-    let per_chip = run_population(&model, &config.population(4000, n_chips), |_k, chip| {
-        (
-            flow.run_chip_path_wise(&plan, chip).iterations,
-            flow.test_paths_multiplexed(&plan, chip, &paths, false).0,
-            flow.test_paths_multiplexed(&plan, chip, &paths, true).0,
-        )
-    });
+    let per_chip = run_population_scratch(
+        &model,
+        &config.population(4000, n_chips),
+        FlowWorkspace::new,
+        |ws, _k, chip| {
+            (
+                flow.run_chip_path_wise(&plan, chip).iterations,
+                flow.test_paths_multiplexed_with(ws, &plan, chip, &paths, false).0,
+                flow.test_paths_multiplexed_with(ws, &plan, chip, &paths, true).0,
+            )
+        },
+    );
     let (pw, mux, aligned) = per_chip
         .iter()
         .fold((0_u64, 0_u64, 0_u64), |(a, b, c), &(p, m, al)| (a + p, b + m, c + al));

@@ -7,7 +7,9 @@ use effitest_circuit::GeneratedBenchmark;
 use effitest_ssta::{ChipInstance, TimingModel};
 use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
 
-use crate::aligned_test::{run_aligned_test, AlignedTestConfig, AlignedTestResult};
+use crate::aligned_test::{
+    run_aligned_test_with, AlignedTestConfig, AlignedTestResult, AlignedTestWorkspace,
+};
 use crate::batch::{build_batches, fill_slots, predicted_sigmas, Batches, ConflictOracle};
 use crate::configure::{build_config_problem, configure, shifts_for, BufferIndex};
 use crate::hold::{compute_hold_bounds, HoldBounds, HoldConfig};
@@ -121,10 +123,6 @@ pub struct FlowPlan<'a> {
     pub prep_time: Duration,
 }
 
-/// Former name of [`FlowPlan`], kept for source compatibility.
-#[deprecated(note = "renamed to `FlowPlan`; build it with `EffiTestFlow::plan`")]
-pub type PreparedFlow<'a> = FlowPlan<'a>;
-
 impl FlowPlan<'_> {
     /// Number of paths actually tested on silicon (`n_pt` in Table 1).
     pub fn tested_path_count(&self) -> usize {
@@ -154,6 +152,34 @@ pub struct ChipOutcome {
     pub ranges: Vec<DelayBounds>,
     /// Which ranges came from silicon measurement.
     pub measured: Vec<bool>,
+}
+
+/// Reusable per-worker scratch for the whole per-chip flow.
+///
+/// Wraps the aligned-test workspace (which itself carries the warm-started
+/// alignment engine) so each population worker thread can run thousands of
+/// chips without re-allocating the solver stack per chip. A workspace
+/// holds **scratch, never results**: every per-chip entry point fully
+/// re-initializes the state it reads, so outcomes are bitwise identical
+/// whether a workspace is fresh, reused, or shared serially across any
+/// number of chips — the invariant the population engine's thread-count
+/// determinism rests on.
+#[derive(Debug, Default)]
+pub struct FlowWorkspace {
+    aligned: AlignedTestWorkspace,
+}
+
+impl FlowWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The aligned-test scratch (for callers driving
+    /// [`run_aligned_test_with`] directly).
+    pub fn aligned(&mut self) -> &mut AlignedTestWorkspace {
+        &mut self.aligned
+    }
 }
 
 /// Result of the path-wise baseline on one chip.
@@ -250,20 +276,6 @@ impl EffiTestFlow {
         })
     }
 
-    /// Former name of [`plan`](Self::plan), kept for source compatibility.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`plan`](Self::plan).
-    #[deprecated(note = "renamed to `plan`")]
-    pub fn prepare<'a>(
-        &self,
-        bench: &'a GeneratedBenchmark,
-        model: &'a TimingModel,
-    ) -> Result<FlowPlan<'a>, FlowError> {
-        self.plan(bench, model)
-    }
-
     /// The convergence threshold derived from the model.
     pub fn epsilon_for(&self, model: &TimingModel) -> f64 {
         let max_width = (0..model.path_count())
@@ -282,8 +294,20 @@ impl EffiTestFlow {
         prepared: &FlowPlan<'_>,
         chip: &ChipInstance,
     ) -> (PredictedRanges, AlignedTestResult) {
+        self.test_and_predict_with(&mut FlowWorkspace::new(), prepared, chip)
+    }
+
+    /// [`test_and_predict`](Self::test_and_predict) reusing a per-worker
+    /// workspace; results are bitwise identical, allocations are not.
+    pub fn test_and_predict_with(
+        &self,
+        ws: &mut FlowWorkspace,
+        prepared: &FlowPlan<'_>,
+        chip: &ChipInstance,
+    ) -> (PredictedRanges, AlignedTestResult) {
         let mut tester = VirtualTester::new(chip);
-        let aligned = run_aligned_test(
+        let aligned = run_aligned_test_with(
+            &mut ws.aligned,
             prepared.model,
             &mut tester,
             &prepared.batches.batches,
@@ -340,13 +364,30 @@ impl EffiTestFlow {
         chip: &ChipInstance,
         clock_period: f64,
     ) -> Result<ChipOutcome, FlowError> {
+        self.run_chip_with(&mut FlowWorkspace::new(), prepared, chip, clock_period)
+    }
+
+    /// [`run_chip`](Self::run_chip) reusing a per-worker workspace;
+    /// results are bitwise identical, allocations are not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::ModelMismatch`] if the chip's path count does
+    /// not match the prepared model.
+    pub fn run_chip_with(
+        &self,
+        ws: &mut FlowWorkspace,
+        prepared: &FlowPlan<'_>,
+        chip: &ChipInstance,
+        clock_period: f64,
+    ) -> Result<ChipOutcome, FlowError> {
         if chip.path_count() != prepared.model.path_count() {
             return Err(FlowError::ModelMismatch {
                 bench_paths: chip.path_count(),
                 model_paths: prepared.model.path_count(),
             });
         }
-        let (predicted, aligned) = self.test_and_predict(prepared, chip);
+        let (predicted, aligned) = self.test_and_predict_with(ws, prepared, chip);
         let (configured, passes, config_time) =
             self.configure_and_check(prepared, chip, &predicted.ranges, clock_period);
         Ok(ChipOutcome {
@@ -394,6 +435,26 @@ impl EffiTestFlow {
         paths: &[usize],
         use_alignment: bool,
     ) -> (u64, HashMap<usize, DelayBounds>) {
+        self.test_paths_multiplexed_with(
+            &mut FlowWorkspace::new(),
+            prepared,
+            chip,
+            paths,
+            use_alignment,
+        )
+    }
+
+    /// [`test_paths_multiplexed`](Self::test_paths_multiplexed) reusing a
+    /// per-worker workspace; results are bitwise identical, allocations
+    /// are not.
+    pub fn test_paths_multiplexed_with(
+        &self,
+        ws: &mut FlowWorkspace,
+        prepared: &FlowPlan<'_>,
+        chip: &ChipInstance,
+        paths: &[usize],
+        use_alignment: bool,
+    ) -> (u64, HashMap<usize, DelayBounds>) {
         // The plan's oracle covers all required paths, so any subset can be
         // batched against it — no per-call conflict-graph rebuild.
         let widths: Vec<f64> = paths
@@ -404,8 +465,14 @@ impl EffiTestFlow {
         let mut tester = VirtualTester::new(chip);
         let mut config = self.aligned_config(prepared.epsilon);
         config.use_alignment = use_alignment;
-        let result =
-            run_aligned_test(prepared.model, &mut tester, &batches, &prepared.lambda, &config);
+        let result = run_aligned_test_with(
+            &mut ws.aligned,
+            prepared.model,
+            &mut tester,
+            &batches,
+            &prepared.lambda,
+            &config,
+        );
         (result.iterations, result.bounds)
     }
 
@@ -466,11 +533,35 @@ mod tests {
             assert!(!selected.contains(&p));
             assert!(sigma >= 0.0);
         }
-        // `prepare` is the same computation under the legacy name.
-        #[allow(deprecated)]
-        let prepared = flow.prepare(&bench, &model).unwrap();
+        // Planning is deterministic: a second plan is identical.
+        let prepared = flow.plan(&bench, &model).unwrap();
         assert_eq!(prepared.batches.batches, plan.batches.batches);
         assert_eq!(prepared.epsilon, plan.epsilon);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace_bitwise() {
+        // One workspace across chips must give the same outcomes as a
+        // fresh workspace per chip: workspaces are scratch, not state.
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let prepared = flow.plan(&bench, &model).unwrap();
+        let td = model.nominal_period();
+        let key = |o: &ChipOutcome| {
+            (
+                o.iterations,
+                o.passes,
+                o.configured.clone().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+            )
+        };
+        let mut ws = FlowWorkspace::new();
+        for seed in 0..6 {
+            let chip = model.sample_chip(500 + seed);
+            let reused = flow.run_chip_with(&mut ws, &prepared, &chip, td).unwrap();
+            let fresh = flow.run_chip(&prepared, &chip, td).unwrap();
+            assert_eq!(key(&reused), key(&fresh), "workspace reuse drifted on chip {seed}");
+        }
     }
 
     #[test]

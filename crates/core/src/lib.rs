@@ -65,6 +65,4 @@ pub mod population;
 pub mod predict;
 pub mod select;
 
-#[allow(deprecated)]
-pub use flow::PreparedFlow;
-pub use flow::{ChipOutcome, EffiTestFlow, FlowConfig, FlowError, FlowPlan};
+pub use flow::{ChipOutcome, EffiTestFlow, FlowConfig, FlowError, FlowPlan, FlowWorkspace};

@@ -61,7 +61,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use effitest_ssta::{ChipInstance, TimingModel};
 
-use crate::{ChipOutcome, EffiTestFlow, FlowPlan};
+use crate::{ChipOutcome, EffiTestFlow, FlowPlan, FlowWorkspace};
 
 /// Name of the environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "EFFITEST_THREADS";
@@ -161,14 +161,46 @@ where
     R: Send,
     F: Fn(usize, &ChipInstance) -> R + Sync,
 {
+    run_population_scratch(model, config, || (), |(), k, chip| per_chip(k, chip))
+}
+
+/// [`run_population`] with **per-worker scratch state**: every worker
+/// thread calls `init` once and threads the resulting value mutably
+/// through all the chips it claims.
+///
+/// This is how the flow's solver workspaces ([`FlowWorkspace`]) get reused
+/// across a worker's chips without any cross-thread sharing. Determinism
+/// is preserved because workspaces hold scratch, never results: `per_chip`
+/// must return the same value whether its workspace is fresh or has been
+/// through any number of prior chips (every workspace type in this crate
+/// upholds that invariant, and `tests/population.rs` checks it end to
+/// end). With `threads <= 1` a single scratch value serves the whole
+/// population inline on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `per_chip` (the first panicking worker's
+/// payload is re-raised on the calling thread).
+pub fn run_population_scratch<R, W, I, F>(
+    model: &TimingModel,
+    config: &PopulationConfig,
+    init: I,
+    per_chip: F,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &ChipInstance) -> R + Sync,
+{
     let n = config.n_chips;
-    let work = |k: usize| {
+    let work = |ws: &mut W, k: usize| {
         let chip = model.sample_chip(config.chip_seed(k));
-        per_chip(k, &chip)
+        per_chip(ws, k, &chip)
     };
     let threads = config.threads.min(n).max(1);
     if threads == 1 {
-        return (0..n).map(work).collect();
+        let mut ws = init();
+        return (0..n).map(|k| work(&mut ws, k)).collect();
     }
 
     // Work stealing over a shared atomic index; each worker accumulates
@@ -180,13 +212,15 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    // One long-lived scratch per worker, never shared.
+                    let mut ws = init();
                     let mut local = Vec::new();
                     loop {
                         let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= n {
                             break;
                         }
-                        local.push((k, work(k)));
+                        local.push((k, work(&mut ws, k)));
                     }
                     local
                 })
@@ -207,8 +241,10 @@ where
 }
 
 /// Convenience wrapper: the complete per-chip flow
-/// ([`EffiTestFlow::run_chip`]) over a population at one designated clock
-/// period, sharing a single plan.
+/// ([`EffiTestFlow::run_chip_with`]) over a population at one designated
+/// clock period, sharing a single plan, with one long-lived
+/// [`FlowWorkspace`] per worker thread (so the whole population runs
+/// through warm solver workspaces without per-chip allocation).
 ///
 /// # Panics
 ///
@@ -220,8 +256,8 @@ pub fn run_flow_population(
     clock_period: f64,
     config: &PopulationConfig,
 ) -> Vec<ChipOutcome> {
-    run_population(plan.model, config, |_k, chip| {
-        flow.run_chip(plan, chip, clock_period).expect("plan-sampled chip always matches")
+    run_population_scratch(plan.model, config, FlowWorkspace::new, |ws, _k, chip| {
+        flow.run_chip_with(ws, plan, chip, clock_period).expect("plan-sampled chip always matches")
     })
 }
 

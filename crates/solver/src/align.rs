@@ -30,8 +30,24 @@
 //! ([`sorted_center_weights`]): the middle range gets `k0`, neighbors lose
 //! `kd` per rank step, so non-overlappable outliers (paper Fig. 6e) do not
 //! leave `T` floating between two clusters.
+//!
+//! # Warm-started solving
+//!
+//! `solve_coordinate_descent` / `solve_exact` are the *cold* entry points:
+//! every call allocates its own scratch. The frequency-stepping loop of
+//! the aligned test solves one alignment problem **per iteration**, with
+//! only the range centers (and the retired-path set) changing between
+//! solves, so the hot path goes through an [`AlignmentEngine`] instead:
+//! built once per batch, it mutates the path list in place between
+//! iterations, reuses every scratch buffer, and warm-starts each solve —
+//! the coordinate descent from the previous iteration's buffer values and
+//! the exact MILP from the previous solution as its branch-and-bound
+//! incumbent.
 
-use crate::{weighted_median, ConstraintOp, LinearProgram, MixedIntegerProgram};
+use crate::milp::DEFAULT_NODE_LIMIT;
+use crate::{
+    weighted_median_in_place, ConstraintOp, LinearProgram, MilpWorkspace, MixedIntegerProgram,
+};
 
 /// A discrete tunable-buffer variable.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,19 +151,38 @@ pub struct AlignmentSolution {
 /// middle of the sorted list, which resolves the degenerate non-overlap
 /// case of paper Fig. 6e.
 pub fn sorted_center_weights(centers: &[f64], k0: f64, kd: f64) -> Vec<f64> {
+    let mut order = Vec::new();
+    let mut weights = Vec::new();
+    sorted_center_weights_into(centers, k0, kd, &mut order, &mut weights);
+    weights
+}
+
+/// Allocation-free variant of [`sorted_center_weights`]: `order` is rank
+/// scratch and `weights` receives the result, both cleared and refilled
+/// (existing capacity is reused).
+pub fn sorted_center_weights_into(
+    centers: &[f64],
+    k0: f64,
+    kd: f64,
+    order: &mut Vec<usize>,
+    weights: &mut Vec<f64>,
+) {
     let n = centers.len();
+    order.clear();
+    weights.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| centers[a].total_cmp(&centers[b]));
+    order.extend(0..n);
+    // The index tie-break reproduces the stable sort this replaced, so
+    // equal centers keep their path order under the unstable sort.
+    order.sort_unstable_by(|&a, &b| centers[a].total_cmp(&centers[b]).then(a.cmp(&b)));
     let middle = (n - 1) / 2;
-    let mut weights = vec![0.0; n];
+    weights.resize(n, 0.0);
     for (rank, &idx) in order.iter().enumerate() {
         let dist = rank.abs_diff(middle) as f64;
         weights[idx] = (k0 - kd * dist).max(kd);
     }
-    weights
 }
 
 impl AlignmentProblem {
@@ -183,125 +218,39 @@ impl AlignmentProblem {
     /// Hold bounds are respected throughout; if a seed violates one, the
     /// violating buffers are first repaired greedily.
     ///
+    /// This is the *cold* entry point — it builds a throwaway
+    /// [`AlignmentEngine`] per call. Iterative callers should hold an
+    /// engine and solve through it instead.
+    ///
     /// # Panics
     ///
     /// Panics if `init.len() != self.buffers.len()`.
     pub fn solve_coordinate_descent(&self, init: &[f64]) -> AlignmentSolution {
         assert_eq!(init.len(), self.buffers.len());
-        let zeros: Vec<f64> = self.buffers.iter().map(|b| b.value(b.nearest(0.0))).collect();
-        let lows: Vec<f64> = self.buffers.iter().map(|b| b.value(0)).collect();
-        let highs: Vec<f64> = self.buffers.iter().map(|b| b.value(b.steps - 1)).collect();
-        let mut best: Option<AlignmentSolution> = None;
-        for seed in [init.to_vec(), zeros, lows, highs] {
-            let sol = self.descend_from(&seed);
-            if best.as_ref().is_none_or(|b| sol.objective < b.objective - 1e-12) {
-                best = Some(sol);
-            }
-        }
-        best.expect("at least one start")
-    }
-
-    fn descend_from(&self, seed: &[f64]) -> AlignmentSolution {
-        let mut x: Vec<f64> =
-            self.buffers.iter().zip(seed).map(|(b, &v)| b.value(b.nearest(v))).collect();
-        self.repair_hold(&mut x);
-
-        let mut period = self.best_period(&x);
-        let mut objective = self.objective(period, &x);
-        for _round in 0..50 {
-            let mut changed = false;
-            for b in 0..self.buffers.len() {
-                let (best_v, best_t, best_obj) = self.best_buffer_value(b, &x);
-                if best_obj + 1e-12 < objective {
-                    x[b] = best_v;
-                    period = best_t;
-                    objective = best_obj;
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        AlignmentSolution { period, buffer_values: x, objective }
+        let mut engine = AlignmentEngine::new();
+        engine.begin_batch(&self.buffers);
+        engine.paths_mut().extend_from_slice(&self.paths);
+        engine.seed(init);
+        engine.solve().clone()
     }
 
     /// Exact MILP solve (oracle / ablation). Returns `None` if the hold
     /// bounds make the problem infeasible or the node limit is hit.
     pub fn solve_exact(&self) -> Option<AlignmentSolution> {
-        let nb = self.buffers.len();
-        let np = self.paths.len();
-        if np == 0 {
+        if self.paths.is_empty() {
             return Some(AlignmentSolution {
                 period: 0.0,
                 buffer_values: self.buffers.iter().map(|b| b.value(0)).collect(),
                 objective: 0.0,
             });
         }
-        // Variables: 0 = T (free), 1..=nb = k_b (integer steps),
-        // nb+1..nb+np = eta_p (>= 0).
-        let n_vars = 1 + nb + np;
-        let mut lp = LinearProgram::new(n_vars);
-        lp.set_free(0);
-        for (b, buf) in self.buffers.iter().enumerate() {
-            lp.set_bounds(1 + b, 0.0, (buf.steps - 1) as f64);
+        let mut lp = LinearProgram::new(0);
+        let mut int_vars = Vec::new();
+        if !build_exact_milp(self, &mut lp, &mut int_vars) {
+            return None;
         }
-        let mut obj = vec![0.0; n_vars];
-        for (p, path) in self.paths.iter().enumerate() {
-            obj[1 + nb + p] = path.weight;
-        }
-        lp.set_objective(&obj);
-
-        for (p, path) in self.paths.iter().enumerate() {
-            let eta = 1 + nb + p;
-            // t_p = T - c_p - x_i + x_j, with x = min + d*k.
-            // eta >= t_p  and  eta >= -t_p.
-            let mut base = -path.center;
-            let mut terms_pos: Vec<(usize, f64)> = vec![(0, 1.0), (eta, -1.0)];
-            let mut terms_neg: Vec<(usize, f64)> = vec![(0, -1.0), (eta, -1.0)];
-            if let Some(b) = path.source_buffer {
-                let buf = &self.buffers[b];
-                base -= buf.min;
-                terms_pos.push((1 + b, -buf.step_size()));
-                terms_neg.push((1 + b, buf.step_size()));
-            }
-            if let Some(b) = path.sink_buffer {
-                let buf = &self.buffers[b];
-                base += buf.min;
-                terms_pos.push((1 + b, buf.step_size()));
-                terms_neg.push((1 + b, -buf.step_size()));
-            }
-            // T - d_i k_i + d_j k_j - eta <= c_p + m_i - m_j
-            lp.add_constraint(&terms_pos, ConstraintOp::Le, -base);
-            lp.add_constraint(&terms_neg, ConstraintOp::Le, base);
-
-            if let Some(lambda) = path.hold_lower_bound {
-                // x_i - x_j >= lambda.
-                let mut terms: Vec<(usize, f64)> = Vec::new();
-                let mut rhs = lambda;
-                if let Some(b) = path.source_buffer {
-                    let buf = &self.buffers[b];
-                    terms.push((1 + b, buf.step_size()));
-                    rhs -= buf.min;
-                }
-                if let Some(b) = path.sink_buffer {
-                    let buf = &self.buffers[b];
-                    terms.push((1 + b, -buf.step_size()));
-                    rhs += buf.min;
-                }
-                if terms.is_empty() {
-                    if rhs > 1e-9 {
-                        return None; // 0 >= lambda > 0: infeasible
-                    }
-                } else {
-                    lp.add_constraint(&terms, ConstraintOp::Ge, rhs);
-                }
-            }
-        }
-
-        let int_vars: Vec<usize> = (1..=nb).collect();
         let sol = MixedIntegerProgram::new(lp, int_vars).solve();
-        if !sol.optimal {
+        if !sol.is_optimal() {
             return None;
         }
         let buffer_values: Vec<f64> = self
@@ -311,39 +260,6 @@ impl AlignmentProblem {
             .map(|(b, buf)| buf.value(sol.values[1 + b].round() as u32))
             .collect();
         Some(AlignmentSolution { period: sol.values[0], buffer_values, objective: sol.objective })
-    }
-
-    /// Optimal period for fixed buffers: weighted median of shifted centers.
-    fn best_period(&self, x: &[f64]) -> f64 {
-        let pts: Vec<(f64, f64)> =
-            self.paths.iter().map(|p| (p.center + p.shift(x), p.weight)).collect();
-        weighted_median(&pts).unwrap_or(0.0)
-    }
-
-    /// Best discrete value for buffer `b` with the period re-optimized per
-    /// candidate (joint move), everything else fixed.
-    fn best_buffer_value(&self, b: usize, x: &[f64]) -> (f64, f64, f64) {
-        let mut candidate = x.to_vec();
-        let mut best_v = x[b];
-        let mut best_t = self.best_period(x);
-        let mut best_obj = self.objective(best_t, x);
-        for v in self.buffers[b].values() {
-            if (v - x[b]).abs() < 1e-15 {
-                continue;
-            }
-            candidate[b] = v;
-            if !self.paths.iter().all(|p| p.hold_ok(&candidate)) {
-                continue;
-            }
-            let t = self.best_period(&candidate);
-            let obj = self.objective(t, &candidate);
-            if obj < best_obj - 1e-12 {
-                best_obj = obj;
-                best_v = v;
-                best_t = t;
-            }
-        }
-        (best_v, best_t, best_obj)
     }
 
     /// Greedy hold repair: bump violating buffers toward feasibility.
@@ -373,6 +289,420 @@ impl AlignmentProblem {
             }
             return; // cannot repair further
         }
+    }
+}
+
+/// Builds the exact-MILP formulation of `problem` into `lp` (reset in
+/// place, existing allocations reused) with the integer variables listed
+/// in `int_vars`.
+///
+/// Variables: `0 = T` (free), `1..=nb` = integer buffer steps `k_b`,
+/// `nb+1..nb+np` = path residuals `eta_p >= 0`.
+///
+/// Returns `false` when a hold bound on a bufferless path is
+/// unsatisfiable (`0 >= lambda > 0`), i.e. the problem is infeasible
+/// before any solving.
+fn build_exact_milp(
+    problem: &AlignmentProblem,
+    lp: &mut LinearProgram,
+    int_vars: &mut Vec<usize>,
+) -> bool {
+    let nb = problem.buffers.len();
+    let np = problem.paths.len();
+    let n_vars = 1 + nb + np;
+    lp.reset(n_vars);
+    lp.set_free(0);
+    for (b, buf) in problem.buffers.iter().enumerate() {
+        lp.set_bounds(1 + b, 0.0, (buf.steps - 1) as f64);
+    }
+    for (p, path) in problem.paths.iter().enumerate() {
+        lp.set_objective_coeff(1 + nb + p, path.weight);
+    }
+
+    for (p, path) in problem.paths.iter().enumerate() {
+        let eta = 1 + nb + p;
+        // t_p = T - c_p - x_i + x_j, with x = min + d*k.
+        // eta >= t_p  and  eta >= -t_p.
+        let mut base = -path.center;
+        let mut terms_pos: [(usize, f64); 4] = [(0, 1.0), (eta, -1.0), (0, 0.0), (0, 0.0)];
+        let mut terms_neg: [(usize, f64); 4] = [(0, -1.0), (eta, -1.0), (0, 0.0), (0, 0.0)];
+        let mut nt = 2;
+        if let Some(b) = path.source_buffer {
+            let buf = &problem.buffers[b];
+            base -= buf.min;
+            terms_pos[nt] = (1 + b, -buf.step_size());
+            terms_neg[nt] = (1 + b, buf.step_size());
+            nt += 1;
+        }
+        if let Some(b) = path.sink_buffer {
+            let buf = &problem.buffers[b];
+            base += buf.min;
+            terms_pos[nt] = (1 + b, buf.step_size());
+            terms_neg[nt] = (1 + b, -buf.step_size());
+            nt += 1;
+        }
+        // T - d_i k_i + d_j k_j - eta <= c_p + m_i - m_j
+        lp.add_constraint(&terms_pos[..nt], ConstraintOp::Le, -base);
+        lp.add_constraint(&terms_neg[..nt], ConstraintOp::Le, base);
+
+        if let Some(lambda) = path.hold_lower_bound {
+            // x_i - x_j >= lambda.
+            let mut terms: [(usize, f64); 2] = [(0, 0.0), (0, 0.0)];
+            let mut ht = 0;
+            let mut rhs = lambda;
+            if let Some(b) = path.source_buffer {
+                let buf = &problem.buffers[b];
+                terms[ht] = (1 + b, buf.step_size());
+                ht += 1;
+                rhs -= buf.min;
+            }
+            if let Some(b) = path.sink_buffer {
+                let buf = &problem.buffers[b];
+                terms[ht] = (1 + b, -buf.step_size());
+                ht += 1;
+                rhs += buf.min;
+            }
+            if ht == 0 {
+                if rhs > 1e-9 {
+                    return false; // 0 >= lambda > 0: infeasible
+                }
+            } else {
+                lp.add_constraint(&terms[..ht], ConstraintOp::Ge, rhs);
+            }
+        }
+    }
+    int_vars.clear();
+    int_vars.extend(1..=nb);
+    true
+}
+
+/// Optimal period for fixed buffers: the weighted median of the shifted
+/// centers, computed in the caller's scratch buffer.
+fn best_period_in(problem: &AlignmentProblem, x: &[f64], pts: &mut Vec<(f64, f64)>) -> f64 {
+    pts.clear();
+    pts.extend(problem.paths.iter().map(|p| (p.center + p.shift(x), p.weight)));
+    weighted_median_in_place(pts).unwrap_or(0.0)
+}
+
+/// Best discrete value for buffer `b` with the period re-optimized per
+/// candidate (joint move), everything else fixed. `cand` and `pts` are
+/// caller scratch.
+fn best_buffer_value_in(
+    problem: &AlignmentProblem,
+    b: usize,
+    x: &[f64],
+    cand: &mut Vec<f64>,
+    pts: &mut Vec<(f64, f64)>,
+) -> (f64, f64, f64) {
+    cand.clear();
+    cand.extend_from_slice(x);
+    let mut best_v = x[b];
+    let mut best_t = best_period_in(problem, x, pts);
+    let mut best_obj = problem.objective(best_t, x);
+    for v in problem.buffers[b].values() {
+        if (v - x[b]).abs() < 1e-15 {
+            continue;
+        }
+        cand[b] = v;
+        if !problem.paths.iter().all(|p| p.hold_ok(cand)) {
+            continue;
+        }
+        let t = best_period_in(problem, cand, pts);
+        let obj = problem.objective(t, cand);
+        if obj < best_obj - 1e-12 {
+            best_obj = obj;
+            best_v = v;
+            best_t = t;
+        }
+    }
+    (best_v, best_t, best_obj)
+}
+
+/// Coordinate descent from the (already grid-snapped) seed in `x`,
+/// mutating it toward a local optimum. Returns `(period, objective)`.
+fn descend_in(
+    problem: &AlignmentProblem,
+    x: &mut [f64],
+    cand: &mut Vec<f64>,
+    pts: &mut Vec<(f64, f64)>,
+) -> (f64, f64) {
+    problem.repair_hold(x);
+    let mut period = best_period_in(problem, x, pts);
+    let mut objective = problem.objective(period, x);
+    for _round in 0..50 {
+        if objective == 0.0 {
+            break; // perfect alignment: no candidate can improve on zero
+        }
+        let mut changed = false;
+        for b in 0..problem.buffers.len() {
+            let (best_v, best_t, best_obj) = best_buffer_value_in(problem, b, x, cand, pts);
+            if best_obj + 1e-12 < objective {
+                x[b] = best_v;
+                period = best_t;
+                objective = best_obj;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (period, objective)
+}
+
+/// Warm-started, allocation-free alignment solver for the per-batch
+/// frequency-stepping loop.
+///
+/// Lifecycle:
+///
+/// 1. [`begin_batch`](Self::begin_batch) once per test batch — copies the
+///    buffer list in and resets the warm start to zero (warm state never
+///    crosses a batch, which is what keeps population runs bitwise
+///    deterministic at any thread count when worker threads carry
+///    long-lived engines);
+/// 2. per iteration, rebuild the active-path list in place through
+///    [`paths_mut`](Self::paths_mut) (capacity is retained) and call
+///    [`solve`](Self::solve) or [`solve_exact`](Self::solve_exact);
+/// 3. both solvers warm-start from the previous iteration's buffer values
+///    — the descent as its first multi-start seed, the MILP as its
+///    initial branch-and-bound incumbent — and update the warm state from
+///    the solution they return.
+///
+/// All scratch (descent candidates, median points, the MILP working
+/// program and its simplex workspace) lives in the engine: steady-state
+/// [`solve`](Self::solve) calls allocate nothing, and
+/// [`solve_exact`](Self::solve_exact) reuses the branch-and-bound
+/// workspace but still rebuilds its constraint rows (a handful of small
+/// vectors per path) each call.
+#[derive(Debug)]
+pub struct AlignmentEngine {
+    problem: AlignmentProblem,
+    /// Previous solution's buffer values (the warm start), grid-snapped.
+    warm: Vec<f64>,
+    /// Flat `nb`-chunks of already-descended seeds (for dedup).
+    seeds: Vec<f64>,
+    x: Vec<f64>,
+    best_x: Vec<f64>,
+    cand: Vec<f64>,
+    pts: Vec<(f64, f64)>,
+    /// `true` until the first solve after `begin_batch` / `seed`: the
+    /// first solve runs the full multi-start, later solves descend from
+    /// the warm seed alone (see [`solve`](Self::solve)).
+    multistart: bool,
+    solution: AlignmentSolution,
+    lp: LinearProgram,
+    int_vars: Vec<usize>,
+    milp_ws: MilpWorkspace,
+    exact_seed: Vec<f64>,
+}
+
+impl Default for AlignmentEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AlignmentEngine {
+    /// Creates an empty engine; buffers grow on first use.
+    pub fn new() -> Self {
+        AlignmentEngine {
+            problem: AlignmentProblem::default(),
+            warm: Vec::new(),
+            seeds: Vec::new(),
+            x: Vec::new(),
+            best_x: Vec::new(),
+            cand: Vec::new(),
+            pts: Vec::new(),
+            multistart: true,
+            solution: AlignmentSolution { period: 0.0, buffer_values: Vec::new(), objective: 0.0 },
+            lp: LinearProgram::new(0),
+            int_vars: Vec::new(),
+            milp_ws: MilpWorkspace::new(),
+            exact_seed: Vec::new(),
+        }
+    }
+
+    /// Starts a new batch: installs its buffers, clears the path list, and
+    /// resets the warm start to all-zero buffer values.
+    pub fn begin_batch(&mut self, buffers: &[BufferVar]) {
+        self.problem.buffers.clear();
+        self.problem.buffers.extend_from_slice(buffers);
+        self.problem.paths.clear();
+        self.warm.clear();
+        self.warm.resize(buffers.len(), 0.0);
+        self.multistart = true;
+    }
+
+    /// Overrides the warm start (grid snapping happens at solve time) and
+    /// re-arms the full multi-start for the next solve, as after
+    /// [`begin_batch`](Self::begin_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len()` differs from the batch's buffer count.
+    pub fn seed(&mut self, init: &[f64]) {
+        assert_eq!(init.len(), self.problem.buffers.len());
+        self.warm.clear();
+        self.warm.extend_from_slice(init);
+        self.multistart = true;
+    }
+
+    /// The batch's buffers.
+    pub fn buffers(&self) -> &[BufferVar] {
+        &self.problem.buffers
+    }
+
+    /// The current iteration's paths; rebuild in place between solves
+    /// (`clear` + `push`/`extend`, capacity is retained).
+    pub fn paths_mut(&mut self) -> &mut Vec<AlignPath> {
+        &mut self.problem.paths
+    }
+
+    /// The current iteration's paths.
+    pub fn paths(&self) -> &[AlignPath] {
+        &self.problem.paths
+    }
+
+    /// The warm-start buffer values the next solve will start from.
+    pub fn warm_values(&self) -> &[f64] {
+        &self.warm
+    }
+
+    /// The most recent solution (untouched until the next solve).
+    pub fn last_solution(&self) -> &AlignmentSolution {
+        &self.solution
+    }
+
+    /// Coordinate-descent solve with the engine's warm-start rule:
+    ///
+    /// * the **first** solve after [`begin_batch`](Self::begin_batch) /
+    ///   [`seed`](Self::seed) runs the full multi-start (warm seed plus
+    ///   all-zero / lowest / highest buffer values, duplicates descended
+    ///   once) — identical to
+    ///   [`AlignmentProblem::solve_coordinate_descent`], because at batch
+    ///   start the initial basin is unknown;
+    /// * every **subsequent** solve descends from the warm seed alone.
+    ///   Between frequency-stepping iterations the range centers drift
+    ///   continuously, so the previous optimum sits in the new optimum's
+    ///   basin and the far-away multi-start seeds only repeat work; the
+    ///   result can never be worse than the warm seed itself and in
+    ///   steady state converges in a single scan.
+    ///
+    /// Steady-state calls allocate nothing.
+    pub fn solve(&mut self) -> &AlignmentSolution {
+        let nb = self.problem.buffers.len();
+        let kinds: std::ops::Range<u8> = if self.multistart { 0..4 } else { 0..1 };
+        self.multistart = false;
+        let mut best_obj = f64::INFINITY;
+        let mut best_period = 0.0;
+        let mut have_best = false;
+        self.seeds.clear();
+        for kind in kinds {
+            {
+                let AlignmentEngine { problem, warm, x, .. } = self;
+                x.clear();
+                match kind {
+                    0 => x.extend(
+                        problem
+                            .buffers
+                            .iter()
+                            .zip(warm.iter())
+                            .map(|(b, &w)| b.value(b.nearest(w))),
+                    ),
+                    1 => x.extend(problem.buffers.iter().map(|b| b.value(b.nearest(0.0)))),
+                    2 => x.extend(problem.buffers.iter().map(|b| b.value(0))),
+                    _ => x.extend(problem.buffers.iter().map(|b| b.value(b.steps - 1))),
+                }
+            }
+            // Identical seeds descend to identical optima; skip repeats.
+            if nb == 0 {
+                if kind > 0 {
+                    continue;
+                }
+            } else if self.seeds.chunks(nb).any(|c| c == &self.x[..]) {
+                continue;
+            }
+            self.seeds.extend_from_slice(&self.x);
+            let (period, objective) = {
+                let AlignmentEngine { problem, x, cand, pts, .. } = self;
+                descend_in(problem, x, cand, pts)
+            };
+            if !have_best || objective < best_obj - 1e-12 {
+                have_best = true;
+                best_obj = objective;
+                best_period = period;
+                self.best_x.clear();
+                self.best_x.extend_from_slice(&self.x);
+            }
+        }
+        self.solution.period = best_period;
+        self.solution.objective = best_obj;
+        self.solution.buffer_values.clear();
+        self.solution.buffer_values.extend_from_slice(&self.best_x);
+        self.warm.clear();
+        self.warm.extend_from_slice(&self.best_x);
+        &self.solution
+    }
+
+    /// Exact MILP solve, warm-started with the previous solution as the
+    /// branch-and-bound incumbent. Returns `None` (leaving the last
+    /// solution untouched) if the hold bounds make the problem infeasible
+    /// or the node limit is hit; the objective is always the true optimum
+    /// otherwise.
+    pub fn solve_exact(&mut self) -> Option<&AlignmentSolution> {
+        if self.problem.paths.is_empty() {
+            self.solution.period = 0.0;
+            self.solution.objective = 0.0;
+            self.solution.buffer_values.clear();
+            self.solution.buffer_values.extend(self.problem.buffers.iter().map(|b| b.value(0)));
+            self.warm.clear();
+            self.warm.extend_from_slice(&self.solution.buffer_values);
+            return Some(&self.solution);
+        }
+        if !build_exact_milp(&self.problem, &mut self.lp, &mut self.int_vars) {
+            return None;
+        }
+        // Incumbent from the warm start: snap to the grid, repair holds,
+        // and bail out of seeding (not solving) if holds stay violated.
+        let seeded = {
+            let AlignmentEngine { problem, warm, x, pts, exact_seed, .. } = self;
+            x.clear();
+            x.extend(problem.buffers.iter().zip(warm.iter()).map(|(b, &w)| b.value(b.nearest(w))));
+            problem.repair_hold(x);
+            if problem.paths.iter().all(|p| p.hold_ok(x)) {
+                let t = best_period_in(problem, x, pts);
+                exact_seed.clear();
+                exact_seed.push(t);
+                exact_seed.extend(
+                    problem.buffers.iter().zip(x.iter()).map(|(b, &v)| b.nearest(v) as f64),
+                );
+                exact_seed
+                    .extend(problem.paths.iter().map(|p| (t - (p.center + p.shift(x))).abs()));
+                true
+            } else {
+                false
+            }
+        };
+        let AlignmentEngine { problem, lp, int_vars, milp_ws, exact_seed, solution, warm, .. } =
+            self;
+        let incumbent = seeded.then_some(&exact_seed[..]);
+        let sol = crate::milp::solve_milp(lp, int_vars, DEFAULT_NODE_LIMIT, milp_ws, incumbent);
+        if !sol.is_optimal() {
+            return None;
+        }
+        solution.period = sol.values[0];
+        solution.objective = sol.objective;
+        solution.buffer_values.clear();
+        solution.buffer_values.extend(
+            problem
+                .buffers
+                .iter()
+                .enumerate()
+                .map(|(b, buf)| buf.value(sol.values[1 + b].round() as u32)),
+        );
+        warm.clear();
+        warm.extend_from_slice(&solution.buffer_values);
+        Some(&self.solution)
     }
 }
 

@@ -177,7 +177,7 @@ impl ConfigProblem {
             }
         }
         let sol = MixedIntegerProgram::new(lp, (1..=nb).collect()).solve();
-        if !sol.optimal {
+        if !sol.is_optimal() {
             return None;
         }
         let buffer_values: Vec<f64> = self

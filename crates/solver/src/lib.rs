@@ -50,6 +50,6 @@ mod median;
 mod milp;
 
 pub use diffcon::DifferenceSystem;
-pub use lp::{ConstraintOp, LinearProgram, LpSolution, LpStatus};
-pub use median::{weighted_l1, weighted_median};
-pub use milp::{MilpSolution, MixedIntegerProgram};
+pub use lp::{ConstraintOp, LinearProgram, LpSolution, LpStatus, SimplexWorkspace};
+pub use median::{weighted_l1, weighted_median, weighted_median_in_place};
+pub use milp::{MilpSolution, MilpStatus, MilpWorkspace, MixedIntegerProgram};

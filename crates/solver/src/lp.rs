@@ -148,9 +148,34 @@ impl LinearProgram {
         (self.lower[var], self.upper[var])
     }
 
-    /// Solves the LP.
+    /// Solves the LP with a throwaway workspace.
+    ///
+    /// Hot paths that solve many LPs (branch-and-bound nodes, per-iteration
+    /// alignment problems) should hold a [`SimplexWorkspace`] and call
+    /// [`SimplexWorkspace::solve`] instead: the workspace keeps every
+    /// solver buffer alive between solves, so repeated solves allocate
+    /// nothing and return bitwise-identical results to this cold path.
     pub fn solve(&self) -> LpSolution {
-        Tableau::build(self).solve(self)
+        SimplexWorkspace::new().solve(self).clone()
+    }
+
+    /// Resets this program in place to `n` fresh variables (all bounded to
+    /// `[0, +inf)`, zero minimization objective, no constraints), keeping
+    /// the existing allocations.
+    ///
+    /// This is the rebuild entry point for long-lived problem instances
+    /// that change shape between solves (e.g. the alignment MILP as paths
+    /// retire from a batch).
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.objective.clear();
+        self.objective.resize(n, 0.0);
+        self.maximize = false;
+        self.rows.clear();
+        self.lower.clear();
+        self.lower.resize(n, 0.0);
+        self.upper.clear();
+        self.upper.resize(n, f64::INFINITY);
     }
 
     /// Checks a candidate point for feasibility within `tol`.
@@ -206,34 +231,148 @@ enum VarMap {
     Split { plus: usize, minus: usize },
 }
 
-/// Dense simplex tableau in standard equality form.
-struct Tableau {
-    /// Rows: coefficients over all columns plus rhs (last entry).
-    rows: Vec<Vec<f64>>,
-    /// Basis: column index of the basic variable of each row.
-    basis: Vec<usize>,
-    /// Total structural + slack columns (artificials appended after).
-    n_cols: usize,
-    /// Variable mapping back to the original space.
-    var_map: Vec<VarMap>,
-    /// Columns of artificial variables (phase 1 only).
-    artificial_cols: Vec<usize>,
+/// Per-row standard-form metadata computed before the tableau is filled.
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    /// Right-hand side after bound shifts, before sign normalization.
+    rhs_adj: f64,
+    /// Slack column of this row (`usize::MAX` for equality rows).
+    slack: usize,
+    /// `true` if the row is negated to make the rhs non-negative.
+    negate: bool,
+    /// Artificial column (`usize::MAX` when the slack seeds the basis).
+    art: usize,
 }
 
-impl Tableau {
-    fn build(lp: &LinearProgram) -> Tableau {
+/// Reusable dense-simplex state: the tableau, basis, cost row, and every
+/// scratch vector a solve needs, all owned by the workspace and recycled
+/// between solves.
+///
+/// # Warm starts and determinism
+///
+/// A workspace solve rebuilds the standard-form tableau **in place** from
+/// the [`LinearProgram`] it is given — no allocation happens once the
+/// buffers have grown to the largest problem seen — and then replays the
+/// same deterministic pivot rule a cold solve uses. Warm solves are
+/// therefore *bitwise identical* to cold solves on the same program: the
+/// warm start saves the allocation and deallocation traffic (the dominant
+/// cost of the EffiTest-sized instances, which pivot only a handful of
+/// times), never the pivoting itself, so no stale state can leak from one
+/// solve into the next. The property suite in `tests/proptests.rs` pins
+/// this equivalence on randomized solve sequences.
+///
+/// # Example
+///
+/// ```
+/// use effitest_solver::{ConstraintOp, LinearProgram, LpStatus, SimplexWorkspace};
+///
+/// let mut ws = SimplexWorkspace::new();
+/// let mut lp = LinearProgram::new(1);
+/// lp.set_objective(&[1.0]);
+/// for rhs in [3.0, 5.0] {
+///     lp.set_bounds(0, rhs, f64::INFINITY); // only bounds change...
+///     let sol = ws.solve(&lp); // ...so the workspace is reused as-is
+///     assert_eq!(sol.status, LpStatus::Optimal);
+///     assert_eq!(sol.values[0], rhs);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SimplexWorkspace {
+    /// Variable mapping back to the original space.
+    var_map: Vec<VarMap>,
+    /// Synthetic `x_j <= hi` rows for two-sided-bounded variables.
+    upper_rows: Vec<(usize, f64)>,
+    /// Per-row standard-form metadata.
+    meta: Vec<RowMeta>,
+    /// Flat row-major tableau: `m` rows of `stride` entries (all columns
+    /// plus the rhs in the last slot).
+    tab: Vec<f64>,
+    /// Basis: column index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Reduced-cost row (phase 1, then phase 2).
+    cost: Vec<f64>,
+    /// Standard-form variable values at extraction.
+    std_vals: Vec<f64>,
+    /// The solution of the most recent solve.
+    solution: LpSolution,
+    stride: usize,
+    m: usize,
+    /// Structural + slack columns (artificials appended after).
+    n_cols: usize,
+    /// All columns including artificials.
+    total_cols: usize,
+}
+
+impl Default for SimplexWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimplexWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SimplexWorkspace {
+            var_map: Vec::new(),
+            upper_rows: Vec::new(),
+            meta: Vec::new(),
+            tab: Vec::new(),
+            basis: Vec::new(),
+            cost: Vec::new(),
+            std_vals: Vec::new(),
+            solution: LpSolution { status: LpStatus::Optimal, values: Vec::new(), objective: 0.0 },
+            stride: 0,
+            m: 0,
+            n_cols: 0,
+            total_cols: 0,
+        }
+    }
+
+    /// Solves `lp`, reusing this workspace's buffers.
+    ///
+    /// The returned reference borrows the workspace; clone it (or copy the
+    /// fields out) if the solution must outlive the next solve. Results
+    /// are bitwise identical to [`LinearProgram::solve`].
+    pub fn solve(&mut self, lp: &LinearProgram) -> &LpSolution {
+        self.build(lp);
+        self.run(lp);
+        &self.solution
+    }
+
+    /// The most recent solution (untouched until the next [`solve`](Self::solve)).
+    pub fn last_solution(&self) -> &LpSolution {
+        &self.solution
+    }
+
+    fn fail(&mut self, lp: &LinearProgram, status: LpStatus) {
+        self.solution.status = status;
+        self.solution.values.clear();
+        self.solution.values.resize(lp.n, 0.0);
+        self.solution.objective = match status {
+            LpStatus::Unbounded => {
+                if lp.maximize {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+            _ => 0.0,
+        };
+    }
+
+    /// Rebuilds the standard-form tableau in place from `lp`.
+    fn build(&mut self, lp: &LinearProgram) {
         // --- Map variables to non-negative standard-form columns. ---
-        let mut var_map = Vec::with_capacity(lp.n);
+        self.var_map.clear();
+        self.upper_rows.clear();
         let mut n_struct = 0;
-        let mut extra_rows: Vec<RawRow> = Vec::new();
         for j in 0..lp.n {
             let (lo, hi) = (lp.lower[j], lp.upper[j]);
             let vm = if lo.is_finite() {
                 let col = n_struct;
                 n_struct += 1;
                 if hi.is_finite() {
-                    // y <= hi - lo
-                    extra_rows.push((vec![(j, 1.0)], ConstraintOp::Le, hi));
+                    self.upper_rows.push((j, hi));
                 }
                 VarMap::Shifted { col, shift: lo }
             } else if hi.is_finite() {
@@ -246,135 +385,137 @@ impl Tableau {
                 n_struct += 2;
                 VarMap::Split { plus, minus }
             };
-            var_map.push(vm);
+            self.var_map.push(vm);
         }
 
-        // --- Expand rows into standard-form coefficients. ---
-        // Each row: dense over structural columns, then op and adjusted rhs.
-        let all_rows: Vec<&RawRow> = lp.rows.iter().chain(extra_rows.iter()).collect();
-        let m = all_rows.len();
-
-        // Slack columns: one per inequality row.
-        let n_slack = all_rows.iter().filter(|(_, op, _)| *op != ConstraintOp::Eq).count();
+        let m = lp.rows.len() + self.upper_rows.len();
+        let n_slack = lp.rows.iter().filter(|(_, op, _)| *op != ConstraintOp::Eq).count()
+            + self.upper_rows.len();
         let n_cols = n_struct + n_slack;
 
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut basis = vec![usize::MAX; m];
+        // --- Pass 1: per-row metadata (shifted rhs, slack/basis seeding,
+        // artificial assignment), which fixes the tableau width before any
+        // coefficient is written. ---
+        self.meta.clear();
         let mut slack_cursor = n_struct;
+        let mut n_art = 0;
+        for r in 0..m {
+            let (terms, op, rhs) = split_row(lp, &self.upper_rows, r);
+            let mut rhs_adj = rhs;
+            for &(j, a) in terms.iter() {
+                match self.var_map[j] {
+                    VarMap::Shifted { shift, .. } | VarMap::Flipped { shift, .. } => {
+                        rhs_adj -= a * shift;
+                    }
+                    VarMap::Split { .. } => {}
+                }
+            }
+            let slack = if op == ConstraintOp::Eq {
+                usize::MAX
+            } else {
+                let c = slack_cursor;
+                slack_cursor += 1;
+                c
+            };
+            let negate = rhs_adj < 0.0;
+            // A slack column that ends up `+1` after normalization seeds
+            // the basis; everything else needs a phase-1 artificial.
+            let seeded = match op {
+                ConstraintOp::Le => !negate,
+                ConstraintOp::Ge => negate,
+                ConstraintOp::Eq => false,
+            };
+            let art = if seeded {
+                usize::MAX
+            } else {
+                let c = n_cols + n_art;
+                n_art += 1;
+                c
+            };
+            self.meta.push(RowMeta { rhs_adj, slack, negate, art });
+        }
 
-        for (r, (terms, op, rhs)) in all_rows.iter().enumerate() {
-            let mut row = vec![0.0; n_cols + 1];
-            let mut rhs_adj = *rhs;
-            for &(j, a) in terms {
-                match var_map[j] {
-                    VarMap::Shifted { col, shift } => {
-                        row[col] += a;
-                        rhs_adj -= a * shift;
-                    }
-                    VarMap::Flipped { col, shift } => {
-                        row[col] -= a;
-                        rhs_adj -= a * shift;
-                    }
+        let total_cols = n_cols + n_art;
+        let stride = total_cols + 1;
+        self.m = m;
+        self.n_cols = n_cols;
+        self.total_cols = total_cols;
+        self.stride = stride;
+
+        // --- Pass 2: fill the tableau. ---
+        self.tab.clear();
+        self.tab.resize(m * stride, 0.0);
+        self.basis.clear();
+        self.basis.resize(m, usize::MAX);
+        for r in 0..m {
+            let (terms, op, _) = split_row(lp, &self.upper_rows, r);
+            let RowMeta { rhs_adj, slack, negate, art } = self.meta[r];
+            let row = &mut self.tab[r * stride..(r + 1) * stride];
+            for &(j, a) in terms.iter() {
+                match self.var_map[j] {
+                    VarMap::Shifted { col, .. } => row[col] += a,
+                    VarMap::Flipped { col, .. } => row[col] -= a,
                     VarMap::Split { plus, minus } => {
                         row[plus] += a;
                         row[minus] -= a;
                     }
                 }
             }
-            let mut slack_col = None;
-            match op {
-                ConstraintOp::Le => {
-                    row[slack_cursor] = 1.0;
-                    slack_col = Some(slack_cursor);
-                    slack_cursor += 1;
-                }
-                ConstraintOp::Ge => {
-                    row[slack_cursor] = -1.0;
-                    slack_col = Some(slack_cursor);
-                    slack_cursor += 1;
-                }
-                ConstraintOp::Eq => {}
+            if slack != usize::MAX {
+                row[slack] = if op == ConstraintOp::Le { 1.0 } else { -1.0 };
             }
-            row[n_cols] = rhs_adj;
-            // Normalize to rhs >= 0.
-            if row[n_cols] < 0.0 {
+            row[total_cols] = rhs_adj;
+            if negate {
                 for v in row.iter_mut() {
                     *v = -*v;
                 }
             }
-            // If the slack column survived normalization with +1, it can
-            // seed the basis.
-            if let Some(sc) = slack_col {
-                if row[sc] > 0.5 {
-                    basis[r] = sc;
-                }
+            if art != usize::MAX {
+                row[art] = 1.0;
+                self.basis[r] = art;
+            } else {
+                self.basis[r] = slack;
             }
-            rows.push(row);
         }
-
-        Tableau { rows, basis, n_cols, var_map, artificial_cols: Vec::new() }
     }
 
-    fn solve(mut self, lp: &LinearProgram) -> LpSolution {
-        let m = self.rows.len();
-        // --- Phase 1: add artificials where no basic column exists. ---
-        let mut art_cols = Vec::new();
-        for r in 0..m {
-            if self.basis[r] == usize::MAX {
-                let col = self.n_cols + art_cols.len();
-                art_cols.push(col);
-                self.basis[r] = col;
-            }
-        }
-        let total_cols = self.n_cols + art_cols.len();
-        for (r, row) in self.rows.iter_mut().enumerate() {
-            let rhs = row.pop().expect("row has rhs");
-            row.resize(total_cols, 0.0);
-            row.push(rhs);
-            if self.basis[r] >= self.n_cols {
-                let col = self.basis[r];
-                row[col] = 1.0;
-            }
-        }
-        self.artificial_cols = art_cols;
+    /// Runs phase 1 (when artificials exist) and phase 2, extracting the
+    /// solution into `self.solution`.
+    fn run(&mut self, lp: &LinearProgram) {
+        let (m, stride, n_cols, total_cols) = (self.m, self.stride, self.n_cols, self.total_cols);
 
-        if !self.artificial_cols.is_empty() {
+        if total_cols > n_cols {
             // Phase-1 objective: minimize the sum of artificials.
-            let mut cost = vec![0.0; total_cols + 1];
-            for &c in &self.artificial_cols {
-                cost[c] = 1.0;
+            self.cost.clear();
+            self.cost.resize(stride, 0.0);
+            for c in n_cols..total_cols {
+                self.cost[c] = 1.0;
             }
             // Price out the basic artificials.
             for r in 0..m {
-                if self.basis[r] >= self.n_cols {
-                    for (cv, &rv) in cost.iter_mut().zip(&self.rows[r]) {
+                if self.basis[r] >= n_cols {
+                    let row = &self.tab[r * stride..(r + 1) * stride];
+                    for (cv, &rv) in self.cost.iter_mut().zip(row) {
                         *cv -= rv;
                     }
                 }
             }
-            if !self.run_simplex(&mut cost, total_cols) {
+            if !run_simplex(&mut self.tab, &mut self.basis, stride, m, &mut self.cost, total_cols) {
                 // Phase 1 of a feasibility objective cannot be unbounded;
                 // treat as numerical failure -> infeasible.
-                return LpSolution {
-                    status: LpStatus::Infeasible,
-                    values: vec![0.0; lp.n],
-                    objective: 0.0,
-                };
+                return self.fail(lp, LpStatus::Infeasible);
             }
-            let phase1_obj = -cost[total_cols];
+            let phase1_obj = -self.cost[total_cols];
             if phase1_obj > 1e-7 {
-                return LpSolution {
-                    status: LpStatus::Infeasible,
-                    values: vec![0.0; lp.n],
-                    objective: 0.0,
-                };
+                return self.fail(lp, LpStatus::Infeasible);
             }
             // Drive any remaining artificial out of the basis.
             for r in 0..m {
-                if self.basis[r] >= self.n_cols {
-                    let pivot_col = (0..self.n_cols).find(|&c| self.rows[r][c].abs() > EPS);
+                if self.basis[r] >= n_cols {
+                    let row = &self.tab[r * stride..(r + 1) * stride];
+                    let pivot_col = (0..n_cols).find(|&c| row[c].abs() > EPS);
                     if let Some(c) = pivot_col {
-                        self.pivot(r, c);
+                        pivot(&mut self.tab, &mut self.basis, stride, m, r, c);
                     }
                     // If the whole row is zero over structural columns the
                     // row is redundant; leaving the artificial basic at
@@ -383,162 +524,200 @@ impl Tableau {
             }
         }
 
-        // --- Phase 2. ---
-        // Build the phase-2 cost row in standard-form columns. We always
-        // minimize internally.
-        let total_cols = self.n_cols + self.artificial_cols.len();
-        let mut cost = vec![0.0; total_cols + 1];
+        // --- Phase 2. We always minimize internally. ---
+        self.cost.clear();
+        self.cost.resize(stride, 0.0);
         let sign = if lp.maximize { -1.0 } else { 1.0 };
         let mut const_shift = 0.0;
         for j in 0..lp.n {
             let c_orig = sign * lp.objective[j];
             match self.var_map[j] {
                 VarMap::Shifted { col, shift } => {
-                    cost[col] += c_orig;
+                    self.cost[col] += c_orig;
                     const_shift += c_orig * shift;
                 }
                 VarMap::Flipped { col, shift } => {
-                    cost[col] -= c_orig;
+                    self.cost[col] -= c_orig;
                     const_shift += c_orig * shift;
                 }
                 VarMap::Split { plus, minus } => {
-                    cost[plus] += c_orig;
-                    cost[minus] -= c_orig;
+                    self.cost[plus] += c_orig;
+                    self.cost[minus] -= c_orig;
                 }
             }
         }
         // Forbid artificials from re-entering.
-        for &c in &self.artificial_cols {
-            cost[c] = f64::INFINITY;
+        for c in n_cols..total_cols {
+            self.cost[c] = f64::INFINITY;
         }
         // Price out the current basis.
-        for r in 0..self.rows.len() {
+        for r in 0..m {
             let b = self.basis[r];
-            if b < cost.len() - 1 && cost[b] != 0.0 && cost[b].is_finite() {
-                let factor = cost[b];
-                for (cv, &rv) in cost.iter_mut().zip(&self.rows[r]) {
+            if b < total_cols && self.cost[b] != 0.0 && self.cost[b].is_finite() {
+                let factor = self.cost[b];
+                let row = &self.tab[r * stride..(r + 1) * stride];
+                for (cv, &rv) in self.cost.iter_mut().zip(row) {
                     *cv -= factor * rv;
                 }
             }
         }
 
-        if !self.run_simplex(&mut cost, total_cols) {
-            return LpSolution {
-                status: LpStatus::Unbounded,
-                values: vec![0.0; lp.n],
-                objective: if lp.maximize { f64::INFINITY } else { f64::NEG_INFINITY },
-            };
+        if !run_simplex(&mut self.tab, &mut self.basis, stride, m, &mut self.cost, total_cols) {
+            return self.fail(lp, LpStatus::Unbounded);
         }
 
         // --- Extract the solution. ---
-        let mut std_vals = vec![0.0; total_cols];
-        for r in 0..self.rows.len() {
+        self.std_vals.clear();
+        self.std_vals.resize(total_cols, 0.0);
+        for r in 0..m {
             let b = self.basis[r];
             if b < total_cols {
-                std_vals[b] = self.rows[r][total_cols];
+                self.std_vals[b] = self.tab[r * stride + total_cols];
             }
         }
-        let mut values = vec![0.0; lp.n];
-        for (vj, vm) in values.iter_mut().zip(&self.var_map) {
-            *vj = match *vm {
-                VarMap::Shifted { col, shift } => std_vals[col] + shift,
-                VarMap::Flipped { col, shift } => shift - std_vals[col],
-                VarMap::Split { plus, minus } => std_vals[plus] - std_vals[minus],
-            };
+        self.solution.values.clear();
+        for vm in &self.var_map {
+            self.solution.values.push(match *vm {
+                VarMap::Shifted { col, shift } => self.std_vals[col] + shift,
+                VarMap::Flipped { col, shift } => shift - self.std_vals[col],
+                VarMap::Split { plus, minus } => self.std_vals[plus] - self.std_vals[minus],
+            });
         }
-        let min_obj = -cost[total_cols] + const_shift;
-        let objective = if lp.maximize { -min_obj } else { min_obj };
-        LpSolution { status: LpStatus::Optimal, values, objective }
+        let min_obj = -self.cost[total_cols] + const_shift;
+        self.solution.objective = if lp.maximize { -min_obj } else { min_obj };
+        self.solution.status = LpStatus::Optimal;
     }
+}
 
-    /// Runs the simplex on the current tableau with the given cost row.
-    /// Returns `false` on unboundedness.
-    fn run_simplex(&mut self, cost: &mut [f64], total_cols: usize) -> bool {
-        let m = self.rows.len();
-        for iter in 0..MAX_ITER {
-            // Entering column: most negative reduced cost (Dantzig), Bland
-            // after a while to break cycles.
-            let bland = iter > MAX_ITER / 2;
-            let mut enter = None;
-            let mut best = -EPS;
-            for (c, &rc) in cost.iter().enumerate().take(total_cols) {
-                if !rc.is_finite() {
-                    continue;
-                }
-                if bland {
-                    if rc < -EPS {
-                        enter = Some(c);
-                        break;
-                    }
-                } else if rc < best {
-                    best = rc;
-                    enter = Some(c);
-                }
-            }
-            let Some(enter) = enter else {
-                return true; // optimal
-            };
-            // Leaving row: min ratio test (Bland tie-break on basis index).
-            let mut leave: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..m {
-                let a = self.rows[r][enter];
-                if a > EPS {
-                    let ratio = self.rows[r][total_cols] / a;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]));
-                    if better {
-                        best_ratio = ratio;
-                        leave = Some(r);
-                    }
-                }
-            }
-            let Some(leave) = leave else {
-                return false; // unbounded
-            };
-            self.pivot(leave, enter);
-            // Update cost row.
-            let factor = cost[enter];
-            if factor != 0.0 {
-                for (cv, &v) in cost.iter_mut().zip(&self.rows[leave]) {
-                    if v != 0.0 && cv.is_finite() {
-                        *cv -= factor * v;
-                    }
-                }
-            }
-        }
-        // Iteration cap reached: treat as optimal-enough (should not happen
-        // on EffiTest-sized problems).
-        true
+/// Expanded row `r` of the standard form: the user's rows first, then the
+/// synthetic upper-bound rows.
+fn split_row<'a>(
+    lp: &'a LinearProgram,
+    upper_rows: &'a [(usize, f64)],
+    r: usize,
+) -> (UpperOrUser<'a>, ConstraintOp, f64) {
+    if r < lp.rows.len() {
+        let (terms, op, rhs) = &lp.rows[r];
+        (UpperOrUser::User(terms), *op, *rhs)
+    } else {
+        let (j, hi) = upper_rows[r - lp.rows.len()];
+        (UpperOrUser::Upper([(j, 1.0)]), ConstraintOp::Le, hi)
     }
+}
 
-    /// Pivots on `(row, col)`: makes `col` basic in `row`.
-    fn pivot(&mut self, row: usize, col: usize) {
-        let m = self.rows.len();
-        let width = self.rows[row].len();
-        let pivot = self.rows[row][col];
-        debug_assert!(pivot.abs() > 1e-12, "zero pivot");
-        for c in 0..width {
-            self.rows[row][c] /= pivot;
+/// Either a borrowed user constraint row or an inline `x_j <= hi` row.
+enum UpperOrUser<'a> {
+    User(&'a [(usize, f64)]),
+    Upper([(usize, f64); 1]),
+}
+
+impl UpperOrUser<'_> {
+    fn iter(&self) -> std::slice::Iter<'_, (usize, f64)> {
+        match self {
+            UpperOrUser::User(terms) => terms.iter(),
+            UpperOrUser::Upper(one) => one.iter(),
         }
-        for r in 0..m {
-            if r == row {
+    }
+}
+
+/// Runs the simplex on the tableau with the given cost row. Returns
+/// `false` on unboundedness.
+fn run_simplex(
+    tab: &mut [f64],
+    basis: &mut [usize],
+    stride: usize,
+    m: usize,
+    cost: &mut [f64],
+    total_cols: usize,
+) -> bool {
+    for iter in 0..MAX_ITER {
+        // Entering column: most negative reduced cost (Dantzig), Bland
+        // after a while to break cycles.
+        let bland = iter > MAX_ITER / 2;
+        let mut enter = None;
+        let mut best = -EPS;
+        for (c, &rc) in cost.iter().enumerate().take(total_cols) {
+            if !rc.is_finite() {
                 continue;
             }
-            let factor = self.rows[r][col];
-            if factor != 0.0 {
-                for c in 0..width {
-                    let v = self.rows[row][c];
-                    if v != 0.0 {
-                        self.rows[r][c] -= factor * v;
-                    }
+            if bland {
+                if rc < -EPS {
+                    enter = Some(c);
+                    break;
                 }
-                self.rows[r][col] = 0.0; // kill round-off
+            } else if rc < best {
+                best = rc;
+                enter = Some(c);
             }
         }
-        self.basis[row] = col;
+        let Some(enter) = enter else {
+            return true; // optimal
+        };
+        // Leaving row: min ratio test (Bland tie-break on basis index).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..m {
+            let a = tab[r * stride + enter];
+            if a > EPS {
+                let ratio = tab[r * stride + total_cols] / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|lr| basis[r] < basis[lr]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // unbounded
+        };
+        pivot(tab, basis, stride, m, leave, enter);
+        // Update cost row.
+        let factor = cost[enter];
+        if factor != 0.0 {
+            let row = &tab[leave * stride..(leave + 1) * stride];
+            for (cv, &v) in cost.iter_mut().zip(row) {
+                if v != 0.0 && cv.is_finite() {
+                    *cv -= factor * v;
+                }
+            }
+        }
     }
+    // Iteration cap reached: treat as optimal-enough (should not happen
+    // on EffiTest-sized problems).
+    true
+}
+
+/// Pivots on `(row, col)`: makes `col` basic in `row`.
+fn pivot(tab: &mut [f64], basis: &mut [usize], stride: usize, m: usize, row: usize, col: usize) {
+    let pivot = tab[row * stride + col];
+    debug_assert!(pivot.abs() > 1e-12, "zero pivot");
+    for c in 0..stride {
+        tab[row * stride + c] /= pivot;
+    }
+    for r in 0..m {
+        if r == row {
+            continue;
+        }
+        let factor = tab[r * stride + col];
+        if factor != 0.0 {
+            // Disjoint pivot/target rows, borrowed via a single split.
+            let (pr, tr) = if r < row {
+                let (head, tail) = tab.split_at_mut(row * stride);
+                (&tail[..stride], &mut head[r * stride..(r + 1) * stride])
+            } else {
+                let (head, tail) = tab.split_at_mut(r * stride);
+                (&head[row * stride..(row + 1) * stride], &mut tail[..stride])
+            };
+            for (tv, &v) in tr.iter_mut().zip(pr) {
+                if v != 0.0 {
+                    *tv -= factor * v;
+                }
+            }
+            tab[r * stride + col] = 0.0; // kill round-off
+        }
+    }
+    basis[row] = col;
 }
 
 #[cfg(test)]

@@ -38,6 +38,38 @@ pub fn weighted_median(points: &[(f64, f64)]) -> Option<f64> {
     Some(sorted.last().expect("non-empty").0)
 }
 
+/// In-place, allocation-free variant of [`weighted_median`]: sorts `points`
+/// by position (an unstable sort — ties between equal positions may land in
+/// any order, which cannot change the returned median value) and scans the
+/// cumulative weight.
+///
+/// This is the inner kernel of the warm-started
+/// [`AlignmentEngine`](crate::align::AlignmentEngine): the engine refills
+/// one scratch buffer per candidate move instead of allocating two vectors
+/// per call the way the borrowing variant must.
+///
+/// Returns `None` for empty input or non-positive total weight. Negative
+/// weights are treated as zero, exactly as in [`weighted_median`].
+pub fn weighted_median_in_place(points: &mut [(f64, f64)]) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    let total: f64 = points.iter().map(|&(_, w)| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    points.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    let half = total / 2.0;
+    let mut acc = 0.0;
+    for &(x, w) in points.iter() {
+        acc += w.max(0.0);
+        if acc >= half - 1e-15 {
+            return Some(x);
+        }
+    }
+    Some(points.last().expect("non-empty").0)
+}
+
 /// Evaluates the weighted L1 objective `sum_i w_i * |t - x_i|`.
 pub fn weighted_l1(t: f64, points: &[(f64, f64)]) -> f64 {
     points.iter().map(|&(x, w)| w * (t - x).abs()).sum()

@@ -1,19 +1,98 @@
-use crate::{LinearProgram, LpStatus};
+use crate::{LinearProgram, LpStatus, SimplexWorkspace};
 
 #[cfg(test)]
 use crate::ConstraintOp;
 
+/// Outcome of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Branch and bound terminated with a proven integer optimum.
+    Optimal,
+    /// The node limit was exhausted before the search tree was closed.
+    /// The reported solution is the best incumbent found so far (all
+    /// zeros when no incumbent exists); it may be suboptimal and the
+    /// problem may even be infeasible.
+    NodeLimitReached,
+    /// The search tree was closed without finding any integer-feasible
+    /// point: proven infeasibility.
+    Infeasible,
+}
+
 /// Solution of a [`MixedIntegerProgram`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MilpSolution {
-    /// `true` if an integer-feasible optimum was found.
-    pub optimal: bool,
+    /// Solve outcome; see [`MilpStatus`] for the meaning of `values` /
+    /// `objective` in each case.
+    pub status: MilpStatus,
     /// Variable values (integer variables are exactly integral).
     pub values: Vec<f64>,
     /// Objective value in the user's orientation.
     pub objective: f64,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+}
+
+impl MilpSolution {
+    /// `true` if a proven integer optimum was found.
+    pub fn is_optimal(&self) -> bool {
+        self.status == MilpStatus::Optimal
+    }
+}
+
+/// Reusable branch-and-bound state: the working copy of the relaxation,
+/// the delta stack, the shared [`SimplexWorkspace`], and the incumbent
+/// buffer.
+///
+/// Branching pushes **bound deltas** onto one working LP instead of
+/// cloning the whole program per node (the pre-workspace implementation
+/// cloned every row of every node), and every node relaxation is solved
+/// through the one simplex workspace. A solve sequence through a shared
+/// workspace returns bitwise-identical solutions to fresh-workspace
+/// solves; `tests/proptests.rs` pins this equivalence.
+#[derive(Debug)]
+pub struct MilpWorkspace {
+    simplex: SimplexWorkspace,
+    working: LinearProgram,
+    ops: Vec<NodeOp>,
+    best_values: Vec<f64>,
+    solution_values: Vec<f64>,
+    milp_solution: MilpSolution,
+}
+
+impl Default for MilpWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One entry of the depth-first delta stack.
+#[derive(Debug, Clone, Copy)]
+enum NodeOp {
+    /// Process the current working LP as a node (the root).
+    Root,
+    /// Set `var`'s bounds to `[lo, hi]`, then process the node.
+    Solve { var: usize, lo: f64, hi: f64 },
+    /// Restore `var`'s bounds to `[lo, hi]` after both children finished.
+    Restore { var: usize, lo: f64, hi: f64 },
+}
+
+impl MilpWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        MilpWorkspace {
+            working: LinearProgram::new(0),
+            simplex: SimplexWorkspace::new(),
+            ops: Vec::new(),
+            best_values: Vec::new(),
+            solution_values: Vec::new(),
+            milp_solution: MilpSolution {
+                status: MilpStatus::Infeasible,
+                values: Vec::new(),
+                objective: 0.0,
+                nodes: 0,
+            },
+        }
+    }
 }
 
 /// A mixed-integer linear program: a [`LinearProgram`] plus a set of
@@ -39,7 +118,7 @@ pub struct MilpSolution {
 /// lp.add_constraint(&[(0, 2.0), (1, 3.0)], ConstraintOp::Le, 8.0);
 /// let milp = MixedIntegerProgram::new(lp, vec![0, 1]);
 /// let sol = milp.solve();
-/// assert!(sol.optimal);
+/// assert!(sol.is_optimal());
 /// assert!((sol.objective - 3.0).abs() < 1e-7);
 /// ```
 #[derive(Debug, Clone)]
@@ -51,6 +130,10 @@ pub struct MixedIntegerProgram {
 
 const INT_TOL: f64 = 1e-6;
 
+/// Default branch-and-bound node cap, shared with the alignment engine's
+/// warm exact solve.
+pub(crate) const DEFAULT_NODE_LIMIT: usize = 200_000;
+
 impl MixedIntegerProgram {
     /// Wraps an LP with integrality requirements on `integer_vars`.
     ///
@@ -61,7 +144,7 @@ impl MixedIntegerProgram {
         for &v in &integer_vars {
             assert!(v < lp.num_vars(), "integer variable {v} out of range");
         }
-        MixedIntegerProgram { lp, integer_vars, node_limit: 200_000 }
+        MixedIntegerProgram { lp, integer_vars, node_limit: DEFAULT_NODE_LIMIT }
     }
 
     /// Caps the number of branch-and-bound nodes (default 200 000).
@@ -74,109 +157,186 @@ impl MixedIntegerProgram {
         &self.lp
     }
 
-    /// Solves the MILP.
-    ///
-    /// Returns `optimal == false` if the problem is infeasible or the node
-    /// limit was exhausted before proving optimality (in which case the
-    /// best incumbent found so far, if any, is returned).
+    /// Solves the MILP with a throwaway workspace.
     pub fn solve(&self) -> MilpSolution {
-        let maximize = self.lp.is_maximize();
-        let mut best: Option<(f64, Vec<f64>)> = None;
-        let mut nodes = 0_usize;
-        let mut stack: Vec<LinearProgram> = vec![self.lp.clone()];
+        self.solve_with(&mut MilpWorkspace::new())
+    }
 
-        while let Some(node_lp) = stack.pop() {
-            if nodes >= self.node_limit {
-                break;
-            }
-            nodes += 1;
-            let relax = node_lp.solve();
-            match relax.status {
-                LpStatus::Infeasible => continue,
-                LpStatus::Unbounded => {
-                    // An unbounded relaxation at the root means the MILP is
-                    // unbounded (or the bounding box is missing); deeper
-                    // nodes inherit the issue. Give up on this branch.
-                    continue;
-                }
-                LpStatus::Optimal => {}
-            }
-            // Prune by bound.
-            if let Some((incumbent, _)) = &best {
-                let worse = if maximize {
-                    relax.objective <= *incumbent + 1e-12
-                } else {
-                    relax.objective >= *incumbent - 1e-12
-                };
-                if worse {
-                    continue;
-                }
-            }
-            // Find the most fractional integer variable.
-            let mut branch_var = None;
-            let mut worst_frac = INT_TOL;
-            for &v in &self.integer_vars {
-                let val = relax.values[v];
-                let frac = (val - val.round()).abs();
-                if frac > worst_frac {
-                    worst_frac = frac;
-                    branch_var = Some(v);
-                }
-            }
-            match branch_var {
-                None => {
-                    // Integer feasible: round the integer vars exactly.
-                    let mut vals = relax.values.clone();
-                    for &v in &self.integer_vars {
-                        vals[v] = vals[v].round();
-                    }
-                    let obj = self.lp.objective_at(&vals);
-                    let better = match &best {
-                        None => true,
-                        Some((inc, _)) => {
-                            if maximize {
-                                obj > *inc + 1e-12
-                            } else {
-                                obj < *inc - 1e-12
-                            }
-                        }
-                    };
-                    if better {
-                        best = Some((obj, vals));
-                    }
-                }
-                Some(v) => {
-                    let val = relax.values[v];
-                    let floor = val.floor();
-                    let (lo, hi) = node_lp.bounds(v);
-                    // Down branch: v <= floor.
-                    if floor >= lo - 1e-9 {
-                        let mut down = node_lp.clone();
-                        down.set_bounds(v, lo, floor.min(hi));
-                        stack.push(down);
-                    }
-                    // Up branch: v >= floor + 1.
-                    if floor + 1.0 <= hi + 1e-9 {
-                        let mut up = node_lp.clone();
-                        up.set_bounds(v, (floor + 1.0).max(lo), hi);
-                        stack.push(up);
-                    }
-                }
-            }
-        }
+    /// Solves the MILP reusing `ws` across calls; bitwise identical to
+    /// [`solve`](Self::solve).
+    pub fn solve_with(&self, ws: &mut MilpWorkspace) -> MilpSolution {
+        solve_milp(&self.lp, &self.integer_vars, self.node_limit, ws, None).clone()
+    }
 
-        match best {
-            Some((objective, values)) => {
-                MilpSolution { optimal: nodes < self.node_limit, values, objective, nodes }
+    /// Solves the MILP with a known-feasible starting point (warm start).
+    ///
+    /// `incumbent` seeds the branch-and-bound incumbent: it is snapped to
+    /// integrality at the integer variables, checked for feasibility, and
+    /// (when it survives both) used as the initial pruning bound, which
+    /// can cut the search tree dramatically when the seed is near-optimal
+    /// (e.g. the previous frequency-stepping iteration's alignment). An
+    /// infeasible or non-integral seed is silently ignored.
+    ///
+    /// The returned objective is always the true optimum; the returned
+    /// *point* may be the seed itself when the seed ties the optimum
+    /// (pruning discards equally-good subtrees), so seeded solves are not
+    /// guaranteed bitwise-identical to unseeded ones.
+    pub fn solve_seeded(&self, ws: &mut MilpWorkspace, incumbent: &[f64]) -> MilpSolution {
+        solve_milp(&self.lp, &self.integer_vars, self.node_limit, ws, Some(incumbent)).clone()
+    }
+}
+
+/// Branch-and-bound core over borrowed problem parts, writing the solution
+/// into the workspace (callers clone if they need ownership).
+pub(crate) fn solve_milp<'w>(
+    lp: &LinearProgram,
+    integer_vars: &[usize],
+    node_limit: usize,
+    ws: &'w mut MilpWorkspace,
+    incumbent: Option<&[f64]>,
+) -> &'w MilpSolution {
+    let maximize = lp.is_maximize();
+    ws.working.clone_from(lp);
+    ws.ops.clear();
+    ws.ops.push(NodeOp::Root);
+
+    // Incumbent objective; the values live in ws.best_values.
+    let mut best: Option<f64> = None;
+    if let Some(seed) = incumbent {
+        if seed.len() == lp.num_vars() {
+            ws.solution_values.clear();
+            ws.solution_values.extend_from_slice(seed);
+            for &v in integer_vars {
+                ws.solution_values[v] = ws.solution_values[v].round();
             }
-            None => MilpSolution {
-                optimal: false,
-                values: vec![0.0; self.lp.num_vars()],
-                objective: 0.0,
-                nodes,
-            },
+            let integral = seed
+                .iter()
+                .zip(&ws.solution_values)
+                .all(|(&raw, &snapped)| (raw - snapped).abs() < INT_TOL);
+            if integral && lp.is_feasible(&ws.solution_values, 1e-9) {
+                best = Some(lp.objective_at(&ws.solution_values));
+                ws.best_values.clear();
+                ws.best_values.extend_from_slice(&ws.solution_values);
+            }
         }
     }
+
+    let mut nodes = 0_usize;
+    let mut limit_hit = false;
+    while let Some(op) = ws.ops.pop() {
+        match op {
+            NodeOp::Restore { var, lo, hi } => {
+                ws.working.set_bounds(var, lo, hi);
+                continue;
+            }
+            NodeOp::Solve { var, lo, hi } => ws.working.set_bounds(var, lo, hi),
+            NodeOp::Root => {}
+        }
+        if nodes >= node_limit {
+            limit_hit = true;
+            break;
+        }
+        nodes += 1;
+        let relax = ws.simplex.solve(&ws.working);
+        match relax.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // An unbounded relaxation at the root means the MILP is
+                // unbounded (or the bounding box is missing); deeper
+                // nodes inherit the issue. Give up on this branch.
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+        // Prune by bound.
+        if let Some(inc) = best {
+            let worse = if maximize {
+                relax.objective <= inc + 1e-12
+            } else {
+                relax.objective >= inc - 1e-12
+            };
+            if worse {
+                continue;
+            }
+        }
+        // Find the most fractional integer variable.
+        let mut branch_var = None;
+        let mut worst_frac = INT_TOL;
+        for &v in integer_vars {
+            let val = relax.values[v];
+            let frac = (val - val.round()).abs();
+            if frac > worst_frac {
+                worst_frac = frac;
+                branch_var = Some(v);
+            }
+        }
+        match branch_var {
+            None => {
+                // Integer feasible: round the integer vars exactly.
+                ws.solution_values.clear();
+                ws.solution_values.extend_from_slice(&relax.values);
+                for &v in integer_vars {
+                    ws.solution_values[v] = ws.solution_values[v].round();
+                }
+                let obj = lp.objective_at(&ws.solution_values);
+                let better = match best {
+                    None => true,
+                    Some(inc) => {
+                        if maximize {
+                            obj > inc + 1e-12
+                        } else {
+                            obj < inc - 1e-12
+                        }
+                    }
+                };
+                if better {
+                    best = Some(obj);
+                    std::mem::swap(&mut ws.best_values, &mut ws.solution_values);
+                }
+            }
+            Some(v) => {
+                let val = relax.values[v];
+                let floor = val.floor();
+                let (lo, hi) = ws.working.bounds(v);
+                // The parent's bounds come back after both subtrees (LIFO:
+                // popped last).
+                ws.ops.push(NodeOp::Restore { var: v, lo, hi });
+                // Down branch: v <= floor (explored second).
+                if floor >= lo - 1e-9 {
+                    ws.ops.push(NodeOp::Solve { var: v, lo, hi: floor.min(hi) });
+                }
+                // Up branch: v >= floor + 1 (explored first, matching the
+                // clone-per-node implementation this replaced).
+                if floor + 1.0 <= hi + 1e-9 {
+                    ws.ops.push(NodeOp::Solve { var: v, lo: (floor + 1.0).max(lo), hi });
+                }
+            }
+        }
+    }
+
+    let status = if limit_hit {
+        MilpStatus::NodeLimitReached
+    } else if best.is_some() {
+        MilpStatus::Optimal
+    } else {
+        MilpStatus::Infeasible
+    };
+    ws.solution_values.clear();
+    match best {
+        Some(objective) => {
+            ws.solution_values.extend_from_slice(&ws.best_values);
+            ws.milp_solution.status = status;
+            ws.milp_solution.objective = objective;
+        }
+        None => {
+            ws.solution_values.resize(lp.num_vars(), 0.0);
+            ws.milp_solution.status = status;
+            ws.milp_solution.objective = 0.0;
+        }
+    }
+    std::mem::swap(&mut ws.milp_solution.values, &mut ws.solution_values);
+    ws.milp_solution.nodes = nodes;
+    &ws.milp_solution
 }
 
 #[cfg(test)]
@@ -194,7 +354,7 @@ mod tests {
         }
         lp.add_constraint(&[(0, 2.0), (1, 3.0), (2, 1.0)], ConstraintOp::Le, 5.0);
         let sol = MixedIntegerProgram::new(lp, vec![0, 1, 2]).solve();
-        assert!(sol.optimal);
+        assert_eq!(sol.status, MilpStatus::Optimal);
         // a=1, c=1, b=0 -> 8; or a=1,b=1 -> 9 (2+3=5 fits!).
         assert!((sol.objective - 9.0).abs() < 1e-7);
         assert!((sol.values[0] - 1.0).abs() < 1e-7);
@@ -209,7 +369,7 @@ mod tests {
         lp.set_maximize(true);
         lp.add_constraint(&[(0, 2.0)], ConstraintOp::Le, 7.0);
         let sol = MixedIntegerProgram::new(lp, vec![0]).solve();
-        assert!(sol.optimal);
+        assert!(sol.is_optimal());
         assert!((sol.values[0] - 3.0).abs() < 1e-9);
     }
 
@@ -222,30 +382,58 @@ mod tests {
         lp.set_bounds(0, 0.0, 10.0);
         lp.add_constraint(&[(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 2.5);
         let sol = MixedIntegerProgram::new(lp, vec![0]).solve();
-        assert!(sol.optimal);
+        assert!(sol.is_optimal());
         assert!((sol.objective - 2.5).abs() < 1e-7);
         assert_eq!(sol.values[0], sol.values[0].round());
     }
 
     #[test]
     fn infeasible_milp() {
-        // x in {0,1}, x >= 2: infeasible.
+        // x in {0,1}, x >= 2: infeasible — and *proven* infeasible, which
+        // the status distinguishes from running out of nodes.
         let mut lp = LinearProgram::new(1);
         lp.set_bounds(0, 0.0, 1.0);
         lp.add_constraint(&[(0, 1.0)], ConstraintOp::Ge, 2.0);
         let sol = MixedIntegerProgram::new(lp, vec![0]).solve();
-        assert!(!sol.optimal);
+        assert_eq!(sol.status, MilpStatus::Infeasible);
+        assert!(!sol.is_optimal());
+    }
+
+    #[test]
+    fn node_limit_exhaustion_is_not_infeasibility() {
+        // A feasible two-variable problem that needs several nodes: with a
+        // one-node limit the root relaxation is fractional, branching is
+        // cut short, and the status must say so instead of claiming
+        // either optimality or infeasibility.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.set_maximize(true);
+        lp.set_bounds(0, 0.0, 6.0);
+        lp.set_bounds(1, 0.0, 6.0);
+        lp.add_constraint(&[(0, 2.0), (1, 2.0)], ConstraintOp::Le, 7.0);
+        let mut milp = MixedIntegerProgram::new(lp, vec![0, 1]);
+        milp.set_node_limit(1);
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::NodeLimitReached);
+        assert!(sol.nodes <= 1);
+        // The same problem with room to branch closes the tree.
+        milp.set_node_limit(200_000);
+        let full = milp.solve();
+        assert_eq!(full.status, MilpStatus::Optimal);
+        assert!((full.objective - 3.0).abs() < 1e-7);
     }
 
     #[test]
     fn matches_brute_force_on_random_instances() {
         // Deterministic pseudo-random 2-var integer programs, brute force
-        // over the grid as oracle.
+        // over the grid as oracle; one workspace shared across all cases
+        // exercises the delta-branching reuse path.
         let mut state = 0xABCDEF_u64;
         let mut next = move || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) * 2.0 - 1.0
         };
+        let mut ws = MilpWorkspace::new();
         for _case in 0..30 {
             let c0 = (next() * 5.0).round();
             let c1 = (next() * 5.0).round();
@@ -259,7 +447,7 @@ mod tests {
             lp.set_bounds(0, 0.0, 6.0);
             lp.set_bounds(1, 0.0, 6.0);
             lp.add_constraint(&[(0, a0), (1, a1)], ConstraintOp::Le, b);
-            let sol = MixedIntegerProgram::new(lp.clone(), vec![0, 1]).solve();
+            let sol = MixedIntegerProgram::new(lp.clone(), vec![0, 1]).solve_with(&mut ws);
 
             // Brute force.
             let mut best = f64::NEG_INFINITY;
@@ -272,7 +460,7 @@ mod tests {
                 }
             }
             if best.is_finite() {
-                assert!(sol.optimal, "solver failed where brute force succeeded");
+                assert!(sol.is_optimal(), "solver failed where brute force succeeded");
                 assert!(
                     (sol.objective - best).abs() < 1e-6,
                     "case: obj {} vs brute {best}",
@@ -280,6 +468,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn seeded_solve_keeps_the_true_optimum() {
+        // Seed with a feasible but suboptimal point; the optimum must
+        // still be found. Then seed with the optimum itself; the objective
+        // must not degrade.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[5.0, 4.0]);
+        lp.set_maximize(true);
+        lp.set_bounds(0, 0.0, 3.0);
+        lp.set_bounds(1, 0.0, 3.0);
+        lp.add_constraint(&[(0, 2.0), (1, 3.0)], ConstraintOp::Le, 9.0);
+        let milp = MixedIntegerProgram::new(lp, vec![0, 1]);
+        let mut ws = MilpWorkspace::new();
+        let cold = milp.solve_with(&mut ws);
+        assert_eq!(cold.status, MilpStatus::Optimal);
+        let seeded = milp.solve_seeded(&mut ws, &[1.0, 1.0]);
+        assert_eq!(seeded.status, MilpStatus::Optimal);
+        assert!((seeded.objective - cold.objective).abs() < 1e-9);
+        let reseeded = milp.solve_seeded(&mut ws, &cold.values);
+        assert!((reseeded.objective - cold.objective).abs() < 1e-9);
+        // An infeasible seed is ignored, not trusted.
+        let bogus = milp.solve_seeded(&mut ws, &[9.0, 9.0]);
+        assert!((bogus.objective - cold.objective).abs() < 1e-9);
     }
 
     #[test]
@@ -295,7 +508,7 @@ mod tests {
         // eta >= 3.3 - (-5 + 0.5k)  ->  0.5k + eta >= 8.3
         lp.add_constraint(&[(0, 0.5), (1, 1.0)], ConstraintOp::Ge, 8.3);
         let sol = MixedIntegerProgram::new(lp, vec![0]).solve();
-        assert!(sol.optimal);
+        assert!(sol.is_optimal());
         assert!((sol.values[0] - 17.0).abs() < 1e-7);
         assert!((sol.objective - 0.2).abs() < 1e-7);
     }

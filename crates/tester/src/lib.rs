@@ -236,9 +236,32 @@ impl<'a> VirtualTester<'a> {
     ///
     /// Panics if any path index is out of range for the chip.
     pub fn apply_batch(&mut self, period: f64, probes: &[(usize, f64)]) -> Vec<bool> {
+        let mut results = Vec::new();
+        self.apply_batch_into(period, probes, &mut results);
+        results
+    }
+
+    /// Allocation-free variant of [`apply_batch`](Self::apply_batch):
+    /// `results` is cleared and refilled with one pass/fail per probe,
+    /// reusing its capacity. This is the entry point of the aligned-test
+    /// hot loop, which applies one probe batch per frequency-stepping
+    /// iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any path index is out of range for the chip.
+    pub fn apply_batch_into(
+        &mut self,
+        period: f64,
+        probes: &[(usize, f64)],
+        results: &mut Vec<bool>,
+    ) {
         self.iterations += 1;
         self.scan_loads += 1;
-        probes.iter().map(|&(idx, shift)| self.chip.setup_delay(idx) + shift <= period).collect()
+        results.clear();
+        results.extend(
+            probes.iter().map(|&(idx, shift)| self.chip.setup_delay(idx) + shift <= period),
+        );
     }
 
     /// Applies one clock period to a single path (the path-wise baseline).

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example alignment_demo`
 
-use effitest::solver::align::{sorted_center_weights, AlignPath, AlignmentProblem, BufferVar};
+use effitest::solver::align::{sorted_center_weights, AlignPath, AlignmentEngine, BufferVar};
 
 const COLS: usize = 72;
 
@@ -44,22 +44,26 @@ fn main() {
     println!("true delays: {truths:?}\n");
     let (view_lo, view_hi) = (80.0, 145.0);
 
+    // The per-iteration hot path of the real flow: one warm-started
+    // engine per batch, the path list rebuilt in place each iteration.
+    let mut engine = AlignmentEngine::new();
+    engine.begin_batch(&buffers);
+
     let mut iteration = 0;
     while bounds.iter().any(|(l, u)| u - l > 0.8) && iteration < 12 {
         iteration += 1;
         let centers: Vec<f64> = bounds.iter().map(|(l, u)| 0.5 * (l + u)).collect();
         let weights = sorted_center_weights(&centers, 1000.0, 1.0);
-        let paths: Vec<AlignPath> = (0..3)
-            .map(|p| AlignPath {
-                center: centers[p],
-                weight: weights[p],
-                source_buffer: roles[p].0,
-                sink_buffer: roles[p].1,
-                hold_lower_bound: None,
-            })
-            .collect();
-        let problem = AlignmentProblem { paths, buffers: buffers.clone() };
-        let sol = problem.solve_coordinate_descent(&[0.0, 0.0]);
+        let paths = engine.paths_mut();
+        paths.clear();
+        paths.extend((0..3).map(|p| AlignPath {
+            center: centers[p],
+            weight: weights[p],
+            source_buffer: roles[p].0,
+            sink_buffer: roles[p].1,
+            hold_lower_bound: None,
+        }));
+        let sol = engine.solve().clone();
 
         println!(
             "iteration {iteration}: T = {:.2}, buffers = [{:+.2}, {:+.2}]",

@@ -10,7 +10,9 @@
 
 use std::time::Instant;
 
-use effitest::flow::population::{default_threads, parse_env_count, run_flow_population};
+use effitest::flow::population::{
+    default_threads, parse_env_count, run_flow_population, run_population,
+};
 use effitest::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -74,6 +76,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("[check]     serial and parallel outcomes are bitwise identical");
+
+    // The engine reuses one warm solver workspace per worker thread; that
+    // reuse must be observationally invisible. A fresh workspace per chip
+    // (`run_chip` builds its own) has to agree bitwise.
+    let fresh = run_population(&model, &serial_pop, |_k, chip| {
+        let o = flow.run_chip(&plan, chip, td).expect("plan-sampled chip always matches");
+        (o.iterations, o.passes)
+    });
+    for (k, (a, &f)) in serial.iter().zip(&fresh).enumerate() {
+        assert_eq!((a.iterations, a.passes), f, "workspace reuse visible on chip {k}");
+    }
+    println!("[check]     warm per-thread workspaces match fresh-per-chip workspaces");
 
     let passed = serial.iter().filter(|o| o.passes).count();
     let iters: u64 = serial.iter().map(|o| o.iterations).sum();

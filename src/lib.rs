@@ -52,10 +52,8 @@ pub mod prelude {
         BenchmarkSpec, FlipFlopId, GateId, GeneratedBenchmark, Netlist, PathId, TuningBufferSpec,
     };
     pub use effitest_core::experiments::ExperimentConfig;
-    pub use effitest_core::population::{run_population, PopulationConfig};
-    #[allow(deprecated)]
-    pub use effitest_core::PreparedFlow;
-    pub use effitest_core::{ChipOutcome, EffiTestFlow, FlowConfig, FlowPlan};
+    pub use effitest_core::population::{run_population, run_population_scratch, PopulationConfig};
+    pub use effitest_core::{ChipOutcome, EffiTestFlow, FlowConfig, FlowPlan, FlowWorkspace};
     pub use effitest_ssta::{ChipInstance, TimingModel, VariationConfig};
     pub use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
 }

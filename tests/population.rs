@@ -9,7 +9,9 @@
 //! the environment.
 
 use effitest::flow::experiments::{table1_row, ExperimentConfig, Table1Row};
-use effitest::flow::population::{run_flow_population, run_population, PopulationConfig};
+use effitest::flow::population::{
+    run_flow_population, run_population, run_population_scratch, PopulationConfig,
+};
 use effitest::prelude::*;
 
 fn quick_config(threads: usize) -> ExperimentConfig {
@@ -105,6 +107,45 @@ fn plan_is_built_once_and_shared_across_chips_and_threads() {
         let outcome = flow.run_chip(&fresh, &chip, td).expect("matched chip");
         assert_eq!(&key(&outcome), expected, "fresh plan disagrees on chip {k}");
     }
+}
+
+#[test]
+fn per_thread_workspaces_preserve_bitwise_determinism() {
+    // The warm-started solver workspaces live one-per-worker-thread and
+    // are reused across every chip a worker claims. Results must not
+    // depend on which chips shared a workspace: compare a serial run (one
+    // workspace for all chips), parallel runs (one per worker), and a
+    // fresh-workspace-per-chip run, all bitwise.
+    let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(10), 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let plan = flow.plan(&bench, &model).expect("plan");
+    let td = model.nominal_period();
+    let key = |o: &ChipOutcome| {
+        (
+            o.iterations,
+            o.passes,
+            o.configured.clone().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+            o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+        )
+    };
+    let run = |threads: usize| -> Vec<_> {
+        let pop = PopulationConfig { n_chips: 12, base_seed: 2500, threads };
+        run_population_scratch(&model, &pop, FlowWorkspace::new, |ws, _k, chip| {
+            key(&flow.run_chip_with(ws, &plan, chip, td).expect("matched chip"))
+        })
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        assert_eq!(run(threads), serial, "per-thread workspaces drifted at {threads} threads");
+    }
+    // Fresh workspace per chip: the reuse itself must be observationally
+    // invisible.
+    let pop = PopulationConfig { n_chips: 12, base_seed: 2500, threads: 1 };
+    let fresh: Vec<_> = run_population(&model, &pop, |_k, chip| {
+        key(&flow.run_chip(&plan, chip, td).expect("matched chip"))
+    });
+    assert_eq!(fresh, serial, "workspace reuse changed per-chip outcomes");
 }
 
 #[test]
