@@ -1,0 +1,86 @@
+//! Scenario-matrix bench: per-cell flow cost across the topology and
+//! variation axes.
+//!
+//! Prints one row per (topology x variation) cell of a reduced matrix —
+//! the aligned-test cost and prediction quality the scenario engine
+//! reports — and records the full JSON report to `BENCH_scenarios.json`
+//! (override with `BENCH_SCENARIO_OUT`), then runs Criterion measurements
+//! of the whole-cell runtime for a representative subset. `EFFITEST_CHIPS`
+//! raises the per-cell population (bench default: 8).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use effitest_core::scenarios::{matrix_to_json, run_scenario, ScenarioAxes};
+
+fn reduced_axes() -> ScenarioAxes {
+    let config = effitest_bench::bench_config(8);
+    let mut axes = ScenarioAxes::smoke(10);
+    axes.chip_counts = vec![config.n_chips];
+    axes.flow = config.flow;
+    axes
+}
+
+fn print_and_record() {
+    let axes = reduced_axes();
+    let threads = effitest_core::population::threads_from_env().unwrap_or_else(|e| panic!("{e}"));
+    let cells = axes.cells();
+    println!("\nScenario matrix ({} cells, {} chips each):", cells.len(), axes.chip_counts[0]);
+    let header = format!(
+        "{:<36} {:>4} {:>4} {:>8} {:>7} {:>8}",
+        "cell", "np", "npt", "t_a", "yield", "pred_err"
+    );
+    println!("{header}");
+    effitest_bench::rule(&header);
+
+    let mut reports = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let r = run_scenario(cell, threads);
+        println!(
+            "{:<36} {:>4} {:>4} {:>8.1} {:>6.1}% {:>8.3}",
+            r.id,
+            r.np,
+            r.npt,
+            r.mean_iterations,
+            r.yield_fraction * 100.0,
+            r.prediction_mean_abs_err_sigma,
+        );
+        reports.push(r);
+    }
+
+    let json = matrix_to_json(&axes.base.name, &reports);
+    // Default to the workspace-root record (cargo runs benches from the
+    // package dir, which would scatter untracked copies under crates/).
+    let path = std::env::var("BENCH_SCENARIO_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenarios.json").into()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nrecorded -> {path}\n"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),
+    }
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let axes = reduced_axes();
+    let mut group = c.benchmark_group("scenario/cell");
+    // One representative cell per topology (the paper variation), whole
+    // cell per iteration: generation + SSTA + plan + population.
+    for cell in axes.cells().iter().filter(|cell| cell.variation.name() == "spatial") {
+        group.bench_with_input(BenchmarkId::new("run", cell.topology.name()), cell, |b, cell| {
+            b.iter(|| black_box(run_scenario(cell, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scenarios
+}
+
+fn main() {
+    print_and_record();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -25,6 +25,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::{
     FlipFlop, FlipFlopId, Gate, GateId, GateKind, Netlist, PathKind, PathSet, Point, Rect, Signal,
+    Topology,
 };
 
 /// Statistics-level description of a benchmark circuit (one row of the
@@ -51,6 +52,8 @@ pub struct BenchmarkSpec {
     pub max_path_len: usize,
     /// Fraction of `np` generated as spatially spread outlier paths.
     pub outlier_fraction: f64,
+    /// Clock-network / path-population topology (see [`Topology`]).
+    pub topology: Topology,
 }
 
 impl BenchmarkSpec {
@@ -79,6 +82,7 @@ impl BenchmarkSpec {
             min_path_len: 10,
             max_path_len: 14,
             outlier_fraction: 0.03,
+            topology: Topology::PaperClusters,
         }
     }
 
@@ -155,7 +159,60 @@ impl BenchmarkSpec {
             min_path_len: self.min_path_len.min(8),
             max_path_len: self.max_path_len.min(12),
             outlier_fraction: self.outlier_fraction,
+            topology: self.topology,
         }
+    }
+
+    /// Reshapes this spec to the given [`Topology`], adjusting the knobs
+    /// the shape needs (cluster counts, outlier density) and tagging the
+    /// circuit name so different topologies generate on different random
+    /// streams. The Table-1 statistics (`ns`, `ng`, `nb`, `np`) are
+    /// preserved exactly.
+    ///
+    /// Reshaping to the spec's current topology is the identity — in
+    /// particular, [`Topology::PaperClusters`] on a paper-shaped spec
+    /// changes nothing: the paper circuits are one point of the topology
+    /// axis, not a separate code path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked to reshape an already-reshaped spec to a
+    /// *different* topology: the reshape clamps `clusters` and rewrites
+    /// the name, so it is only reversible from the paper-shaped original.
+    /// Reshape from the base spec instead.
+    pub fn with_topology(mut self, topology: Topology) -> BenchmarkSpec {
+        if topology == self.topology {
+            return self;
+        }
+        assert!(
+            self.topology == Topology::PaperClusters,
+            "spec `{}` is already reshaped to `{}`; reshape to `{}` from the paper-shaped \
+             original instead",
+            self.name,
+            self.topology,
+            topology
+        );
+        self.topology = topology;
+        self.name = format!("{}_{}", self.name, topology.name());
+        self.clusters = match topology {
+            Topology::PaperClusters => self.clusters,
+            // One hub per leaf keeps the tree balanced; cap the leaf count
+            // so tiny specs stay feasible.
+            Topology::BalancedHTree => self.nb.clamp(1, 8),
+            // The geometric skew needs cluster `c` to receive at least one
+            // of the first `nb` hubs, which holds up to floor(log2 nb) + 1
+            // clusters.
+            Topology::UnbalancedFanout => {
+                ((usize::BITS - self.nb.leading_zeros()) as usize).clamp(1, self.nb)
+            }
+            Topology::PipelineChain => self.nb.clamp(1, 6),
+            Topology::Mesh => self.nb.clamp(1, 9),
+            Topology::SparseOutliers => self.nb.clamp(1, 4),
+        };
+        if topology == Topology::SparseOutliers {
+            self.outlier_fraction = 0.25;
+        }
+        self
     }
 }
 
@@ -210,26 +267,9 @@ impl GeneratedBenchmark {
         let die = Rect::new(0.0, 0.0, spec.die_size, spec.die_size);
         let mut netlist = Netlist::new(spec.name.clone(), die);
 
-        // --- Cluster regions: distinct cells of an 8x8 grid, spread out. ---
-        let grid = 8_usize;
-        let n_clusters = spec.clusters.min(grid * grid);
-        let cell = spec.die_size / grid as f64;
-        let stride = (grid * grid) / n_clusters;
-        let cluster_rects: Vec<Rect> = (0..n_clusters)
-            .map(|c| {
-                let cell_idx = c * stride;
-                let cx = (cell_idx % grid) as f64;
-                let cy = (cell_idx / grid) as f64;
-                // Central 60% of the cell keeps the cluster inside one
-                // spatial-correlation cell of the variation model.
-                Rect::new(
-                    cx * cell + 0.20 * cell,
-                    cy * cell + 0.20 * cell,
-                    cx * cell + 0.80 * cell,
-                    cy * cell + 0.80 * cell,
-                )
-            })
-            .collect();
+        // --- Cluster regions: geometry chosen by the topology axis. ---
+        let n_clusters = spec.clusters.min(64);
+        let cluster_rects: Vec<Rect> = spec.topology.cluster_rects(n_clusters, spec.die_size);
 
         // --- Flip-flops: hubs, cluster members, background. ---
         let mut pools: Vec<ClusterPool> = cluster_rects
@@ -243,11 +283,13 @@ impl GeneratedBenchmark {
             })
             .collect();
 
-        // Hubs round-robin over clusters. The buffer spec is a placeholder;
-        // timing analysis finalizes the range from the clock period.
+        // Hubs distributed over clusters per the topology (round-robin for
+        // most shapes, geometrically skewed for the unbalanced tree). The
+        // buffer spec is a placeholder; timing analysis finalizes the
+        // range from the clock period.
         let placeholder = crate::TuningBufferSpec::centered(0.0, 2);
         for b in 0..spec.nb {
-            let c = b % n_clusters;
+            let c = spec.topology.hub_cluster(b, n_clusters);
             let loc = random_in(&mut rng, &pools[c].rect);
             let id = netlist
                 .add_flip_flop(FlipFlop::new(format!("hub{b}"), loc).with_buffer(placeholder));
@@ -259,7 +301,7 @@ impl GeneratedBenchmark {
         let remaining = spec.ns - spec.nb;
         let member_total = (remaining * 8 / 10).max(n_clusters * 4).min(remaining);
         for k in 0..member_total {
-            let c = k % n_clusters;
+            let c = spec.topology.member_cluster(k, n_clusters);
             let loc = random_in(&mut rng, &pools[c].rect);
             let id = netlist.add_flip_flop(FlipFlop::new(format!("ff{k}"), loc));
             pools[c].ffs.push(id);
@@ -274,11 +316,30 @@ impl GeneratedBenchmark {
             background.push(id);
         }
 
+        // --- Cross-cluster coupling: coupled topologies (pipeline, mesh)
+        // offer a few of each cluster's member flip-flops to the linked
+        // cluster's spine as side inputs / path sources. Pure list
+        // surgery, no RNG: uncoupled topologies are unaffected.
+        for (from, to) in spec.topology.boundary_links(n_clusters) {
+            let donors: Vec<FlipFlopId> = pools[from]
+                .ffs
+                .iter()
+                .copied()
+                .filter(|f| !pools[from].hubs.contains(f))
+                .take(3)
+                .collect();
+            for f in donors {
+                if !pools[to].ffs.contains(&f) {
+                    pools[to].ffs.push(f);
+                }
+            }
+        }
+
         // --- Gate budget: outlier chains first, pools get the rest. ---
         let n_outliers = ((spec.np as f64 * spec.outlier_fraction).ceil() as usize)
             .min(spec.np.saturating_sub(1))
             .min(background.len());
-        let outlier_len = (spec.min_path_len + spec.max_path_len) / 2;
+        let outlier_len = spec.topology.outlier_len(spec.min_path_len, spec.max_path_len);
         let outlier_gates = n_outliers * outlier_len;
         let pool_total = spec.ng.saturating_sub(outlier_gates);
         assert!(
@@ -287,8 +348,8 @@ impl GeneratedBenchmark {
         );
 
         // --- Spine pools. ---
-        for (c, pool) in pools.iter_mut().enumerate().take(n_clusters) {
-            let share = pool_total / n_clusters + if c < pool_total % n_clusters { 1 } else { 0 };
+        let shares = spec.topology.spine_shares(pool_total, n_clusters, spec.max_path_len + 2);
+        for (pool, &share) in pools.iter_mut().zip(&shares).take(n_clusters) {
             build_spine(&mut rng, &mut netlist, pool, share);
         }
 
@@ -310,7 +371,7 @@ impl GeneratedBenchmark {
         let mut path_meta: Vec<Option<PathMeta>> = Vec::new();
 
         for k in 0..cluster_paths {
-            let c = k % n_clusters;
+            let c = spec.topology.path_cluster(k, n_clusters);
             // Strict placement in the home cluster, then in any cluster,
             // then relaxed (longer walks allowed) anywhere.
             let mut meta = place_cluster_path(
@@ -866,6 +927,121 @@ mod tests {
         assert_eq!(all[0].name, "s9234");
         assert_eq!(all[7].name, "pci_bridge32");
         assert_eq!(all[4].np, 3016);
+    }
+
+    #[test]
+    fn paper_topology_reshape_is_the_identity() {
+        let spec = BenchmarkSpec::iscas89_s9234();
+        assert_eq!(spec.topology, Topology::PaperClusters);
+        let same = spec.clone().with_topology(Topology::PaperClusters);
+        assert_eq!(spec, same, "reshaping to the paper topology must change nothing");
+    }
+
+    #[test]
+    fn reshape_is_idempotent_per_topology() {
+        let mesh = BenchmarkSpec::iscas89_s13207().scaled_down(10).with_topology(Topology::Mesh);
+        let again = mesh.clone().with_topology(Topology::Mesh);
+        assert_eq!(mesh, again, "re-applying the same topology must change nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "already reshaped")]
+    fn reshaping_a_reshaped_spec_to_another_topology_is_rejected() {
+        let mesh = BenchmarkSpec::iscas89_s13207().scaled_down(10).with_topology(Topology::Mesh);
+        // Silently compounding name tags and re-clamping cluster counts
+        // would mislabel the cell; this must fail loudly instead.
+        let _ = mesh.with_topology(Topology::PaperClusters);
+    }
+
+    #[test]
+    fn every_topology_generates_exact_stats_and_validates() {
+        for t in Topology::all() {
+            for (base, factor) in
+                [(BenchmarkSpec::iscas89_s9234(), 10), (BenchmarkSpec::iscas89_s13207(), 10)]
+            {
+                let spec = base.scaled_down(factor).with_topology(t);
+                let b = GeneratedBenchmark::generate(&spec, 3);
+                assert_eq!(
+                    b.stats(),
+                    (spec.ns, spec.ng, spec.nb, spec.np),
+                    "{t}: stats drifted for {}",
+                    spec.name
+                );
+                b.netlist.validate().unwrap_or_else(|e| panic!("{t}: invalid netlist: {e}"));
+                b.paths.validate(&b.netlist).unwrap_or_else(|e| panic!("{t}: invalid paths: {e}"));
+                // The buffer-touching invariant is topology-independent:
+                // np counts exactly the delays needed to configure the
+                // buffers.
+                let hubs: std::collections::HashSet<_> =
+                    b.netlist.buffered_flip_flops().into_iter().collect();
+                for p in b.paths.iter() {
+                    assert!(
+                        hubs.contains(&p.source) || hubs.contains(&p.sink),
+                        "{t}: path {} touches no buffered flip-flop",
+                        p.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topologies_are_deterministic_and_distinct() {
+        let base = BenchmarkSpec::iscas89_s13207().scaled_down(10);
+        let mut names = std::collections::HashSet::new();
+        for t in Topology::all() {
+            let spec = base.clone().with_topology(t);
+            assert!(names.insert(spec.name.clone()), "{t}: name collision");
+            let a = GeneratedBenchmark::generate(&spec, 5);
+            let b = GeneratedBenchmark::generate(&spec, 5);
+            assert_eq!(a.netlist, b.netlist, "{t}: generation not deterministic");
+            assert_eq!(a.paths, b.paths);
+        }
+        // Different topologies over the same statistics yield different
+        // circuits.
+        let htree =
+            GeneratedBenchmark::generate(&base.clone().with_topology(Topology::BalancedHTree), 5);
+        let mesh = GeneratedBenchmark::generate(&base.clone().with_topology(Topology::Mesh), 5);
+        assert_ne!(htree.netlist, mesh.netlist);
+    }
+
+    #[test]
+    fn sparse_topology_spreads_many_long_outliers() {
+        let spec = BenchmarkSpec::iscas89_s13207().scaled_down(10);
+        let sparse = spec.clone().with_topology(Topology::SparseOutliers);
+        assert!(sparse.outlier_fraction > spec.outlier_fraction * 3.0);
+        let b = GeneratedBenchmark::generate(&sparse, 7);
+        // Outlier chains are longer than every cluster walk cap.
+        let longest = b.paths.iter().map(|p| p.len()).max().unwrap();
+        assert!(
+            longest >= sparse.max_path_len + 4,
+            "expected long die-crossing outliers, longest path {longest}"
+        );
+    }
+
+    #[test]
+    fn unbalanced_topology_skews_the_first_cluster() {
+        let spec = BenchmarkSpec::tau13_usb_funct()
+            .scaled_down(6)
+            .with_topology(Topology::UnbalancedFanout);
+        let b = GeneratedBenchmark::generate(&spec, 9);
+        // Cluster 0 occupies the left half of the die; it must hold a
+        // clear majority of the path gates.
+        let die_mid = spec.die_size / 2.0;
+        let mut left = 0_usize;
+        let mut total = 0_usize;
+        for p in b.paths.iter() {
+            for &g in &p.gates {
+                total += 1;
+                if b.netlist.gate(g).unwrap().location.x < die_mid {
+                    left += 1;
+                }
+            }
+        }
+        assert!(
+            left * 5 >= total * 2,
+            "unbalanced tree should load the first branch: {left}/{total} gates on the left"
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod ids;
 mod netlist;
 mod path;
 pub mod sensitize;
+mod topology;
 
 pub use buffer::TuningBufferSpec;
 pub use error::CircuitError;
@@ -55,6 +56,7 @@ pub use geom::{Point, Rect};
 pub use ids::{FlipFlopId, GateId, PathId};
 pub use netlist::{FlipFlop, Netlist, Signal};
 pub use path::{PathKind, PathSet, TimedPath};
+pub use topology::Topology;
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CircuitError>;

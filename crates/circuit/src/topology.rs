@@ -1,0 +1,483 @@
+//! Clock-network / path-population topology axis of the benchmark
+//! generator.
+//!
+//! The paper's eight circuits all share one shape: physical path clusters
+//! around buffered flip-flops, a thin sprinkling of outliers. The value
+//! claim of EffiTest — grouping, alignment, and statistical prediction
+//! under correlated variation — depends heavily on how the clock network
+//! and the required paths are actually laid out, so the scenario matrix
+//! (see the `effitest-core` crate's `scenarios` module) sweeps a
+//! [`Topology`] axis: each variant reshapes the generator's cluster
+//! geometry, buffer/flip-flop/path distribution, and inter-cluster
+//! coupling while preserving the exact Table-1 statistics (`ns`, `ng`,
+//! `nb`, `np`) of the underlying [`crate::BenchmarkSpec`].
+//!
+//! [`Topology::PaperClusters`] reproduces the original generator *bit for
+//! bit* (the golden-hash regression pins this), so the paper circuits are
+//! one point of the matrix rather than a separate code path.
+//!
+//! # Adding a topology
+//!
+//! 1. Add a variant to [`Topology`] and list it in [`Topology::all`].
+//! 2. Give it a [`name`](Topology::name) (used in scenario-report ids and
+//!    generated netlist names — keep it token-safe: no whitespace).
+//! 3. Implement its cluster geometry in `cluster_rects` and, if the
+//!    variant skews buffer/path distribution or couples clusters, extend
+//!    the corresponding hooks (`hub_cluster`, `path_cluster`,
+//!    `spine_shares`, `boundary_links`, ...). Hooks are pure functions —
+//!    no RNG — so existing topologies keep their random streams.
+//! 4. Adjust the spec knobs for the new shape in
+//!    [`crate::BenchmarkSpec::with_topology`] (cluster count caps,
+//!    outlier fraction, ...).
+
+use std::fmt;
+
+use crate::Rect;
+
+/// The clock-network / path-population topology of a generated benchmark.
+///
+/// Every variant produces deterministic seeded instances with the exact
+/// statistics of the owning [`crate::BenchmarkSpec`]; what changes is the
+/// *structure*: cluster geometry, buffer fanout balance, inter-cluster
+/// coupling, and outlier density. See the module docs for how each hook
+/// shapes generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// The paper's shape: clusters spread over an 8x8 grid, buffers
+    /// round-robin, ~3% outliers. Bit-identical to the pre-topology
+    /// generator.
+    PaperClusters,
+    /// Balanced H-tree clock network: clusters sit at the leaf positions
+    /// of a recursively halved H-tree, all the same size, evenly loaded —
+    /// the idealized zero-skew network PST buffers are usually attached
+    /// to.
+    BalancedHTree,
+    /// Unbalanced / asymmetric-fanout tree: cluster `c` hosts a
+    /// geometrically shrinking share of buffers, flip-flops, paths, and
+    /// gates (cluster 0 about half, cluster 1 a quarter, ...), with
+    /// correspondingly shrinking physical regions — a clock tree whose
+    /// first branch drives most of the die.
+    UnbalancedFanout,
+    /// Pipeline chain: clusters are thin vertical stages laid left to
+    /// right, and consecutive stages share boundary flip-flops, so paths
+    /// in stage `c` can launch from registers physically placed in stage
+    /// `c - 1` — the correlation structure of a deeply pipelined datapath.
+    PipelineChain,
+    /// Mesh-like cross-coupled groups: clusters tile a square grid with
+    /// deliberately *overlapping* regions and share flip-flops with their
+    /// grid neighbors, so adjacent groups sit in common
+    /// spatial-correlation cells and their path delays cross-correlate.
+    Mesh,
+    /// Sparse long-path outliers: few, far-apart clusters and a much
+    /// larger outlier fraction with longer die-crossing chains — the
+    /// adversarial regime for correlation-threshold grouping.
+    SparseOutliers,
+}
+
+impl Topology {
+    /// All topology variants, paper shape first.
+    pub fn all() -> [Topology; 6] {
+        [
+            Topology::PaperClusters,
+            Topology::BalancedHTree,
+            Topology::UnbalancedFanout,
+            Topology::PipelineChain,
+            Topology::Mesh,
+            Topology::SparseOutliers,
+        ]
+    }
+
+    /// Short token-safe name (used in netlist names and scenario ids).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::PaperClusters => "paper",
+            Topology::BalancedHTree => "htree",
+            Topology::UnbalancedFanout => "unbalanced",
+            Topology::PipelineChain => "pipeline",
+            Topology::Mesh => "mesh",
+            Topology::SparseOutliers => "sparse",
+        }
+    }
+
+    /// Cluster regions for `n_clusters` clusters on a square die.
+    ///
+    /// Pure arithmetic (no RNG): changing one topology's geometry cannot
+    /// perturb another topology's random stream.
+    pub(crate) fn cluster_rects(&self, n_clusters: usize, die_size: f64) -> Vec<Rect> {
+        match self {
+            // Distinct cells of an 8x8 grid, spread out by a fixed stride;
+            // the central 60% of the cell keeps the cluster inside one
+            // spatial-correlation cell of the variation model. (This is
+            // the original generator's layout, verbatim.)
+            Topology::PaperClusters => {
+                let grid = 8_usize;
+                let cell = die_size / grid as f64;
+                let stride = (grid * grid) / n_clusters;
+                (0..n_clusters)
+                    .map(|c| {
+                        let cell_idx = c * stride;
+                        let cx = (cell_idx % grid) as f64;
+                        let cy = (cell_idx / grid) as f64;
+                        Rect::new(
+                            cx * cell + 0.20 * cell,
+                            cy * cell + 0.20 * cell,
+                            cx * cell + 0.80 * cell,
+                            cy * cell + 0.80 * cell,
+                        )
+                    })
+                    .collect()
+            }
+            Topology::BalancedHTree => {
+                // Smallest H-tree depth with enough leaves, leaves visited
+                // in recursion (quadrant) order and **stride-sampled**
+                // (as PaperClusters strides its 8x8 grid): taking the
+                // first n leaves would pile every cluster into one
+                // quadrant whenever n is not a power of four. Each
+                // cluster is the central 60% of its leaf cell.
+                let mut depth = 0_usize;
+                while 4_usize.pow(depth as u32) < n_clusters {
+                    depth += 1;
+                }
+                let n_leaves = 4_usize.pow(depth as u32);
+                let mut leaves = Vec::with_capacity(n_leaves);
+                htree_leaves(0.5, 0.5, 0.25, depth, &mut leaves);
+                let stride = n_leaves / n_clusters;
+                let half = 0.30 / (1 << depth) as f64;
+                (0..n_clusters)
+                    .map(|c| leaves[c * stride])
+                    .map(|(cx, cy)| {
+                        Rect::new(
+                            (cx - half) * die_size,
+                            (cy - half) * die_size,
+                            (cx + half) * die_size,
+                            (cy + half) * die_size,
+                        )
+                    })
+                    .collect()
+            }
+            Topology::UnbalancedFanout => {
+                // Nested halving along x: cluster 0 spans (the middle 70%
+                // of) the left half, cluster 1 the next quarter, and so
+                // on; widths floor at 0.5% of the die so deep clusters
+                // stay placeable.
+                (0..n_clusters)
+                    .map(|c| {
+                        let lo = 1.0 - 0.5_f64.powi(c as i32);
+                        let hi = 1.0 - 0.5_f64.powi(c as i32 + 1);
+                        let width = ((hi - lo) * 0.7).max(0.005);
+                        let x0 = (lo + 0.15 * (hi - lo)) * die_size;
+                        Rect::new(
+                            x0,
+                            0.15 * die_size,
+                            (x0 + width * die_size).min(die_size),
+                            0.85 * die_size,
+                        )
+                    })
+                    .collect()
+            }
+            Topology::PipelineChain => {
+                // Thin vertical stages left to right, in a central band.
+                let stage = die_size / n_clusters as f64;
+                (0..n_clusters)
+                    .map(|c| {
+                        Rect::new(
+                            (c as f64 + 0.15) * stage,
+                            0.35 * die_size,
+                            (c as f64 + 0.85) * stage,
+                            0.65 * die_size,
+                        )
+                    })
+                    .collect()
+            }
+            Topology::Mesh => {
+                // Square tiling with regions enlarged past their tile so
+                // neighbors overlap into shared spatial-correlation cells.
+                let g = (1..).find(|&g| g * g >= n_clusters).expect("bounded") as f64;
+                let cell = die_size / g;
+                (0..n_clusters)
+                    .map(|c| {
+                        let (i, j) = ((c % g as usize) as f64, (c / g as usize) as f64);
+                        let (cx, cy) = ((i + 0.5) * cell, (j + 0.5) * cell);
+                        let half = 0.70 * cell;
+                        Rect::new(
+                            (cx - half).max(0.0),
+                            (cy - half).max(0.0),
+                            (cx + half).min(die_size),
+                            (cy + half).min(die_size),
+                        )
+                    })
+                    .collect()
+            }
+            Topology::SparseOutliers => {
+                // Small, far-apart islands cycling over die corners and
+                // edge midpoints.
+                const SPOTS: [(f64, f64); 9] = [
+                    (0.10, 0.10),
+                    (0.90, 0.90),
+                    (0.10, 0.90),
+                    (0.90, 0.10),
+                    (0.50, 0.50),
+                    (0.90, 0.50),
+                    (0.10, 0.50),
+                    (0.50, 0.90),
+                    (0.50, 0.10),
+                ];
+                (0..n_clusters)
+                    .map(|c| {
+                        let (fx, fy) = SPOTS[c % SPOTS.len()];
+                        // Nudge repeats so clusters never coincide exactly.
+                        let bump = 0.02 * (c / SPOTS.len()) as f64;
+                        let (cx, cy) = ((fx + bump).min(0.95) * die_size, fy * die_size);
+                        let half = 0.04 * die_size;
+                        Rect::new(
+                            (cx - half).max(0.0),
+                            (cy - half).max(0.0),
+                            (cx + half).min(die_size),
+                            (cy + half).min(die_size),
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Cluster hosting buffered flip-flop (hub) `b`.
+    pub(crate) fn hub_cluster(&self, b: usize, n_clusters: usize) -> usize {
+        match self {
+            Topology::UnbalancedFanout => skewed_cluster(b, n_clusters),
+            _ => b % n_clusters,
+        }
+    }
+
+    /// Cluster hosting member flip-flop `k`.
+    pub(crate) fn member_cluster(&self, k: usize, n_clusters: usize) -> usize {
+        match self {
+            Topology::UnbalancedFanout => skewed_cluster(k, n_clusters),
+            _ => k % n_clusters,
+        }
+    }
+
+    /// Home cluster of required path `k`.
+    pub(crate) fn path_cluster(&self, k: usize, n_clusters: usize) -> usize {
+        match self {
+            Topology::UnbalancedFanout => skewed_cluster(k, n_clusters),
+            _ => k % n_clusters,
+        }
+    }
+
+    /// Splits the pooled gate budget into per-cluster spine shares
+    /// (summing exactly to `pool_total`, each at least `min_share`).
+    pub(crate) fn spine_shares(
+        &self,
+        pool_total: usize,
+        n_clusters: usize,
+        min_share: usize,
+    ) -> Vec<usize> {
+        match self {
+            Topology::UnbalancedFanout => {
+                // Geometric split mirroring the skewed hub/member/path
+                // distribution: cluster 0 gets about half the surplus,
+                // cluster 1 a quarter, the last cluster the tail.
+                let mut shares = vec![min_share; n_clusters];
+                let mut rem = pool_total.saturating_sub(min_share * n_clusters);
+                for (c, share) in shares.iter_mut().enumerate() {
+                    let take = if c == n_clusters - 1 { rem } else { rem - rem / 2 };
+                    *share += take;
+                    rem -= take;
+                }
+                shares
+            }
+            _ => (0..n_clusters)
+                .map(|c| pool_total / n_clusters + usize::from(c < pool_total % n_clusters))
+                .collect(),
+        }
+    }
+
+    /// Directed cluster pairs `(from, to)` whose flip-flops are shared:
+    /// a few of `from`'s member flip-flops are also offered to `to`'s
+    /// spine as side inputs / path sources, coupling the two groups.
+    pub(crate) fn boundary_links(&self, n_clusters: usize) -> Vec<(usize, usize)> {
+        match self {
+            Topology::PipelineChain => (1..n_clusters).map(|c| (c - 1, c)).collect(),
+            Topology::Mesh => {
+                let g = (1..).find(|&g| g * g >= n_clusters).expect("bounded");
+                let mut links = Vec::new();
+                for c in 0..n_clusters {
+                    let i = c % g;
+                    if i + 1 < g && c + 1 < n_clusters {
+                        links.push((c, c + 1));
+                        links.push((c + 1, c));
+                    }
+                    if c + g < n_clusters {
+                        links.push((c, c + g));
+                        links.push((c + g, c));
+                    }
+                }
+                links
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Gate count of one outlier chain for this topology.
+    pub(crate) fn outlier_len(&self, min_path_len: usize, max_path_len: usize) -> usize {
+        match self {
+            // Long die-crossing chains: the whole point of the sparse
+            // regime.
+            Topology::SparseOutliers => max_path_len + 4,
+            _ => (min_path_len + max_path_len) / 2,
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Geometric ("half, quarter, eighth, ...") cluster assignment: index `k`
+/// lands in the cluster given by its number of trailing one bits, so
+/// cluster 0 receives every second index, cluster 1 every fourth, and so
+/// on; the last cluster absorbs the tail.
+fn skewed_cluster(k: usize, n_clusters: usize) -> usize {
+    (k.trailing_ones() as usize).min(n_clusters.saturating_sub(1))
+}
+
+/// Leaf centers of an H-tree of the given depth over the unit square, in
+/// quadrant-recursion order.
+fn htree_leaves(cx: f64, cy: f64, half: f64, depth: usize, out: &mut Vec<(f64, f64)>) {
+    if depth == 0 {
+        out.push((cx, cy));
+        return;
+    }
+    for (dx, dy) in [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
+        htree_leaves(cx + dx * half, cy + dy * half, half / 2.0, depth - 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_token_safe() {
+        let mut seen = std::collections::HashSet::new();
+        for t in Topology::all() {
+            assert!(seen.insert(t.name()), "duplicate topology name {}", t.name());
+            assert!(!t.name().is_empty());
+            assert!(t.name().chars().all(|c| c.is_ascii_alphanumeric()));
+            assert_eq!(t.to_string(), t.name());
+        }
+    }
+
+    #[test]
+    fn paper_rects_match_the_original_grid_layout() {
+        // The golden-hash regression depends on this layout staying
+        // byte-identical; pin it explicitly too.
+        let rects = Topology::PaperClusters.cluster_rects(2, 1000.0);
+        let cell = 1000.0 / 8.0;
+        assert_eq!(rects[0], Rect::new(0.2 * cell, 0.2 * cell, 0.8 * cell, 0.8 * cell));
+        // Second cluster: stride 32 -> cell index 32 -> (0, 4).
+        assert_eq!(
+            rects[1],
+            Rect::new(0.2 * cell, 4.0 * cell + 0.2 * cell, 0.8 * cell, 4.0 * cell + 0.8 * cell)
+        );
+    }
+
+    #[test]
+    fn all_rects_stay_on_the_die() {
+        let die = Rect::new(0.0, 0.0, 500.0, 500.0);
+        for t in Topology::all() {
+            for n in [1, 2, 3, 4, 5, 7, 9, 12] {
+                let rects = t.cluster_rects(n, 500.0);
+                assert_eq!(rects.len(), n, "{t}: wrong cluster count for n={n}");
+                for r in &rects {
+                    assert!(r.width() > 0.0 && r.height() > 0.0, "{t}: degenerate rect {r}");
+                    assert!(
+                        die.contains(&Point::new(r.x0, r.y0))
+                            && die.contains(&Point::new(r.x1, r.y1)),
+                        "{t}: rect {r} leaves the die"
+                    );
+                }
+            }
+        }
+    }
+
+    use crate::Point;
+
+    #[test]
+    fn htree_leaves_are_balanced() {
+        let rects = Topology::BalancedHTree.cluster_rects(4, 800.0);
+        // Depth 1: leaf centers at the four quadrant centers.
+        let centers: Vec<Point> = rects.iter().map(Rect::center).collect();
+        assert_eq!(centers[0], Point::new(200.0, 200.0));
+        assert_eq!(centers[3], Point::new(600.0, 600.0));
+        // All leaves the same size.
+        for r in &rects {
+            assert!((r.width() - rects[0].width()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn htree_truncation_stays_spread_out() {
+        // Non-power-of-4 cluster counts (the ones small specs actually
+        // produce) must not pile into one quadrant: stride sampling has
+        // to keep the clusters spread across the die.
+        for n in [2, 3, 5, 6, 8] {
+            let rects = Topology::BalancedHTree.cluster_rects(n, 800.0);
+            let xs: Vec<f64> = rects.iter().map(|r| r.center().x).collect();
+            let ys: Vec<f64> = rects.iter().map(|r| r.center().y).collect();
+            let spread = |v: &[f64]| {
+                v.iter().fold(f64::MIN, |a, &b| a.max(b))
+                    - v.iter().fold(f64::MAX, |a, &b| a.min(b))
+            };
+            assert!(
+                spread(&xs).max(spread(&ys)) >= 400.0,
+                "n={n}: clusters collapsed into one region (x spread {}, y spread {})",
+                spread(&xs),
+                spread(&ys)
+            );
+        }
+        // n=2 specifically spans opposite halves of the die in x.
+        let two = Topology::BalancedHTree.cluster_rects(2, 800.0);
+        assert!(two[0].center().x < 400.0 && two[1].center().x > 400.0);
+    }
+
+    #[test]
+    fn skew_is_geometric() {
+        assert_eq!(skewed_cluster(0, 4), 0);
+        assert_eq!(skewed_cluster(1, 4), 1);
+        assert_eq!(skewed_cluster(2, 4), 0);
+        assert_eq!(skewed_cluster(3, 4), 2);
+        assert_eq!(skewed_cluster(7, 4), 3);
+        assert_eq!(skewed_cluster(15, 4), 3, "tail is absorbed by the last cluster");
+        // Cluster 0 hosts about half of any prefix.
+        let hits = (0..64).filter(|&k| skewed_cluster(k, 4) == 0).count();
+        assert_eq!(hits, 32);
+    }
+
+    #[test]
+    fn spine_shares_sum_and_respect_floors() {
+        for t in Topology::all() {
+            for (total, n, floor) in [(100, 3, 10), (247, 2, 14), (64, 4, 16)] {
+                let shares = t.spine_shares(total, n, floor);
+                assert_eq!(shares.iter().sum::<usize>(), total, "{t}: shares must sum");
+                assert!(shares.iter().all(|&s| s >= floor), "{t}: floor violated: {shares:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_links_couple_neighbors_only() {
+        assert!(Topology::PaperClusters.boundary_links(4).is_empty());
+        assert_eq!(Topology::PipelineChain.boundary_links(3), vec![(0, 1), (1, 2)]);
+        let mesh = Topology::Mesh.boundary_links(4); // 2x2 grid
+        assert!(mesh.contains(&(0, 1)) && mesh.contains(&(1, 0)));
+        assert!(mesh.contains(&(0, 2)) && mesh.contains(&(2, 0)));
+        assert!(!mesh.contains(&(0, 3)), "diagonals are not linked");
+        for &(a, b) in &mesh {
+            assert!(a < 4 && b < 4 && a != b);
+        }
+    }
+}

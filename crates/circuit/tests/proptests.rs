@@ -2,7 +2,7 @@
 //! format round trips, and sensitization consistency under random seeds.
 
 use effitest_circuit::sensitize::{MutualExclusions, PathRequirements};
-use effitest_circuit::{format, BenchmarkSpec, GeneratedBenchmark, PathId, Signal};
+use effitest_circuit::{format, BenchmarkSpec, GeneratedBenchmark, PathId, Signal, Topology};
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = (BenchmarkSpec, u64)> {
@@ -14,6 +14,12 @@ fn spec_strategy() -> impl Strategy<Value = (BenchmarkSpec, u64)> {
         };
         (base.scaled_down(scale), seed)
     })
+}
+
+/// Like [`spec_strategy`], additionally sweeping the topology axis.
+fn topo_spec_strategy() -> impl Strategy<Value = (BenchmarkSpec, u64)> {
+    (spec_strategy(), 0..Topology::all().len())
+        .prop_map(|((spec, seed), t)| (spec.with_topology(Topology::all()[t]), seed))
 }
 
 proptest! {
@@ -40,6 +46,23 @@ proptest! {
             prop_assert_eq!(&a.gates, &b.gates);
             prop_assert_eq!(a.kind, b.kind);
         }
+    }
+
+    #[test]
+    fn text_round_trip_is_the_identity_across_topologies((spec, seed) in topo_spec_strategy()) {
+        // Metamorphic identity, not just statistics agreement:
+        // `from_text(to_text(n))` must reproduce the netlist and path set
+        // *exactly* — names, placements, setup/hold, buffer specs, data
+        // inputs, gate inputs, path ids and order — for every topology in
+        // the scenario matrix.
+        let bench = GeneratedBenchmark::generate(&spec, seed);
+        let text = format::to_text(&bench.netlist, Some(&bench.paths));
+        let (netlist, paths) = format::from_text(&text).expect("parse back");
+        prop_assert_eq!(&netlist, &bench.netlist);
+        prop_assert_eq!(&paths, &bench.paths);
+        // And the round trip is a fixed point: serializing the parse
+        // yields the same bytes.
+        prop_assert_eq!(format::to_text(&netlist, Some(&paths)), text);
     }
 
     #[test]

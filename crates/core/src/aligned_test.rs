@@ -18,7 +18,10 @@ use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use effitest_circuit::FlipFlopId;
-use effitest_solver::align::{sorted_center_weights_into, AlignPath, AlignmentEngine, BufferVar};
+use effitest_solver::align::{
+    sorted_center_weights, sorted_center_weights_into, AlignPath, AlignmentEngine,
+    AlignmentProblem, BufferVar,
+};
 use effitest_solver::weighted_median_in_place;
 use effitest_ssta::TimingModel;
 use effitest_tester::{DelayBounds, Observation, VirtualTester};
@@ -41,6 +44,12 @@ pub struct AlignedTestConfig {
     /// `true` solves each alignment exactly (MILP) instead of coordinate
     /// descent.
     pub exact_alignment: bool,
+    /// Branch-and-bound node cap per exact alignment solve. A solve that
+    /// exhausts it ([`effitest_solver::MilpStatus::NodeLimitReached`])
+    /// returns no solution and the iteration falls back to the
+    /// coordinate-descent heuristic — never a silently suboptimal
+    /// "exact" alignment.
+    pub exact_node_limit: usize,
     /// Hard cap on iterations per batch (defensive; generous).
     pub max_iterations_per_batch: usize,
 }
@@ -54,6 +63,7 @@ impl Default for AlignedTestConfig {
             kd: 1.0,
             use_alignment: true,
             exact_alignment: false,
+            exact_node_limit: effitest_solver::DEFAULT_NODE_LIMIT,
             max_iterations_per_batch: 10_000,
         }
     }
@@ -110,6 +120,89 @@ impl AlignedTestWorkspace {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Dense buffer indexing for a batch: every buffered flip-flop touched by
+/// a batch endpoint, numbered in first-touch order. Shared between the
+/// frequency-stepping loop and [`batch_alignment_problem`] so the two can
+/// never index buffers differently.
+fn index_batch_buffers(
+    model: &TimingModel,
+    batch: &[usize],
+    buffered: &HashSet<FlipFlopId>,
+    index: &mut HashMap<FlipFlopId, usize>,
+) {
+    index.clear();
+    for &p in batch {
+        let (src, snk) = model.endpoints(p);
+        for ff in [src, snk] {
+            if buffered.contains(&ff) {
+                let next = index.len();
+                index.entry(ff).or_insert(next);
+            }
+        }
+    }
+}
+
+/// One path of the per-batch alignment problem. Shared by the in-place
+/// frequency-stepping loop and [`batch_alignment_problem`] — the single
+/// place deciding how a tested path maps onto the solver's view.
+fn align_path_for(
+    model: &TimingModel,
+    buffer_index: &HashMap<FlipFlopId, usize>,
+    lambda: &HoldBounds,
+    path: usize,
+    center: f64,
+    weight: f64,
+) -> AlignPath {
+    let (src, snk) = model.endpoints(path);
+    AlignPath {
+        center,
+        weight,
+        source_buffer: buffer_index.get(&src).copied(),
+        sink_buffer: buffer_index.get(&snk).copied(),
+        hold_lower_bound: lambda.lambda(path),
+    }
+}
+
+/// The alignment problem a batch poses for the given range centers: the
+/// same buffer indexing, per-path construction, sorted-center weighting,
+/// and hold bounds the frequency-stepping loop builds in place every
+/// iteration. The differential conformance suite
+/// (`tests/conformance.rs`) solves this construction with both the exact
+/// MILP and the production heuristic — it is assembled from the loop's
+/// own building blocks ([`align_path_for`], `index_batch_buffers`) so
+/// the oracle cannot drift from what production actually solves.
+///
+/// # Panics
+///
+/// Panics if `centers.len() != batch.len()`.
+pub fn batch_alignment_problem(
+    model: &TimingModel,
+    lambda: &HoldBounds,
+    batch: &[usize],
+    centers: &[f64],
+    config: &AlignedTestConfig,
+) -> AlignmentProblem {
+    assert_eq!(batch.len(), centers.len(), "one range center per batch path");
+    let buffered: HashSet<FlipFlopId> = model.buffered_ffs().iter().copied().collect();
+    let mut buffer_index = HashMap::new();
+    index_batch_buffers(model, batch, &buffered, &mut buffer_index);
+    let spec = model.buffer_spec();
+    let buffers = vec![
+        BufferVar { min: spec.min(), max: spec.max(), steps: spec.steps() };
+        buffer_index.len()
+    ];
+    let weights = sorted_center_weights(centers, config.k0, config.kd);
+    let paths = batch
+        .iter()
+        .zip(centers)
+        .zip(&weights)
+        .map(|((&p, &center), &weight)| {
+            align_path_for(model, &buffer_index, lambda, p, center, weight)
+        })
+        .collect();
+    AlignmentProblem { paths, buffers }
 }
 
 /// Runs Procedure 2 over the given batches with a throwaway workspace.
@@ -175,16 +268,7 @@ fn test_one_batch(
     // Dense buffer indexing over the buffered flip-flops touched by this
     // batch.
     let spec = model.buffer_spec();
-    ws.buffer_index.clear();
-    for &p in batch {
-        let (src, snk) = model.endpoints(p);
-        for ff in [src, snk] {
-            if ws.buffered.contains(&ff) {
-                let next = ws.buffer_index.len();
-                ws.buffer_index.entry(ff).or_insert(next);
-            }
-        }
-    }
+    index_batch_buffers(model, batch, &ws.buffered, &mut ws.buffer_index);
     ws.buffers.clear();
     ws.buffers.extend((0..ws.buffer_index.len()).map(|_| BufferVar {
         min: spec.min(),
@@ -195,6 +279,7 @@ fn test_one_batch(
     ws.zeros.resize(ws.buffers.len(), 0.0);
     // The engine resets its warm start here: nothing carries over from
     // the previous batch (or chip), by construction.
+    ws.engine.set_node_limit(config.exact_node_limit);
     ws.engine.begin_batch(&ws.buffers);
 
     ws.bounds.clear();
@@ -226,14 +311,7 @@ fn test_one_batch(
             let paths = ws.engine.paths_mut();
             paths.clear();
             paths.extend(ws.active.iter().zip(&ws.weights).map(|(&p, &w)| {
-                let (src, snk) = model.endpoints(p);
-                AlignPath {
-                    center: ws.bounds[&p].center(),
-                    weight: w,
-                    source_buffer: ws.buffer_index.get(&src).copied(),
-                    sink_buffer: ws.buffer_index.get(&snk).copied(),
-                    hold_lower_bound: lambda.lambda(p),
-                }
+                align_path_for(model, &ws.buffer_index, lambda, p, ws.bounds[&p].center(), w)
             }));
             let solved_exact = config.exact_alignment && ws.engine.solve_exact().is_some();
             let sol = if solved_exact { ws.engine.last_solution() } else { ws.engine.solve() };
@@ -493,6 +571,55 @@ mod tests {
             "batched {} >= path-wise {pw_iters}",
             aligned.iterations
         );
+    }
+
+    #[test]
+    fn exhausted_exact_node_limit_falls_back_to_the_heuristic_bitwise() {
+        // With a zero node budget every exact solve reports
+        // NodeLimitReached and the loop must take the heuristic branch —
+        // producing *exactly* the run a heuristic-only config produces,
+        // not a degraded hybrid.
+        let (bench, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let selected: Vec<usize> = all_selected(&groups).into_iter().take(6).collect();
+        let all: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        let widths: Vec<f64> = selected.iter().map(|&p| 6.0 * model.path_sigma(p)).collect();
+        let batches = build_batches(&oracle, &selected, Some(&widths));
+        let epsilon = default_epsilon(&model);
+
+        let chip = model.sample_chip(21);
+        let mut t1 = VirtualTester::new(&chip);
+        let starved = run_aligned_test(
+            &model,
+            &mut t1,
+            &batches,
+            &HoldBounds::default(),
+            &AlignedTestConfig {
+                epsilon,
+                exact_alignment: true,
+                exact_node_limit: 0,
+                ..AlignedTestConfig::default()
+            },
+        );
+        let mut t2 = VirtualTester::new(&chip);
+        let heuristic = run_aligned_test(
+            &model,
+            &mut t2,
+            &batches,
+            &HoldBounds::default(),
+            &AlignedTestConfig { epsilon, ..AlignedTestConfig::default() },
+        );
+        assert_eq!(starved.iterations, heuristic.iterations);
+        assert_eq!(starved.bounds.len(), heuristic.bounds.len());
+        for (p, b) in &starved.bounds {
+            let h = &heuristic.bounds[p];
+            assert_eq!(
+                (b.lower.to_bits(), b.upper.to_bits()),
+                (h.lower.to_bits(), h.upper.to_bits()),
+                "fallback drifted from the pure heuristic on path {p}"
+            );
+        }
     }
 
     #[test]

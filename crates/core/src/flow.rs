@@ -484,6 +484,7 @@ impl EffiTestFlow {
             kd: self.config.kd,
             use_alignment: self.config.use_alignment,
             exact_alignment: self.config.exact_alignment,
+            exact_node_limit: effitest_solver::DEFAULT_NODE_LIMIT,
             max_iterations_per_batch: 10_000,
         }
     }

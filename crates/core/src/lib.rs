@@ -30,7 +30,9 @@
 //! [`population`] fans the per-chip step out across worker threads with
 //! bitwise-deterministic results; [`experiments`] contains the drivers
 //! that regenerate every table and figure of the paper's evaluation on
-//! top of the population engine.
+//! top of the population engine; [`scenarios`] sweeps the flow over a
+//! (topology x variation x tuning-range x chip-count) matrix of generated
+//! workloads far beyond the paper's eight look-alike circuits.
 //!
 //! # Example
 //!
@@ -63,6 +65,7 @@ mod flow;
 pub mod hold;
 pub mod population;
 pub mod predict;
+pub mod scenarios;
 pub mod select;
 
 pub use flow::{ChipOutcome, EffiTestFlow, FlowConfig, FlowError, FlowPlan, FlowWorkspace};

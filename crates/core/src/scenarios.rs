@@ -1,0 +1,540 @@
+//! The scenario-matrix engine: topology-diverse workload generation.
+//!
+//! The paper evaluates EffiTest on eight circuits that all share one
+//! shape — clustered near-critical paths under the one variation model of
+//! its experimental setup. The method's value claim (grouping, alignment,
+//! and statistical prediction under correlated variation) depends heavily
+//! on clock-network topology and variation structure, so this module
+//! turns the reproduction into a **workload generator**: it enumerates a
+//!
+//! ```text
+//! topology x variation x tuning-range x chip-count   (x generation seed)
+//! ```
+//!
+//! grid — [`Topology`] and [`effitest_ssta::VariationProfile`] are the new
+//! axes, the tuning range reuses
+//! [`TimingModel::build_with_buffer_range`], and the chip count drives the
+//! Monte-Carlo population — runs every cell on the existing
+//! [`FlowPlan`](crate::FlowPlan) + [`population`](crate::population)
+//! engine, and emits one structured
+//! [`ScenarioReport`] per cell (yield, iterations, aligned-test cost,
+//! prediction error).
+//!
+//! # Determinism
+//!
+//! Every metric in a report is **bitwise identical across reruns and
+//! worker-thread counts**: chips derive from pure per-index seeds, per-chip
+//! metrics are reduced in chip order, and the JSON serialization contains
+//! no wall-clock times. `tests/conformance.rs` and the CI `scenario-smoke`
+//! job diff the JSON byte-for-byte at `EFFITEST_THREADS=1` and `4`.
+//!
+//! # Example
+//!
+//! ```
+//! use effitest_core::scenarios::{run_matrix, ScenarioAxes};
+//!
+//! let mut axes = ScenarioAxes::smoke(40);
+//! axes.topologies.truncate(2);
+//! axes.variations.truncate(1);
+//! let reports = run_matrix(&axes, 1);
+//! assert_eq!(reports.len(), 2);
+//! assert!(reports.iter().all(|r| r.mean_iterations > 0.0));
+//! ```
+
+use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark, Topology};
+use effitest_linalg::stats::empirical_quantile;
+use effitest_ssta::{TimingModel, VariationProfile};
+
+use crate::configure::{ideal_configure_and_check, untuned_check};
+use crate::population::{run_population, run_population_scratch, PopulationConfig};
+use crate::{EffiTestFlow, FlowConfig, FlowWorkspace};
+
+/// The axes of a scenario matrix; cells are the full cross product.
+#[derive(Debug, Clone)]
+pub struct ScenarioAxes {
+    /// Circuit statistics template (topology applied per cell). Must be
+    /// paper-shaped: [`BenchmarkSpec::with_topology`] rejects reshaping an
+    /// already-reshaped spec to a different topology.
+    pub base: BenchmarkSpec,
+    /// Clock-network / path-population topologies to sweep.
+    pub topologies: Vec<Topology>,
+    /// Variation structures to sweep.
+    pub variations: Vec<VariationProfile>,
+    /// Tunable-buffer ranges, as fractions of the nominal clock period
+    /// (paper: 1/8).
+    pub tuning_fractions: Vec<f64>,
+    /// Monte-Carlo population sizes.
+    pub chip_counts: Vec<usize>,
+    /// Benchmark-generation seeds (each seed is a distinct cell).
+    pub seeds: Vec<u64>,
+    /// Flow configuration shared by all cells.
+    pub flow: FlowConfig,
+}
+
+impl ScenarioAxes {
+    /// A reduced matrix for tests and CI smoke runs: every topology and
+    /// variation profile, the paper's tuning range, one small chip count,
+    /// one seed, on a `scaled_down(scale)` version of the paper's
+    /// s13207 statistics.
+    pub fn smoke(scale: usize) -> Self {
+        ScenarioAxes {
+            base: BenchmarkSpec::iscas89_s13207().scaled_down(scale),
+            topologies: Topology::all().to_vec(),
+            variations: VariationProfile::all().to_vec(),
+            tuning_fractions: vec![TimingModel::BUFFER_RANGE_FRACTION],
+            chip_counts: vec![4],
+            seeds: vec![1],
+            flow: FlowConfig::default(),
+        }
+    }
+
+    /// The full matrix: every topology and variation, three tuning ranges
+    /// (1/16, 1/8, 1/4 of the period), a real population, two seeds.
+    pub fn full() -> Self {
+        ScenarioAxes {
+            base: BenchmarkSpec::iscas89_s13207().scaled_down(4),
+            topologies: Topology::all().to_vec(),
+            variations: VariationProfile::all().to_vec(),
+            tuning_fractions: vec![1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0],
+            chip_counts: vec![100],
+            seeds: vec![1, 2],
+            flow: FlowConfig::default(),
+        }
+    }
+
+    /// Enumerates the cells of the matrix, in deterministic axis order
+    /// (topology outermost, seed innermost).
+    pub fn cells(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::new();
+        for &topology in &self.topologies {
+            let spec = self.base.clone().with_topology(topology);
+            for &variation in &self.variations {
+                for &tuning_fraction in &self.tuning_fractions {
+                    for &n_chips in &self.chip_counts {
+                        for &seed in &self.seeds {
+                            out.push(ScenarioSpec {
+                                spec: spec.clone(),
+                                topology,
+                                variation,
+                                tuning_fraction,
+                                n_chips,
+                                seed,
+                                flow: self.flow.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cell of the scenario matrix: everything needed to generate and run
+/// it deterministically.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The benchmark spec (already reshaped to `topology`).
+    pub spec: BenchmarkSpec,
+    /// The topology axis value.
+    pub topology: Topology,
+    /// The variation axis value.
+    pub variation: VariationProfile,
+    /// Tunable-buffer range as a fraction of the nominal period.
+    pub tuning_fraction: f64,
+    /// Monte-Carlo population size.
+    pub n_chips: usize,
+    /// Benchmark-generation seed (chip seeds derive from it).
+    pub seed: u64,
+    /// Flow configuration.
+    pub flow: FlowConfig,
+}
+
+impl ScenarioSpec {
+    /// Stable cell identifier, e.g. `"htree/independent/r0.125/c4/s1"`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/r{}/c{}/s{}",
+            self.topology.name(),
+            self.variation.name(),
+            self.tuning_fraction,
+            self.n_chips,
+            self.seed
+        )
+    }
+}
+
+/// Per-cell results: what the flow did on this topology under this
+/// variation structure. Every field is a deterministic (bitwise
+/// thread-count-invariant) function of the owning [`ScenarioSpec`];
+/// wall-clock times are deliberately absent so reports can be diffed
+/// byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Cell identifier ([`ScenarioSpec::id`]).
+    pub id: String,
+    /// Topology name.
+    pub topology: &'static str,
+    /// Variation-profile name.
+    pub variation: &'static str,
+    /// Tuning range fraction of the cell.
+    pub tuning_fraction: f64,
+    /// Chips simulated.
+    pub n_chips: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Circuit statistics: flip-flops.
+    pub ns: usize,
+    /// Circuit statistics: gates.
+    pub ng: usize,
+    /// Circuit statistics: tunable buffers.
+    pub nb: usize,
+    /// Circuit statistics: required paths.
+    pub np: usize,
+    /// Paths actually tested on silicon (`n_pt`).
+    pub npt: usize,
+    /// Parallel test batches.
+    pub batches: usize,
+    /// Designated clock period (the 50% untuned-yield quantile).
+    pub designated_period: f64,
+    /// Fraction of chips passing after the full flow.
+    pub yield_fraction: f64,
+    /// Fraction passing with ideal (exact) delay measurement.
+    pub ideal_yield: f64,
+    /// Fraction passing untuned (all buffers at zero).
+    pub untuned_yield: f64,
+    /// Mean frequency-stepping iterations per chip (`t_a`) — the
+    /// aligned-test cost.
+    pub mean_iterations: f64,
+    /// `mean_iterations / npt` (`t_v`).
+    pub iterations_per_tested_path: f64,
+    /// Total contradictory observations over the population (chips
+    /// outside their assumed `mu ± 3 sigma` windows).
+    pub contradictions: u64,
+    /// Mean `|predicted center - true delay| / sigma` over all
+    /// *unmeasured* paths and chips (0 when every path is measured).
+    pub prediction_mean_abs_err_sigma: f64,
+    /// Worst-case prediction error in sigmas.
+    pub prediction_max_abs_err_sigma: f64,
+    /// Fraction of unmeasured true delays inside their predicted range
+    /// (1 when every path is measured).
+    pub prediction_coverage: f64,
+}
+
+/// Runs one cell: generate the benchmark, build the model at the cell's
+/// tuning range, plan once, run the chip population on `threads` workers,
+/// and reduce the metrics in chip order.
+///
+/// # Panics
+///
+/// Panics if the cell has no chips (every metric, starting with the
+/// designated period, is a population statistic) or its spec is
+/// infeasible for the generator (the specs produced by [`ScenarioAxes`]
+/// are always feasible).
+pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
+    assert!(cell.n_chips > 0, "scenario cell {} has no chips to simulate", cell.id());
+    let bench = GeneratedBenchmark::generate(&cell.spec, cell.seed);
+    let model = TimingModel::build_with_buffer_range(
+        &bench,
+        &cell.variation.config(),
+        cell.tuning_fraction,
+        TimingModel::BUFFER_STEPS,
+    );
+    let flow = EffiTestFlow::new(cell.flow.clone());
+    let plan = flow.plan(&bench, &model).expect("generated benchmarks have paths");
+
+    let pop = PopulationConfig {
+        n_chips: cell.n_chips,
+        base_seed: cell.seed.wrapping_mul(0x1000).wrapping_add(1),
+        threads,
+    };
+    // Designated period: the 50% untuned-yield quantile, as in the
+    // paper's Table 2 setup.
+    let untuned_periods = run_population(&model, &pop, |_k, chip| chip.min_period_untuned());
+    let td = empirical_quantile(&untuned_periods, 0.5);
+
+    let per_chip = run_population_scratch(&model, &pop, FlowWorkspace::new, |ws, _k, chip| {
+        let outcome = flow.run_chip_with(ws, &plan, chip, td).expect("plan-sampled chip");
+        let pred = prediction_errors(&model, &outcome, chip);
+        ChipMetrics {
+            iterations: outcome.iterations,
+            passes: outcome.passes,
+            ideal: ideal_configure_and_check(&model, &plan.buffers, chip, td),
+            untuned: untuned_check(chip, td),
+            contradictions: outcome.contradictions,
+            pred,
+        }
+    });
+
+    let n = cell.n_chips as f64;
+    let count = |f: &dyn Fn(&ChipMetrics) -> bool| per_chip.iter().filter(|m| f(m)).count() as f64;
+    let total_iters: u64 = per_chip.iter().map(|m| m.iterations).sum();
+    let mean_iterations = total_iters as f64 / n;
+
+    // Prediction-error reduction, in chip order (f64 summation order is
+    // part of the determinism contract).
+    let mut err_sum = 0.0_f64;
+    let mut err_count = 0_u64;
+    let mut err_max = 0.0_f64;
+    let mut covered = 0_u64;
+    for m in &per_chip {
+        err_sum += m.pred.err_sum;
+        err_count += m.pred.count;
+        err_max = err_max.max(m.pred.err_max);
+        covered += m.pred.covered;
+    }
+
+    ScenarioReport {
+        id: cell.id(),
+        topology: cell.topology.name(),
+        variation: cell.variation.name(),
+        tuning_fraction: cell.tuning_fraction,
+        n_chips: cell.n_chips,
+        seed: cell.seed,
+        ns: bench.netlist.flip_flop_count(),
+        ng: bench.netlist.gate_count(),
+        nb: bench.netlist.buffer_count(),
+        np: model.path_count(),
+        npt: plan.tested_path_count(),
+        batches: plan.batches.len(),
+        designated_period: td,
+        yield_fraction: count(&|m| m.passes) / n,
+        ideal_yield: count(&|m| m.ideal) / n,
+        untuned_yield: count(&|m| m.untuned) / n,
+        mean_iterations,
+        iterations_per_tested_path: mean_iterations / plan.tested_path_count().max(1) as f64,
+        contradictions: per_chip.iter().map(|m| m.contradictions).sum(),
+        prediction_mean_abs_err_sigma: if err_count == 0 {
+            0.0
+        } else {
+            err_sum / err_count as f64
+        },
+        prediction_max_abs_err_sigma: err_max,
+        prediction_coverage: if err_count == 0 { 1.0 } else { covered as f64 / err_count as f64 },
+    }
+}
+
+/// Runs every cell of the matrix (cells sequentially, each cell's
+/// population on `threads` workers) and returns the reports in cell
+/// order.
+pub fn run_matrix(axes: &ScenarioAxes, threads: usize) -> Vec<ScenarioReport> {
+    axes.cells().iter().map(|cell| run_scenario(cell, threads)).collect()
+}
+
+/// Per-chip reduction of a scenario cell.
+#[derive(Debug, Clone, Copy)]
+struct ChipMetrics {
+    iterations: u64,
+    passes: bool,
+    ideal: bool,
+    untuned: bool,
+    contradictions: u64,
+    pred: PredictionErrors,
+}
+
+/// Prediction-quality tallies over one chip's *unmeasured* paths.
+#[derive(Debug, Clone, Copy, Default)]
+struct PredictionErrors {
+    err_sum: f64,
+    err_max: f64,
+    covered: u64,
+    count: u64,
+}
+
+fn prediction_errors(
+    model: &TimingModel,
+    outcome: &crate::ChipOutcome,
+    chip: &effitest_ssta::ChipInstance,
+) -> PredictionErrors {
+    let mut pred = PredictionErrors::default();
+    for p in 0..model.path_count() {
+        if outcome.measured[p] {
+            continue;
+        }
+        let truth = chip.setup_delay(p);
+        let range = &outcome.ranges[p];
+        let sigma = model.path_sigma(p).max(1e-12);
+        let err = (range.center() - truth).abs() / sigma;
+        pred.err_sum += err;
+        pred.err_max = pred.err_max.max(err);
+        pred.count += 1;
+        if truth >= range.lower - 1e-9 && truth <= range.upper + 1e-9 {
+            pred.covered += 1;
+        }
+    }
+    pred
+}
+
+/// Serializes one report as a JSON object (stable key order, no
+/// wall-clock fields; floats use Rust's shortest round-trip formatting so
+/// equal bit patterns serialize identically).
+pub fn report_to_json(r: &ScenarioReport) -> String {
+    format!(
+        concat!(
+            "{{\"id\": \"{id}\", \"topology\": \"{topology}\", ",
+            "\"variation\": \"{variation}\", \"tuning_fraction\": {tf}, ",
+            "\"chips\": {chips}, \"seed\": {seed}, ",
+            "\"ns\": {ns}, \"ng\": {ng}, \"nb\": {nb}, \"np\": {np}, ",
+            "\"npt\": {npt}, \"batches\": {batches}, ",
+            "\"designated_period\": {td}, ",
+            "\"yield\": {y}, \"ideal_yield\": {yi}, \"untuned_yield\": {yu}, ",
+            "\"mean_iterations\": {ta}, \"iterations_per_tested_path\": {tv}, ",
+            "\"contradictions\": {contra}, ",
+            "\"prediction_mean_abs_err_sigma\": {pe}, ",
+            "\"prediction_max_abs_err_sigma\": {pm}, ",
+            "\"prediction_coverage\": {pc}}}"
+        ),
+        id = json_escape(&r.id),
+        topology = json_escape(r.topology),
+        variation = json_escape(r.variation),
+        tf = json_f64(r.tuning_fraction),
+        chips = r.n_chips,
+        seed = r.seed,
+        ns = r.ns,
+        ng = r.ng,
+        nb = r.nb,
+        np = r.np,
+        npt = r.npt,
+        batches = r.batches,
+        td = json_f64(r.designated_period),
+        y = json_f64(r.yield_fraction),
+        yi = json_f64(r.ideal_yield),
+        yu = json_f64(r.untuned_yield),
+        ta = json_f64(r.mean_iterations),
+        tv = json_f64(r.iterations_per_tested_path),
+        contra = r.contradictions,
+        pe = json_f64(r.prediction_mean_abs_err_sigma),
+        pm = json_f64(r.prediction_max_abs_err_sigma),
+        pc = json_f64(r.prediction_coverage),
+    )
+}
+
+/// Serializes a whole matrix run as one JSON document (see
+/// [`report_to_json`] for the per-cell schema).
+pub fn matrix_to_json(base_name: &str, reports: &[ScenarioReport]) -> String {
+    let cells: Vec<String> = reports.iter().map(|r| format!("    {}", report_to_json(r))).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"report\": \"effitest_scenario_matrix\",\n",
+            "  \"base\": \"{}\",\n",
+            "  \"cells\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        json_escape(base_name),
+        cells.join(",\n")
+    )
+}
+
+/// Formats a finite float for JSON via Rust's shortest round-trip
+/// representation, forcing a decimal point so integers stay doubles.
+fn json_f64(x: f64) -> String {
+    assert!(x.is_finite(), "scenario reports never contain non-finite metrics");
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Minimal JSON string escaping (names and ids are ASCII by
+/// construction; this keeps arbitrary base names safe anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_axes() -> ScenarioAxes {
+        let mut axes = ScenarioAxes::smoke(40);
+        axes.chip_counts = vec![2];
+        axes.flow.hold.samples = 32;
+        axes
+    }
+
+    #[test]
+    fn cells_cover_the_full_cross_product_in_order() {
+        let axes = ScenarioAxes::smoke(20);
+        let cells = axes.cells();
+        assert_eq!(
+            cells.len(),
+            axes.topologies.len()
+                * axes.variations.len()
+                * axes.tuning_fractions.len()
+                * axes.chip_counts.len()
+                * axes.seeds.len()
+        );
+        // Distinct, stable ids.
+        let ids: std::collections::HashSet<String> = cells.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), cells.len(), "cell ids must be unique");
+        // Topology is the outermost axis.
+        assert_eq!(cells[0].topology, axes.topologies[0]);
+        assert_eq!(cells.last().unwrap().topology, *axes.topologies.last().unwrap());
+    }
+
+    #[test]
+    fn one_cell_produces_sane_metrics() {
+        let axes = tiny_axes();
+        let cell = &axes.cells()[0];
+        let r = run_scenario(cell, 1);
+        assert_eq!(r.np, cell.spec.np);
+        assert!(r.npt >= 1 && r.npt <= r.np);
+        assert!(r.batches >= 1);
+        assert!(r.designated_period > 0.0);
+        for y in [r.yield_fraction, r.ideal_yield, r.untuned_yield, r.prediction_coverage] {
+            assert!((0.0..=1.0).contains(&y), "fraction out of range: {y}");
+        }
+        assert!(r.ideal_yield + 1e-9 >= r.yield_fraction, "ideal must dominate");
+        assert!(r.mean_iterations > 0.0);
+        assert!(r.prediction_mean_abs_err_sigma >= 0.0);
+        assert!(r.prediction_max_abs_err_sigma >= r.prediction_mean_abs_err_sigma);
+    }
+
+    #[test]
+    fn reports_are_bitwise_deterministic_across_threads() {
+        let mut axes = tiny_axes();
+        axes.topologies = vec![effitest_circuit::Topology::Mesh];
+        axes.variations = vec![effitest_ssta::VariationProfile::HighSigmaTail];
+        let cell = &axes.cells()[0];
+        let serial = report_to_json(&run_scenario(cell, 1));
+        let parallel = report_to_json(&run_scenario(cell, 4));
+        assert_eq!(serial, parallel, "scenario reports drifted with the thread count");
+    }
+
+    #[test]
+    #[should_panic(expected = "no chips")]
+    fn empty_population_cells_are_rejected() {
+        let mut axes = tiny_axes();
+        axes.chip_counts = vec![0];
+        let _ = run_scenario(&axes.cells()[0], 1);
+    }
+
+    #[test]
+    fn json_is_stable_and_escapes() {
+        assert_eq!(json_f64(0.125), "0.125");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        let mut axes = tiny_axes();
+        axes.topologies.truncate(1);
+        axes.variations.truncate(1);
+        let reports = run_matrix(&axes, 1);
+        let json = matrix_to_json(&axes.base.name, &reports);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert!(json.contains("\"effitest_scenario_matrix\""));
+        assert!(json.contains("\"cells\": ["));
+        // One object per cell.
+        assert_eq!(json.matches("\"topology\"").count(), reports.len());
+    }
+}

@@ -494,6 +494,7 @@ pub struct AlignmentEngine {
     int_vars: Vec<usize>,
     milp_ws: MilpWorkspace,
     exact_seed: Vec<f64>,
+    node_limit: usize,
 }
 
 impl Default for AlignmentEngine {
@@ -519,7 +520,22 @@ impl AlignmentEngine {
             int_vars: Vec::new(),
             milp_ws: MilpWorkspace::new(),
             exact_seed: Vec::new(),
+            node_limit: DEFAULT_NODE_LIMIT,
         }
+    }
+
+    /// Caps the branch-and-bound nodes of [`solve_exact`](Self::solve_exact)
+    /// (default [`crate::DEFAULT_NODE_LIMIT`]). A solve that exhausts the
+    /// cap returns `None` — the caller's cue to fall back to the
+    /// coordinate-descent heuristic — never a silently suboptimal
+    /// "exact" solution.
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// The current branch-and-bound node cap for exact solves.
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
     }
 
     /// Starts a new batch: installs its buffers, clears the path list, and
@@ -683,10 +699,19 @@ impl AlignmentEngine {
                 false
             }
         };
-        let AlignmentEngine { problem, lp, int_vars, milp_ws, exact_seed, solution, warm, .. } =
-            self;
+        let AlignmentEngine {
+            problem,
+            lp,
+            int_vars,
+            milp_ws,
+            exact_seed,
+            solution,
+            warm,
+            node_limit,
+            ..
+        } = self;
         let incumbent = seeded.then_some(&exact_seed[..]);
-        let sol = crate::milp::solve_milp(lp, int_vars, DEFAULT_NODE_LIMIT, milp_ws, incumbent);
+        let sol = crate::milp::solve_milp(lp, int_vars, *node_limit, milp_ws, incumbent);
         if !sol.is_optimal() {
             return None;
         }
@@ -881,6 +906,40 @@ mod tests {
             }
         }
         assert!(worse * 5 <= cases, "descent missed the optimum too often: {worse}/{cases}");
+    }
+
+    #[test]
+    fn exhausted_node_limit_returns_none_and_preserves_the_last_solution() {
+        // A problem whose root relaxation is fractional (the buffer grid
+        // forces branching): with a one-node cap the exact solve must
+        // report failure instead of a silently suboptimal "optimum", and
+        // the engine's last solution must stay what the heuristic left
+        // there — that pair is exactly the fallback contract the aligned
+        // test relies on.
+        let problem = AlignmentProblem {
+            paths: vec![path(0.0, None, None), path(3.3, Some(0), None), path(7.1, Some(1), None)],
+            buffers: vec![buf(-2.0, 2.0, 9), buf(-2.0, 2.0, 9)],
+        };
+        let mut engine = AlignmentEngine::new();
+        engine.begin_batch(&problem.buffers);
+        engine.paths_mut().extend_from_slice(&problem.paths);
+        let heuristic = engine.solve().clone();
+
+        engine.set_node_limit(0);
+        assert_eq!(engine.node_limit(), 0);
+        assert!(engine.solve_exact().is_none(), "a 0-node budget cannot prove optimality");
+        assert_eq!(
+            engine.last_solution(),
+            &heuristic,
+            "a failed exact solve must leave the previous solution untouched"
+        );
+
+        // With the default budget the same engine closes the tree and can
+        // only match or improve the heuristic objective.
+        engine.set_node_limit(crate::DEFAULT_NODE_LIMIT);
+        let exact = engine.solve_exact().expect("feasible problem").clone();
+        assert!(exact.objective <= heuristic.objective + 1e-9);
+        assert!(problem.is_feasible(&exact.buffer_values, 1e-9));
     }
 
     #[test]

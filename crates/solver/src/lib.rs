@@ -52,4 +52,4 @@ mod milp;
 pub use diffcon::DifferenceSystem;
 pub use lp::{ConstraintOp, LinearProgram, LpSolution, LpStatus, SimplexWorkspace};
 pub use median::{weighted_l1, weighted_median, weighted_median_in_place};
-pub use milp::{MilpSolution, MilpStatus, MilpWorkspace, MixedIntegerProgram};
+pub use milp::{MilpSolution, MilpStatus, MilpWorkspace, MixedIntegerProgram, DEFAULT_NODE_LIMIT};

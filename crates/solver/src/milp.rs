@@ -131,8 +131,10 @@ pub struct MixedIntegerProgram {
 const INT_TOL: f64 = 1e-6;
 
 /// Default branch-and-bound node cap, shared with the alignment engine's
-/// warm exact solve.
-pub(crate) const DEFAULT_NODE_LIMIT: usize = 200_000;
+/// warm exact solve. A solve that exhausts it reports
+/// [`MilpStatus::NodeLimitReached`] instead of claiming optimality or
+/// infeasibility.
+pub const DEFAULT_NODE_LIMIT: usize = 200_000;
 
 impl MixedIntegerProgram {
     /// Wraps an LP with integrality requirements on `integer_vars`.

@@ -53,4 +53,4 @@ pub use canonical::CanonicalDelay;
 pub use chip::ChipInstance;
 pub use model::TimingModel;
 pub use sampler::NormalSampler;
-pub use variation::{FactorSpace, VariationConfig};
+pub use variation::{FactorSpace, VariationConfig, VariationProfile};

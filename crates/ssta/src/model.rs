@@ -61,7 +61,8 @@ impl TimingModel {
     /// Buffer range as a fraction of the nominal clock period (paper: 1/8).
     pub const BUFFER_RANGE_FRACTION: f64 = 1.0 / 8.0;
 
-    /// Runs SSTA over a generated benchmark.
+    /// Runs SSTA over a generated benchmark with the paper's tunable
+    /// buffer range (period / 8, 20 steps).
     ///
     /// # Panics
     ///
@@ -69,7 +70,36 @@ impl TimingModel {
     /// [`VariationConfig::assert_valid`]) or the benchmark's paths
     /// reference invalid netlist elements (generated benchmarks never do).
     pub fn build(bench: &GeneratedBenchmark, config: &VariationConfig) -> Self {
+        Self::build_with_buffer_range(
+            bench,
+            config,
+            Self::BUFFER_RANGE_FRACTION,
+            Self::BUFFER_STEPS,
+        )
+    }
+
+    /// [`build`](Self::build) with an explicit tuning-range axis: the
+    /// buffer range spans `range_fraction` of the nominal clock period
+    /// (paper: 1/8) over `steps` discrete settings (paper: 20). The
+    /// scenario matrix sweeps this axis; everything else is identical to
+    /// [`build`](Self::build).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `config`, a non-positive / non-finite
+    /// `range_fraction`, or `steps < 2`.
+    pub fn build_with_buffer_range(
+        bench: &GeneratedBenchmark,
+        config: &VariationConfig,
+        range_fraction: f64,
+        steps: u32,
+    ) -> Self {
         config.assert_valid();
+        assert!(
+            range_fraction.is_finite() && range_fraction > 0.0,
+            "buffer range fraction must be positive and finite"
+        );
+        assert!(steps >= 2, "buffers need at least 2 discrete settings");
         let factor_space = FactorSpace::new(bench.netlist.die(), config.grid_dim);
         let n = bench.paths.len();
 
@@ -98,8 +128,8 @@ impl TimingModel {
             hold_forms.push(hold);
         }
 
-        let width = nominal_period * Self::BUFFER_RANGE_FRACTION;
-        let buffer_spec = TuningBufferSpec::centered(width, Self::BUFFER_STEPS);
+        let width = nominal_period * range_fraction;
+        let buffer_spec = TuningBufferSpec::centered(width, steps);
 
         TimingModel {
             factor_space,
@@ -338,6 +368,33 @@ mod tests {
         assert!((spec.width() - model.nominal_period() / 8.0).abs() < 1e-9);
         assert_eq!(spec.steps(), 20);
         assert!((spec.min() + spec.max()).abs() < 1e-9, "centered");
+    }
+
+    #[test]
+    fn explicit_buffer_range_drives_the_spec() {
+        let (bench, model) = small_model();
+        let wide =
+            TimingModel::build_with_buffer_range(&bench, &VariationConfig::paper(), 0.25, 10);
+        // Same timing, different tuning axis.
+        assert_eq!(wide.nominal_period(), model.nominal_period());
+        assert_eq!(wide.path_count(), model.path_count());
+        assert!((wide.buffer_spec().width() - wide.nominal_period() * 0.25).abs() < 1e-9);
+        assert_eq!(wide.buffer_spec().steps(), 10);
+        // The default build is exactly the paper point of the axis.
+        let paper = TimingModel::build_with_buffer_range(
+            &bench,
+            &VariationConfig::paper(),
+            TimingModel::BUFFER_RANGE_FRACTION,
+            TimingModel::BUFFER_STEPS,
+        );
+        assert_eq!(paper.buffer_spec(), model.buffer_spec());
+    }
+
+    #[test]
+    #[should_panic(expected = "range fraction")]
+    fn zero_buffer_range_is_rejected() {
+        let (bench, _) = small_model();
+        let _ = TimingModel::build_with_buffer_range(&bench, &VariationConfig::paper(), 0.0, 20);
     }
 
     #[test]

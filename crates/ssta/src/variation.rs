@@ -92,6 +92,93 @@ impl Default for VariationConfig {
     }
 }
 
+/// Named points on the variation-structure axis of the scenario matrix.
+///
+/// The paper evaluates one variation structure (spatially correlated, the
+/// exact numbers of its experimental setup); the value of grouping,
+/// prediction, and alignment depends heavily on that structure, so the
+/// scenario matrix sweeps it. Each profile is a deterministic, seedable
+/// recipe producing a complete [`VariationConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariationProfile {
+    /// The paper's setup verbatim: strong spatial correlation (perfect
+    /// within a grid cell, 0.25 die-wide) plus moderate per-gate
+    /// randomness. See [`VariationConfig::paper`].
+    SpatiallyCorrelated,
+    /// Essentially independent gate delays: the spatially correlated
+    /// parameter part is scaled far down, the grid is fine, and the
+    /// per-gate random component dominates — the adversarial regime for
+    /// correlation-based grouping and prediction.
+    Independent,
+    /// A few dominant principal components: very high die-wide
+    /// correlation over a coarse 2x2 grid with little per-gate noise, so
+    /// a handful of factors explain almost all delay variance and PCA
+    /// retains very few components per group.
+    FewDominantPcs,
+    /// A high-sigma tail regime: every sigma inflated well past the
+    /// paper's values, producing many chips outside the assumed
+    /// `mu ± 3 sigma` windows — the regime that stresses contradiction
+    /// handling and prediction conservatism.
+    HighSigmaTail,
+}
+
+impl VariationProfile {
+    /// All profiles, the paper's setup first.
+    pub fn all() -> [VariationProfile; 4] {
+        [
+            VariationProfile::SpatiallyCorrelated,
+            VariationProfile::Independent,
+            VariationProfile::FewDominantPcs,
+            VariationProfile::HighSigmaTail,
+        ]
+    }
+
+    /// Short token-safe name (used in scenario-report ids).
+    pub fn name(&self) -> &'static str {
+        match self {
+            VariationProfile::SpatiallyCorrelated => "spatial",
+            VariationProfile::Independent => "independent",
+            VariationProfile::FewDominantPcs => "fewpc",
+            VariationProfile::HighSigmaTail => "tail",
+        }
+    }
+
+    /// The complete variation configuration this profile stands for.
+    pub fn config(&self) -> VariationConfig {
+        let paper = VariationConfig::paper();
+        match self {
+            VariationProfile::SpatiallyCorrelated => paper,
+            VariationProfile::Independent => VariationConfig {
+                sigma_length: paper.sigma_length * 0.35,
+                sigma_oxide: paper.sigma_oxide * 0.35,
+                sigma_vth: paper.sigma_vth * 0.35,
+                global_correlation: 0.0,
+                grid_dim: 16,
+                local_sigma: 0.30,
+            },
+            VariationProfile::FewDominantPcs => VariationConfig {
+                global_correlation: 0.85,
+                grid_dim: 2,
+                local_sigma: 0.04,
+                ..paper
+            },
+            VariationProfile::HighSigmaTail => VariationConfig {
+                sigma_length: paper.sigma_length * 1.6,
+                sigma_oxide: paper.sigma_oxide * 1.6,
+                sigma_vth: paper.sigma_vth * 1.6,
+                local_sigma: 0.20,
+                ..paper
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for VariationProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Number of varied process parameters (length, oxide, threshold).
 pub const N_PARAMS: usize = 3;
 
@@ -181,6 +268,30 @@ mod tests {
         let mut c = VariationConfig::paper();
         c.global_correlation = 1.5;
         c.assert_valid();
+    }
+
+    #[test]
+    fn profiles_are_valid_named_and_distinct() {
+        let mut names = std::collections::HashSet::new();
+        for p in VariationProfile::all() {
+            let c = p.config();
+            c.assert_valid();
+            assert!(names.insert(p.name()), "duplicate profile name {}", p.name());
+            assert!(p.name().chars().all(|ch| ch.is_ascii_alphanumeric()));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(VariationProfile::SpatiallyCorrelated.config(), VariationConfig::paper());
+        // The independent profile really is dominated by per-gate noise.
+        let ind = VariationProfile::Independent.config();
+        assert_eq!(ind.global_correlation, 0.0);
+        assert!(ind.local_sigma > ind.sigma_length);
+        // The few-PC profile concentrates variance in few factors.
+        let few = VariationProfile::FewDominantPcs.config();
+        assert!(few.global_correlation > 0.8);
+        assert!(few.grid_dim <= 2);
+        // The tail profile inflates every sigma.
+        let tail = VariationProfile::HighSigmaTail.config();
+        assert!(tail.sigma_length > VariationConfig::paper().sigma_length);
     }
 
     #[test]

@@ -392,6 +392,63 @@ mod tests {
         assert_eq!((b.lower, b.upper), (2.0, 6.0));
     }
 
+    #[test]
+    fn saturated_interval_stays_collapsed_and_consistent() {
+        // After a contradiction saturates the interval, further
+        // observations must keep it a valid zero-width point — no
+        // inversion, no resurrection of the contradicted side.
+        let mut b = DelayBounds::new(4.0, 6.0);
+        assert_eq!(b.update(100.0, 0.0, false), Observation::Contradictory);
+        assert_eq!((b.lower, b.upper), (6.0, 6.0));
+        // Another fail above the collapsed point contradicts again...
+        assert_eq!(b.update(50.0, 0.0, false), Observation::Contradictory);
+        assert_eq!((b.lower, b.upper), (6.0, 6.0));
+        assert_eq!(b.width(), 0.0);
+        // ...while a pass at the point itself proves the (degenerate)
+        // upper bound and is simply uninformative afterwards.
+        assert_eq!(b.update(6.0, 0.0, true), Observation::Uninformative);
+        assert!(b.lower <= b.upper);
+        assert!(b.converged(0.0));
+    }
+
+    #[test]
+    fn rounding_noise_against_a_proven_bound_is_uninformative() {
+        // The tester evaluates `D + shift <= period` while the bounds
+        // reconstruct `period - shift`; the two roundings can disagree by
+        // a few ulps. Within the documented ~1e-9 relative slack a
+        // nominal contradiction of a *proven* bound must be dismissed as
+        // noise, leaving the interval untouched.
+        let mut b = DelayBounds::new(0.0, 10.0);
+        assert_eq!(b.update(6.0, 0.0, true), Observation::Tightened);
+        assert!(b.upper_proven());
+        // Fail "proving" delay > 6 + 1e-12: inside the slack band.
+        assert_eq!(b.update(6.0 + 1e-12, 0.0, false), Observation::Uninformative);
+        assert_eq!((b.lower, b.upper), (0.0, 6.0));
+        // Same on the lower side.
+        assert_eq!(b.update(2.0, 0.0, false), Observation::Tightened);
+        assert!(b.lower_proven());
+        assert_eq!(b.update(2.0 - 1e-12, 0.0, true), Observation::Uninformative);
+        assert_eq!((b.lower, b.upper), (2.0, 6.0));
+    }
+
+    #[test]
+    fn slack_scales_with_the_bound_magnitude() {
+        // The tolerance is relative: at magnitude 1e6 an absolute 1e-5
+        // disagreement is still rounding noise, while the same absolute
+        // disagreement at magnitude 1 is a real contradiction (and fires
+        // the debug assertion — exercised release-only here).
+        let mut big = DelayBounds::new(0.0, 2.0e6);
+        assert_eq!(big.update(1.0e6, 0.0, true), Observation::Tightened);
+        assert_eq!(big.update(1.0e6 + 1e-5, 0.0, false), Observation::Uninformative);
+        assert_eq!(big.upper, 1.0e6);
+        if cfg!(not(debug_assertions)) {
+            let mut small = DelayBounds::new(0.0, 2.0);
+            assert_eq!(small.update(1.0, 0.0, true), Observation::Tightened);
+            assert_eq!(small.update(1.0 + 1e-5, 0.0, false), Observation::Contradictory);
+            assert_eq!((small.lower, small.upper), (1.0, 1.0));
+        }
+    }
+
     #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "contradictory fail")]

@@ -1,0 +1,88 @@
+//! Scenario-matrix driver: sweep the EffiTest flow over the
+//! (topology x variation x tuning-range x chip-count) grid and write the
+//! JSON report.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example scenario_matrix [scale] [chips] [seeds]
+//! ```
+//!
+//! * `scale` — `scaled_down` factor for the base circuit statistics
+//!   (default 20; smaller means bigger circuits).
+//! * `chips` — Monte-Carlo population per cell (default 8).
+//! * `seeds` — benchmark-generation seeds per cell (default 1).
+//!
+//! Worker threads come from `EFFITEST_THREADS` (default: available
+//! parallelism); the report lands at `EFFITEST_SCENARIO_OUT` (default
+//! `SCENARIOS.json` in the working directory). Reports are bitwise
+//! identical across reruns and thread counts — the CI `scenario-smoke`
+//! job diffs them byte-for-byte.
+
+use effitest::flow::population::{parse_env_count, threads_from_env};
+use effitest::flow::scenarios::{matrix_to_json, run_scenario, ScenarioAxes};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    // Same hard-error rule as the EFFITEST_* variables: a typo'd count
+    // must abort, not silently run the default matrix.
+    let scale: usize = match args.get(1) {
+        Some(raw) => parse_env_count("scale", raw)?,
+        None => 20,
+    };
+    let chips: usize = match args.get(2) {
+        Some(raw) => parse_env_count("chips", raw)?,
+        None => 8,
+    };
+    let n_seeds: u64 = match args.get(3) {
+        Some(raw) => parse_env_count("seeds", raw)? as u64,
+        None => 1,
+    };
+    let threads = threads_from_env()?;
+
+    let mut axes = ScenarioAxes::smoke(scale);
+    axes.chip_counts = vec![chips];
+    axes.seeds = (1..=n_seeds).collect();
+    let cells = axes.cells();
+    println!(
+        "=== Scenario matrix: {} cells ({} topologies x {} variations x {} ranges x {} seeds), \
+         {chips} chips each, {threads} threads ===\n",
+        cells.len(),
+        axes.topologies.len(),
+        axes.variations.len(),
+        axes.tuning_fractions.len(),
+        axes.seeds.len(),
+    );
+
+    let header = format!(
+        "{:<34} {:>4} {:>4} {:>8} {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "cell", "np", "npt", "t_a", "yield", "ideal", "untuned", "pred_err", "contra"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let mut reports = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let r = run_scenario(cell, threads);
+        println!(
+            "{:<34} {:>4} {:>4} {:>8.1} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.3} {:>7}",
+            r.id,
+            r.np,
+            r.npt,
+            r.mean_iterations,
+            r.yield_fraction * 100.0,
+            r.ideal_yield * 100.0,
+            r.untuned_yield * 100.0,
+            r.prediction_mean_abs_err_sigma,
+            r.contradictions,
+        );
+        reports.push(r);
+    }
+
+    let json = matrix_to_json(&axes.base.name, &reports);
+    let path =
+        std::env::var("EFFITEST_SCENARIO_OUT").unwrap_or_else(|_| "SCENARIOS.json".to_owned());
+    std::fs::write(&path, &json)?;
+    println!("\nrecorded {} cells -> {path}", reports.len());
+    Ok(())
+}

@@ -19,7 +19,9 @@
 //!   scan configuration).
 //! * [`flow`] — the EffiTest flow itself: the chip-independent
 //!   `FlowPlan`, the parallel chip-population engine (`flow::population`),
-//!   and drivers for every experiment in the paper (`flow::experiments`).
+//!   drivers for every experiment in the paper (`flow::experiments`), and
+//!   the scenario-matrix engine sweeping topology, variation structure,
+//!   tuning range, and population size (`flow::scenarios`).
 //!
 //! # Quickstart
 //!
@@ -49,11 +51,13 @@ pub use effitest_tester as tester;
 /// Convenience re-exports of the types most programs need.
 pub mod prelude {
     pub use effitest_circuit::{
-        BenchmarkSpec, FlipFlopId, GateId, GeneratedBenchmark, Netlist, PathId, TuningBufferSpec,
+        BenchmarkSpec, FlipFlopId, GateId, GeneratedBenchmark, Netlist, PathId, Topology,
+        TuningBufferSpec,
     };
     pub use effitest_core::experiments::ExperimentConfig;
     pub use effitest_core::population::{run_population, run_population_scratch, PopulationConfig};
+    pub use effitest_core::scenarios::{ScenarioAxes, ScenarioReport, ScenarioSpec};
     pub use effitest_core::{ChipOutcome, EffiTestFlow, FlowConfig, FlowPlan, FlowWorkspace};
-    pub use effitest_ssta::{ChipInstance, TimingModel, VariationConfig};
+    pub use effitest_ssta::{ChipInstance, TimingModel, VariationConfig, VariationProfile};
     pub use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
 }
