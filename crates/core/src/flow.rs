@@ -13,7 +13,7 @@ use crate::aligned_test::{
 use crate::batch::{build_batches, fill_slots, predicted_sigmas, Batches, ConflictOracle};
 use crate::configure::{build_config_problem, configure, shifts_for, BufferIndex};
 use crate::hold::{compute_hold_bounds, HoldBounds, HoldConfig};
-use crate::predict::{predict_ranges, PredictedRanges};
+use crate::predict::{predict_ranges, PredictWorkspace, PredictedRanges, Predictor};
 use crate::select::{all_selected, select_paths, PathGroup, SelectConfig};
 
 /// Errors surfaced by the flow API.
@@ -117,6 +117,12 @@ pub struct FlowPlan<'a> {
     /// Predicted standard deviation per unselected path (paper eq. 5),
     /// the slot-filling priority.
     pub predicted_sigmas: Vec<(usize, f64)>,
+    /// The statistical prediction engine (paper eqs. 4–5): per-group
+    /// conditioning gains factored once here at plan time, applied per
+    /// chip through a [`PredictWorkspace`]. Degenerate groups are
+    /// downgraded to the prior and counted
+    /// ([`Predictor::fallback_count`]).
+    pub predictor: Predictor,
     /// Convergence threshold for this circuit.
     pub epsilon: f64,
     /// Wall-clock time spent preparing (the paper's `T_p`).
@@ -167,6 +173,7 @@ pub struct ChipOutcome {
 #[derive(Debug, Default)]
 pub struct FlowWorkspace {
     aligned: AlignedTestWorkspace,
+    predict: PredictWorkspace,
 }
 
 impl FlowWorkspace {
@@ -179,6 +186,12 @@ impl FlowWorkspace {
     /// [`run_aligned_test_with`] directly).
     pub fn aligned(&mut self) -> &mut AlignedTestWorkspace {
         &mut self.aligned
+    }
+
+    /// The prediction scratch (for callers driving
+    /// [`Predictor::predict_with`] directly).
+    pub fn predict(&mut self) -> &mut PredictWorkspace {
+        &mut self.predict
     }
 }
 
@@ -261,6 +274,8 @@ impl EffiTestFlow {
 
         let lambda = compute_hold_bounds(model, &self.config.hold);
         let epsilon = self.epsilon_for(model);
+        let predictor =
+            Predictor::new(model, &groups, &batches.tested_paths(), self.config.bound_sigma);
 
         Ok(FlowPlan {
             bench,
@@ -271,6 +286,7 @@ impl EffiTestFlow {
             buffers,
             oracle,
             predicted_sigmas: sigmas,
+            predictor,
             epsilon,
             prep_time: started.elapsed(),
         })
@@ -299,21 +315,38 @@ impl EffiTestFlow {
 
     /// [`test_and_predict`](Self::test_and_predict) reusing a per-worker
     /// workspace; results are bitwise identical, allocations are not.
+    ///
+    /// Prediction runs on the plan's precomputed [`Predictor`] (gains
+    /// factored once at plan time); the per-chip refactorizing path
+    /// survives as
+    /// [`test_and_predict_reference`](Self::test_and_predict_reference)
+    /// and produces bitwise-identical ranges.
     pub fn test_and_predict_with(
         &self,
         ws: &mut FlowWorkspace,
         prepared: &FlowPlan<'_>,
         chip: &ChipInstance,
     ) -> (PredictedRanges, AlignedTestResult) {
-        let mut tester = VirtualTester::new(chip);
-        let aligned = run_aligned_test_with(
-            &mut ws.aligned,
-            prepared.model,
-            &mut tester,
-            &prepared.batches.batches,
-            &prepared.lambda,
-            &self.aligned_config(prepared.epsilon),
-        );
+        let aligned = self.run_aligned_phase(ws, prepared, chip);
+        let predicted = prepared.predictor.predict_with(&mut ws.predict, &aligned.bounds);
+        (predicted, aligned)
+    }
+
+    /// The **reference** per-chip path: aligned test followed by
+    /// from-scratch conditioning ([`predict_ranges`]) that rebuilds and
+    /// refactorizes every group's Gaussian on this chip, as the flow did
+    /// before the plan-level [`Predictor`] existed.
+    ///
+    /// Kept so the engine can be differentially tested against it — the
+    /// two are bitwise identical on every chip (`tests/prediction.rs`
+    /// proves it across the whole scenario matrix); use
+    /// [`test_and_predict`](Self::test_and_predict) everywhere else.
+    pub fn test_and_predict_reference(
+        &self,
+        prepared: &FlowPlan<'_>,
+        chip: &ChipInstance,
+    ) -> (PredictedRanges, AlignedTestResult) {
+        let aligned = self.run_aligned_phase(&mut FlowWorkspace::new(), prepared, chip);
         let predicted = predict_ranges(
             prepared.model,
             &prepared.groups,
@@ -321,6 +354,26 @@ impl EffiTestFlow {
             self.config.bound_sigma,
         );
         (predicted, aligned)
+    }
+
+    /// Phase 1 (the aligned test), shared by the engine and reference
+    /// entry points so their differential comparison always runs on the
+    /// same measured bounds.
+    fn run_aligned_phase(
+        &self,
+        ws: &mut FlowWorkspace,
+        prepared: &FlowPlan<'_>,
+        chip: &ChipInstance,
+    ) -> AlignedTestResult {
+        let mut tester = VirtualTester::new(chip);
+        run_aligned_test_with(
+            &mut ws.aligned,
+            prepared.model,
+            &mut tester,
+            &prepared.batches.batches,
+            &prepared.lambda,
+            &self.aligned_config(prepared.epsilon),
+        )
     }
 
     /// Phase 3 on a chip: configure the buffers for `clock_period` from

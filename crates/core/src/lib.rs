@@ -69,3 +69,4 @@ pub mod scenarios;
 pub mod select;
 
 pub use flow::{ChipOutcome, EffiTestFlow, FlowConfig, FlowError, FlowPlan, FlowWorkspace};
+pub use predict::{PredictWorkspace, PredictedRanges, Predictor};

@@ -7,9 +7,35 @@
 //! *upper bounds* as observations, as the paper prescribes — and every
 //! untested member receives the range `mu' +- 3 sigma'` from the
 //! conditional distribution.
+//!
+//! # Plan-time vs chip-time split
+//!
+//! The observed-index structure of that conditioning is **identical for
+//! every chip of a population**: which paths are tested is decided by the
+//! flow plan (selection + multiplexing), not by silicon. Only the measured
+//! *values* differ per chip. The [`Predictor`] exploits this: built once
+//! per [`FlowPlan`](crate::FlowPlan), it factors each group's observed
+//! covariance block (the conditioning gain `K = Sigma_uo Sigma_oo^-1`, in
+//! factored form) and precomputes the conditional sigmas (eq. 5 is
+//! value-independent), so the per-chip step collapses to one gain
+//! application per group through a reusable, zero-allocation
+//! [`PredictWorkspace`] — and produces **bitwise identical** ranges to the
+//! from-scratch conditioning path, which survives as [`predict_ranges`]
+//! (the reference implementation and the entry point for ad-hoc tested
+//! sets).
+//!
+//! # Fallback semantics
+//!
+//! A group whose observed covariance block cannot be factorized even after
+//! regularization (singular/ill-conditioned beyond rescue) is *downgraded
+//! to the prior*: its unmeasured members keep their `mu +- k sigma` ranges
+//! and the downgrade is counted (one **prediction fallback** per group),
+//! never a panic. The count is surfaced per scenario cell in
+//! [`ScenarioReport::prediction_fallbacks`](crate::scenarios::ScenarioReport::prediction_fallbacks).
 
 use std::collections::HashMap;
 
+use effitest_linalg::GaussianConditioner;
 use effitest_ssta::TimingModel;
 use effitest_tester::DelayBounds;
 
@@ -22,18 +48,30 @@ pub struct PredictedRanges {
     pub ranges: Vec<DelayBounds>,
     /// `true` where the range came from silicon measurement.
     pub measured: Vec<bool>,
+    /// Correlation groups downgraded to their prior ranges because the
+    /// observed covariance block could not be factorized (see the module
+    /// docs on fallback semantics).
+    pub fallbacks: u64,
 }
 
 /// Conditions each group on its measured members and assembles full
-/// ranges.
+/// ranges — the **reference** per-chip path: every group's joint Gaussian
+/// is rebuilt and refactorized per call.
+///
+/// This is the entry point for ad-hoc tested sets (the key set of `tested`
+/// may be anything). For a *fixed* tested set applied across a whole chip
+/// population, build a [`Predictor`] instead: same results, bitwise, at a
+/// fraction of the cost.
 ///
 /// `tested` maps path index to its measured bounds; `sigma_k` scales the
 /// predicted half-width (paper: 3).
 ///
 /// # Panics
 ///
-/// Panics if a group references an out-of-range path or the group
-/// covariance is malformed (cannot happen for model-built groups).
+/// Panics if a group references an out-of-range path (cannot happen for
+/// model-built groups). A degenerate group covariance does *not* panic:
+/// the group falls back to prior ranges and is counted in
+/// [`PredictedRanges::fallbacks`].
 pub fn predict_ranges(
     model: &TimingModel,
     groups: &[PathGroup],
@@ -45,6 +83,7 @@ pub fn predict_ranges(
         .map(|p| DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), sigma_k))
         .collect();
     let mut measured = vec![false; n];
+    let mut fallbacks = 0_u64;
 
     // Measured paths keep their tested bounds.
     for (&p, &b) in tested {
@@ -71,7 +110,12 @@ pub fn predict_ranges(
         // §3.4: "we use the upper bounds of d_t so that the estimated
         // delays are conservative").
         let values: Vec<f64> = observed.iter().map(|p| tested[p].upper).collect();
-        let cond = gauss.condition(&obs_pos, &values).expect("group covariance is PSD");
+        // A block that cannot be factorized even after regularization is
+        // a *prediction fallback*: keep the priors, count it, never panic.
+        let Ok(cond) = gauss.condition(&obs_pos, &values) else {
+            fallbacks += 1;
+            continue;
+        };
         let remaining = gauss.remaining_indices(&obs_pos);
         for (cpos, &mpos) in remaining.iter().enumerate() {
             let p = group.members[mpos];
@@ -81,7 +125,221 @@ pub fn predict_ranges(
         }
     }
 
-    PredictedRanges { ranges, measured }
+    PredictedRanges { ranges, measured, fallbacks }
+}
+
+/// One correlation group's precomputed conditioning: which members are
+/// observed, which receive predictions, and the factored gain.
+#[derive(Debug, Clone)]
+struct GroupPredictor {
+    /// Observed member path indices, in member order (the order the
+    /// observation vector is gathered in).
+    observed: Vec<usize>,
+    /// Unobserved member path indices, in member order (the order the
+    /// conditional means/sigmas come out in).
+    predicted: Vec<usize>,
+    /// The value-independent conditioning, factored once at plan time.
+    conditioner: GaussianConditioner,
+}
+
+/// The plan-level statistical prediction engine (paper eqs. 4–5 with the
+/// chip-independent work hoisted out of the per-chip loop).
+///
+/// Built once per `(model, groups, tested set)` by [`Predictor::new`] —
+/// [`EffiTestFlow::plan`](crate::EffiTestFlow::plan) stores one on the
+/// [`FlowPlan`](crate::FlowPlan) — it factors each group's observed
+/// covariance block and precomputes the conditional sigmas. Per chip,
+/// [`predict_with`](Self::predict_with) then applies the factored gain to
+/// the measured upper bounds: one triangular solve pair plus one matvec
+/// per group, no factorization, no allocation beyond the returned ranges.
+///
+/// Results are **bitwise identical** to [`predict_ranges`] called with the
+/// same tested set: both run the same arithmetic on the same factor (see
+/// `effitest_linalg::GaussianConditioner`), which is what lets the
+/// population engine keep its thread-count-determinism guarantee on top
+/// of this engine.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    /// Total paths in the model.
+    n_paths: usize,
+    /// Planned tested paths, sorted (the contract for `tested` maps: their
+    /// key set must be exactly this).
+    planned: Vec<usize>,
+    /// Predicted half-width in sigmas (paper: 3).
+    sigma_k: f64,
+    /// Prior `mu +- k sigma` range per path.
+    priors: Vec<DelayBounds>,
+    /// Groups that actually condition (some observed, some not).
+    groups: Vec<GroupPredictor>,
+    /// Groups downgraded to the prior at plan time (degenerate observed
+    /// covariance block).
+    fallbacks: u64,
+}
+
+impl Predictor {
+    /// Builds the engine for a fixed tested-path set: factors every
+    /// group's observed block and precomputes prior ranges and conditional
+    /// sigmas.
+    ///
+    /// `tested` lists the path indices that will carry measured bounds on
+    /// every chip (the plan's selected + slot-filled paths); `sigma_k`
+    /// scales the predicted half-width (paper: 3).
+    ///
+    /// Groups whose observed block cannot be factorized are downgraded to
+    /// the prior and counted ([`fallback_count`](Self::fallback_count));
+    /// this constructor never panics on degenerate covariance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tested` or a group references an out-of-range path
+    /// (cannot happen for plan-built inputs).
+    pub fn new(model: &TimingModel, groups: &[PathGroup], tested: &[usize], sigma_k: f64) -> Self {
+        let n = model.path_count();
+        let mut is_tested = vec![false; n];
+        for &p in tested {
+            is_tested[p] = true;
+        }
+        let priors: Vec<DelayBounds> = (0..n)
+            .map(|p| DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), sigma_k))
+            .collect();
+
+        let mut group_predictors = Vec::new();
+        let mut fallbacks = 0_u64;
+        for group in groups {
+            let observed: Vec<usize> =
+                group.members.iter().copied().filter(|&p| is_tested[p]).collect();
+            if observed.is_empty() || observed.len() == group.members.len() {
+                continue;
+            }
+            let gauss = model.gaussian(&group.members);
+            let obs_pos: Vec<usize> = group
+                .members
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| is_tested[p])
+                .map(|(pos, _)| pos)
+                .collect();
+            // A block that cannot be factorized even after regularization
+            // is a *prediction fallback*: the group keeps its priors,
+            // counted, never a panic.
+            match gauss.conditioner(&obs_pos) {
+                Ok(conditioner) => {
+                    let predicted: Vec<usize> = conditioner
+                        .remaining_indices()
+                        .iter()
+                        .map(|&pos| group.members[pos])
+                        .collect();
+                    group_predictors.push(GroupPredictor { observed, predicted, conditioner });
+                }
+                Err(_) => fallbacks += 1,
+            }
+        }
+        Predictor {
+            n_paths: n,
+            planned: (0..n).filter(|&p| is_tested[p]).collect(),
+            sigma_k,
+            priors,
+            groups: group_predictors,
+            fallbacks,
+        }
+    }
+
+    /// Paths in the underlying model.
+    pub fn path_count(&self) -> usize {
+        self.n_paths
+    }
+
+    /// Planned tested paths (the required key count of `tested` maps).
+    pub fn tested_count(&self) -> usize {
+        self.planned.len()
+    }
+
+    /// Groups downgraded to the prior at plan time because their observed
+    /// covariance block could not be factorized.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Predicts all ranges from one chip's measured bounds, reusing a
+    /// per-worker workspace; bitwise identical to [`predict_ranges`] on
+    /// the same inputs, with no allocation beyond the returned ranges.
+    ///
+    /// `tested` must carry exactly the planned tested set (the flow passes
+    /// the aligned-test bounds, whose key set is the plan's batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tested` lacks a planned tested path.
+    pub fn predict_with(
+        &self,
+        ws: &mut PredictWorkspace,
+        tested: &HashMap<usize, DelayBounds>,
+    ) -> PredictedRanges {
+        debug_assert_eq!(tested.len(), self.planned.len(), "tested map diverged from the plan");
+        debug_assert!(
+            self.planned.iter().all(|p| tested.contains_key(p)),
+            "tested map's key set diverged from the planned tested paths"
+        );
+        let mut ranges = self.priors.clone();
+        let mut measured = vec![false; self.n_paths];
+
+        // Measured paths keep their tested bounds.
+        for (&p, &b) in tested {
+            ranges[p] = b;
+            measured[p] = true;
+        }
+
+        for group in &self.groups {
+            // Conservative observations: the measured upper bounds, in the
+            // same member order the conditioner was factored for.
+            ws.values.clear();
+            ws.values.extend(group.observed.iter().map(|p| tested[p].upper));
+            group
+                .conditioner
+                .condition_mean_into(&ws.values, &mut ws.solve, &mut ws.mean)
+                .expect("observation count is fixed by the plan");
+            for ((&p, &mu), &sigma) in
+                group.predicted.iter().zip(&ws.mean).zip(group.conditioner.conditional_sigmas())
+            {
+                ranges[p] = DelayBounds::new(mu - self.sigma_k * sigma, mu + self.sigma_k * sigma);
+            }
+        }
+
+        PredictedRanges { ranges, measured, fallbacks: self.fallbacks }
+    }
+
+    /// [`predict_with`](Self::predict_with) with a throwaway workspace.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`predict_with`](Self::predict_with).
+    pub fn predict(&self, tested: &HashMap<usize, DelayBounds>) -> PredictedRanges {
+        self.predict_with(&mut PredictWorkspace::new(), tested)
+    }
+}
+
+/// Reusable per-worker scratch for [`Predictor::predict_with`]: the
+/// observation gather, the triangular-solve buffer, and the conditional
+/// means.
+///
+/// Like every workspace in this crate it holds **scratch, never results**:
+/// predictions are bitwise identical whether a workspace is fresh, reused,
+/// or shared serially across any number of chips.
+#[derive(Debug, Default)]
+pub struct PredictWorkspace {
+    /// Gathered observed upper bounds (one group at a time).
+    values: Vec<f64>,
+    /// Innovation/solve buffer threaded through the factored gain.
+    solve: Vec<f64>,
+    /// Conditional means of the group's unobserved members.
+    mean: Vec<f64>,
+}
+
+impl PredictWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +347,7 @@ mod tests {
     use super::*;
     use crate::select::{select_paths, SelectConfig};
     use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+    use effitest_linalg::{Matrix, MultivariateGaussian};
     use effitest_ssta::VariationConfig;
 
     fn fixture() -> (GeneratedBenchmark, TimingModel, Vec<PathGroup>) {
@@ -101,12 +360,10 @@ mod tests {
 
     /// Measured bounds: a tight window around the chip's true delay.
     fn measure(
-        model: &TimingModel,
         chip: &effitest_ssta::ChipInstance,
         paths: &[usize],
         eps: f64,
     ) -> HashMap<usize, DelayBounds> {
-        let _ = model;
         paths
             .iter()
             .map(|&p| {
@@ -116,12 +373,16 @@ mod tests {
             .collect()
     }
 
+    fn range_bits(r: &PredictedRanges) -> Vec<(u64, u64)> {
+        r.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect()
+    }
+
     #[test]
     fn prediction_tightens_ranges() {
         let (_, model, groups) = fixture();
         let chip = model.sample_chip(5);
         let selected = crate::select::all_selected(&groups);
-        let tested = measure(&model, &chip, &selected, 0.5);
+        let tested = measure(&chip, &selected, 0.5);
         let predicted = predict_ranges(&model, &groups, &tested, 3.0);
 
         // For paths in groups with measured peers, the predicted width must
@@ -158,7 +419,7 @@ mod tests {
         for seed in 0..10 {
             let chip = model.sample_chip(700 + seed);
             let selected = crate::select::all_selected(&groups);
-            let tested = measure(&model, &chip, &selected, 0.5);
+            let tested = measure(&chip, &selected, 0.5);
             let predicted = predict_ranges(&model, &groups, &tested, 3.0);
             for p in 0..model.path_count() {
                 if tested.contains_key(&p) {
@@ -182,7 +443,7 @@ mod tests {
         let (_, model, groups) = fixture();
         let chip = model.sample_chip(9);
         let selected = crate::select::all_selected(&groups);
-        let tested = measure(&model, &chip, &selected, 0.25);
+        let tested = measure(&chip, &selected, 0.25);
         let predicted = predict_ranges(&model, &groups, &tested, 3.0);
         for (&p, &b) in &tested {
             assert_eq!(predicted.ranges[p], b);
@@ -200,7 +461,7 @@ mod tests {
         let chip = model.sample_chip(13);
         let selected = crate::select::all_selected(&groups);
         let eps = 2.0;
-        let tested = measure(&model, &chip, &selected, eps);
+        let tested = measure(&chip, &selected, eps);
         let predicted_hi = predict_ranges(&model, &groups, &tested, 3.0);
         // Centers-based variant for comparison.
         let tested_center: HashMap<usize, DelayBounds> = tested
@@ -240,6 +501,93 @@ mod tests {
             let prior = DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), 3.0);
             assert_eq!(predicted.ranges[p], prior);
             assert!(!predicted.measured[p]);
+        }
+        assert_eq!(predicted.fallbacks, 0);
+    }
+
+    #[test]
+    fn predictor_matches_reference_bitwise() {
+        // The precomputed engine must agree with the from-scratch
+        // reference path bit for bit, chip after chip.
+        let (_, model, groups) = fixture();
+        let selected = crate::select::all_selected(&groups);
+        let predictor = Predictor::new(&model, &groups, &selected, 3.0);
+        assert_eq!(predictor.path_count(), model.path_count());
+        assert_eq!(predictor.tested_count(), selected.len());
+        assert_eq!(predictor.fallback_count(), 0);
+        let mut ws = PredictWorkspace::new();
+        for seed in 0..8 {
+            let chip = model.sample_chip(2_000 + seed);
+            let tested = measure(&chip, &selected, 0.5);
+            let engine = predictor.predict_with(&mut ws, &tested);
+            let reference = predict_ranges(&model, &groups, &tested, 3.0);
+            assert_eq!(range_bits(&engine), range_bits(&reference), "chip {seed} drifted");
+            assert_eq!(engine.measured, reference.measured);
+            assert_eq!(engine.fallbacks, reference.fallbacks);
+        }
+    }
+
+    #[test]
+    fn predictor_workspace_reuse_is_invisible() {
+        let (_, model, groups) = fixture();
+        let selected = crate::select::all_selected(&groups);
+        let predictor = Predictor::new(&model, &groups, &selected, 3.0);
+        let mut ws = PredictWorkspace::new();
+        for seed in 0..5 {
+            let chip = model.sample_chip(3_000 + seed);
+            let tested = measure(&chip, &selected, 0.5);
+            let reused = predictor.predict_with(&mut ws, &tested);
+            let fresh = predictor.predict(&tested);
+            assert_eq!(range_bits(&reused), range_bits(&fresh), "workspace leaked state");
+        }
+    }
+
+    #[test]
+    fn degenerate_observed_block_downgrades_instead_of_panicking() {
+        // An indefinite "covariance" passes the symmetry check but cannot
+        // be factorized even with regularization: both the per-chip
+        // reference helper and the plan-time conditioner must report the
+        // downgrade instead of panicking.
+        let cov =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[2.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let gauss = MultivariateGaussian::new(vec![10.0, 11.0, 12.0], cov).unwrap();
+        assert!(gauss.condition(&[0, 1], &[10.5, 11.5]).is_err());
+        assert!(gauss.conditioner(&[0, 1]).is_err());
+        // A healthy block takes the conditioned path.
+        let ok =
+            Matrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.5, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let gauss = MultivariateGaussian::new(vec![0.0; 3], ok).unwrap();
+        assert!(gauss.condition(&[0], &[0.5]).is_ok());
+        assert!(gauss.conditioner(&[0]).is_ok());
+    }
+
+    #[test]
+    fn fallback_groups_keep_priors_and_are_counted() {
+        // A predictor whose only conditioning group was downgraded at plan
+        // time: predictions must be exactly the priors (plus measured
+        // bounds) and the fallback count must surface in the output.
+        let (_, model, groups) = fixture();
+        let selected = crate::select::all_selected(&groups);
+        let reference = Predictor::new(&model, &groups, &selected, 3.0);
+        let downgraded = Predictor {
+            n_paths: reference.n_paths,
+            planned: reference.planned.clone(),
+            sigma_k: reference.sigma_k,
+            priors: reference.priors.clone(),
+            groups: Vec::new(),
+            fallbacks: reference.groups.len() as u64,
+        };
+        let chip = model.sample_chip(77);
+        let tested = measure(&chip, &selected, 0.5);
+        let out = downgraded.predict(&tested);
+        assert_eq!(out.fallbacks, reference.groups.len() as u64);
+        assert!(out.fallbacks > 0, "fixture must have at least one conditioning group");
+        for p in 0..model.path_count() {
+            if let Some(b) = tested.get(&p) {
+                assert_eq!(out.ranges[p], *b);
+            } else {
+                assert_eq!(out.ranges[p], downgraded.priors[p], "path {p} left the prior");
+            }
         }
     }
 }

@@ -211,6 +211,10 @@ pub struct ScenarioReport {
     /// Total contradictory observations over the population (chips
     /// outside their assumed `mu ± 3 sigma` windows).
     pub contradictions: u64,
+    /// Correlation groups whose observed covariance block could not be
+    /// factorized, downgraded to prior ranges at plan time (a plan
+    /// property: the same groups fall back on every chip of the cell).
+    pub prediction_fallbacks: u64,
     /// Mean `|predicted center - true delay| / sigma` over all
     /// *unmeasured* paths and chips (0 when every path is measured).
     pub prediction_mean_abs_err_sigma: f64,
@@ -304,6 +308,7 @@ pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
         mean_iterations,
         iterations_per_tested_path: mean_iterations / plan.tested_path_count().max(1) as f64,
         contradictions: per_chip.iter().map(|m| m.contradictions).sum(),
+        prediction_fallbacks: plan.predictor.fallback_count(),
         prediction_mean_abs_err_sigma: if err_count == 0 {
             0.0
         } else {
@@ -380,6 +385,7 @@ pub fn report_to_json(r: &ScenarioReport) -> String {
             "\"yield\": {y}, \"ideal_yield\": {yi}, \"untuned_yield\": {yu}, ",
             "\"mean_iterations\": {ta}, \"iterations_per_tested_path\": {tv}, ",
             "\"contradictions\": {contra}, ",
+            "\"prediction_fallbacks\": {fallbacks}, ",
             "\"prediction_mean_abs_err_sigma\": {pe}, ",
             "\"prediction_max_abs_err_sigma\": {pm}, ",
             "\"prediction_coverage\": {pc}}}"
@@ -403,6 +409,7 @@ pub fn report_to_json(r: &ScenarioReport) -> String {
         ta = json_f64(r.mean_iterations),
         tv = json_f64(r.iterations_per_tested_path),
         contra = r.contradictions,
+        fallbacks = r.prediction_fallbacks,
         pe = json_f64(r.prediction_mean_abs_err_sigma),
         pm = json_f64(r.prediction_max_abs_err_sigma),
         pc = json_f64(r.prediction_coverage),
@@ -500,6 +507,8 @@ mod tests {
         assert!(r.mean_iterations > 0.0);
         assert!(r.prediction_mean_abs_err_sigma >= 0.0);
         assert!(r.prediction_max_abs_err_sigma >= r.prediction_mean_abs_err_sigma);
+        // Model-built covariances are PSD: real cells never downgrade.
+        assert_eq!(r.prediction_fallbacks, 0, "unexpected prediction fallback");
     }
 
     #[test]
@@ -534,6 +543,7 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"effitest_scenario_matrix\""));
         assert!(json.contains("\"cells\": ["));
+        assert!(json.contains("\"prediction_fallbacks\": 0"));
         // One object per cell.
         assert_eq!(json.matches("\"topology\"").count(), reports.len());
     }

@@ -143,16 +143,29 @@ impl CholeskyDecomposition {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
     pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut y = b.to_vec();
+        self.solve_vec_in_place(&mut y)?;
+        Ok(y)
+    }
+
+    /// Solves `A x = b` in place: `b` is overwritten with the solution.
+    ///
+    /// This is the allocation-free form of [`solve_vec`](Self::solve_vec)
+    /// (bitwise the same result) for hot loops that own a reusable buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_vec_in_place(&self, y: &mut [f64]) -> Result<()> {
         let n = self.dim();
-        if b.len() != n {
+        if y.len() != n {
             return Err(LinalgError::ShapeMismatch {
                 op: "cholesky_solve",
                 lhs: (n, n),
-                rhs: (b.len(), 1),
+                rhs: (y.len(), 1),
             });
         }
         // Forward substitution: L y = b.
-        let mut y = b.to_vec();
         for i in 0..n {
             let mut sum = y[i];
             for (j, &yj) in y.iter().enumerate().take(i) {
@@ -168,7 +181,7 @@ impl CholeskyDecomposition {
             }
             y[i] = sum / self.l[(i, i)];
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Solves `A X = B` column by column.

@@ -132,37 +132,89 @@ impl MultivariateGaussian {
         if observed_idx.is_empty() {
             return self.marginal(&remaining);
         }
+        let conditioner = self.conditioner_for(observed_idx, remaining)?;
+        let mut mean = Vec::with_capacity(conditioner.remaining.len());
+        let mut scratch = Vec::with_capacity(observed_idx.len());
+        conditioner.condition_mean_into(observed_values, &mut scratch, &mut mean)?;
+        Ok(MultivariateGaussian { mean, covariance: conditioner.cond_cov })
+    }
 
-        // Partition: k = remaining (unknown), t = observed (tested).
-        let sigma_t = self.covariance.submatrix(observed_idx, observed_idx)?;
-        let sigma_kt = self.covariance.submatrix(&remaining, observed_idx)?;
-        let chol = CholeskyDecomposition::new_regularized(&sigma_t)?;
-
-        // innovation = d_t - mu_t
-        let innovation: Vec<f64> =
-            observed_idx.iter().zip(observed_values).map(|(&i, &v)| v - self.mean[i]).collect();
-
-        // w = Sigma_t^{-1} (d_t - mu_t); mu' = mu_k + Sigma_kt w.
-        let w = chol.solve_vec(&innovation)?;
-        let shift = sigma_kt.matvec(&w)?;
-        let mean: Vec<f64> =
-            remaining.iter().zip(&shift).map(|(&i, &s)| self.mean[i] + s).collect();
-
-        // Sigma' = Sigma_k - Sigma_kt Sigma_t^{-1} Sigma_tk.
-        let sigma_k = self.covariance.submatrix(&remaining, &remaining)?;
-        let sigma_tk = sigma_kt.transpose();
-        let solved = chol.solve_matrix(&sigma_tk)?; // Sigma_t^{-1} Sigma_tk
-        let reduction = sigma_kt.matmul(&solved)?;
-        let mut covariance = sigma_k.sub_matrix(&reduction)?;
-        covariance.symmetrize()?;
-        // Round-off can push tiny diagonal entries negative; clamp them so
-        // downstream sqrt() calls stay well-defined.
-        for i in 0..covariance.rows() {
-            if covariance[(i, i)] < 0.0 {
-                covariance[(i, i)] = 0.0;
+    /// Precomputes the chip-independent half of [`condition`](Self::condition)
+    /// for a **fixed observed-index set**: the factored observed-block
+    /// covariance (the conditioning gain `K = Sigma_uo Sigma_oo^-1` in
+    /// factored form) and the conditional covariance, which does not depend
+    /// on the observed *values* at all.
+    ///
+    /// Conditioning the same Gaussian on the same indices but different
+    /// values — the paper's per-chip prediction, where the tested-path set
+    /// is identical across the whole chip population — then reduces to
+    /// [`GaussianConditioner::condition_mean_into`]: one triangular solve
+    /// pair plus one matvec, with no factorization and no allocation. The
+    /// results are **bitwise identical** to calling `condition` from
+    /// scratch, because both paths run the same arithmetic on the same
+    /// factor.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `observed_idx` is empty (there is
+    ///   nothing to precompute; use [`marginal`](Self::marginal)).
+    /// * [`LinalgError::IndexOutOfBounds`] for invalid indices.
+    /// * Factorization errors if the observed covariance block is not
+    ///   positive (semi-)definite even after regularization — the caller's
+    ///   cue to fall back to the prior.
+    pub fn conditioner(&self, observed_idx: &[usize]) -> Result<GaussianConditioner> {
+        if observed_idx.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        for &i in observed_idx {
+            if i >= self.dim() {
+                return Err(LinalgError::IndexOutOfBounds { index: i, bound: self.dim() });
             }
         }
-        Ok(MultivariateGaussian { mean, covariance })
+        let remaining = self.remaining_indices(observed_idx);
+        self.conditioner_for(observed_idx, remaining)
+    }
+
+    /// Shared construction behind [`condition`](Self::condition) and
+    /// [`conditioner`](Self::conditioner): both run exactly this arithmetic,
+    /// which is what makes precomputed and from-scratch conditioning
+    /// bitwise identical.
+    fn conditioner_for(
+        &self,
+        observed_idx: &[usize],
+        remaining: Vec<usize>,
+    ) -> Result<GaussianConditioner> {
+        // Partition: u/k = remaining (unknown), o/t = observed (tested).
+        let sigma_t = self.covariance.submatrix(observed_idx, observed_idx)?;
+        let cross = self.covariance.submatrix(&remaining, observed_idx)?;
+        let chol = CholeskyDecomposition::new_regularized(&sigma_t)?;
+
+        // Sigma' = Sigma_u - Sigma_uo Sigma_o^{-1} Sigma_ou. Independent of
+        // the observed values, so it is computed exactly once.
+        let sigma_k = self.covariance.submatrix(&remaining, &remaining)?;
+        let sigma_tk = cross.transpose();
+        let solved = chol.solve_matrix(&sigma_tk)?; // Sigma_o^{-1} Sigma_ou
+        let reduction = cross.matmul(&solved)?;
+        let mut cond_cov = sigma_k.sub_matrix(&reduction)?;
+        cond_cov.symmetrize()?;
+        // Round-off can push tiny diagonal entries negative; clamp them so
+        // downstream sqrt() calls stay well-defined.
+        for i in 0..cond_cov.rows() {
+            if cond_cov[(i, i)] < 0.0 {
+                cond_cov[(i, i)] = 0.0;
+            }
+        }
+        let cond_sigmas = (0..cond_cov.rows()).map(|i| cond_cov[(i, i)].max(0.0).sqrt()).collect();
+        Ok(GaussianConditioner {
+            observed: observed_idx.to_vec(),
+            mean_obs: observed_idx.iter().map(|&i| self.mean[i]).collect(),
+            mean_rem: remaining.iter().map(|&i| self.mean[i]).collect(),
+            remaining,
+            chol,
+            cross,
+            cond_cov,
+            cond_sigmas,
+        })
     }
 
     /// Indices not present in `observed_idx`, ascending: the variable order
@@ -215,6 +267,137 @@ impl MultivariateGaussian {
         let mu = cond.mean()[0];
         let var = cond.covariance()[(0, 0)].max(0.0);
         Ok((mu, var.sqrt()))
+    }
+}
+
+/// The reusable, value-independent half of a Gaussian conditioning: built
+/// once per (distribution, observed-index set) by
+/// [`MultivariateGaussian::conditioner`], applied per observation vector by
+/// [`condition_mean_into`](Self::condition_mean_into).
+///
+/// Holds the Cholesky factor of the observed block `Sigma_oo` (the
+/// conditioning gain `K = Sigma_uo Sigma_oo^-1` in factored form — applying
+/// the factor instead of a dense precomputed `K` keeps the results bitwise
+/// identical to [`MultivariateGaussian::condition`]), the cross-covariance
+/// `Sigma_uo`, and the precomputed conditional covariance/sigmas, which do
+/// not depend on the observed values (paper eq. 5).
+///
+/// # Example
+///
+/// ```
+/// use effitest_linalg::{Matrix, MultivariateGaussian};
+///
+/// # fn main() -> Result<(), effitest_linalg::LinalgError> {
+/// let cov = Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]])?;
+/// let g = MultivariateGaussian::new(vec![10.0, 20.0], cov)?;
+/// let conditioner = g.conditioner(&[1])?;
+/// // Same numbers as g.condition(&[1], &[21.0]), without refactorizing:
+/// let mean = conditioner.condition_mean(&[21.0])?;
+/// assert_eq!(mean, g.condition(&[1], &[21.0])?.mean());
+/// assert!((conditioner.conditional_sigmas()[0] - 0.6).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianConditioner {
+    /// Observed variable indices, in the order observation vectors use.
+    observed: Vec<usize>,
+    /// Unobserved variable indices, ascending.
+    remaining: Vec<usize>,
+    /// Prior means of the observed variables.
+    mean_obs: Vec<f64>,
+    /// Prior means of the unobserved variables.
+    mean_rem: Vec<f64>,
+    /// Factored observed-block covariance `Sigma_oo` (regularized).
+    chol: CholeskyDecomposition,
+    /// Cross covariance `Sigma_uo` (remaining x observed).
+    cross: Matrix,
+    /// Conditional covariance `Sigma_uu - Sigma_uo Sigma_oo^-1 Sigma_ou`.
+    cond_cov: Matrix,
+    /// Square roots of the conditional covariance diagonal (clamped at 0).
+    cond_sigmas: Vec<f64>,
+}
+
+impl GaussianConditioner {
+    /// Observed variable indices, in observation-vector order.
+    pub fn observed_indices(&self) -> &[usize] {
+        &self.observed
+    }
+
+    /// Unobserved variable indices (ascending): the variable order of
+    /// conditional means and sigmas.
+    pub fn remaining_indices(&self) -> &[usize] {
+        &self.remaining
+    }
+
+    /// Conditional standard deviations of the unobserved variables (paper
+    /// eq. 5) — value-independent, so precomputed once.
+    pub fn conditional_sigmas(&self) -> &[f64] {
+        &self.cond_sigmas
+    }
+
+    /// The full conditional covariance matrix.
+    pub fn conditional_covariance(&self) -> &Matrix {
+        &self.cond_cov
+    }
+
+    /// Diagonal jitter the observed-block factorization needed (0 for a
+    /// well-conditioned block; positive for rank-deficient ones).
+    pub fn jitter(&self) -> f64 {
+        self.chol.jitter()
+    }
+
+    /// Conditional means of the unobserved variables given
+    /// `observed_values` (paper eq. 4):
+    /// `mu'_u = mu_u + Sigma_uo Sigma_oo^-1 (d_o - mu_o)`.
+    ///
+    /// `solve_scratch` carries the innovation through the triangular
+    /// solves and `mean_out` receives the means; both are cleared and
+    /// refilled, so a caller looping over many observation vectors
+    /// allocates nothing after the first call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `observed_values` does not
+    /// match the observed-index count.
+    pub fn condition_mean_into(
+        &self,
+        observed_values: &[f64],
+        solve_scratch: &mut Vec<f64>,
+        mean_out: &mut Vec<f64>,
+    ) -> Result<()> {
+        if observed_values.len() != self.observed.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gaussian_condition",
+                lhs: (self.observed.len(), 1),
+                rhs: (observed_values.len(), 1),
+            });
+        }
+        // innovation = d_o - mu_o
+        solve_scratch.clear();
+        solve_scratch.extend(observed_values.iter().zip(&self.mean_obs).map(|(&v, &m)| v - m));
+        // w = Sigma_oo^{-1} (d_o - mu_o); mu' = mu_u + Sigma_uo w.
+        self.chol.solve_vec_in_place(solve_scratch)?;
+        self.cross.matvec_into(solve_scratch, mean_out)?;
+        // IEEE addition commutes, so `shift + mu` is bitwise the same as
+        // `condition`'s `mu + shift`.
+        for (shift, &mu) in mean_out.iter_mut().zip(&self.mean_rem) {
+            *shift += mu;
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience form of
+    /// [`condition_mean_into`](Self::condition_mean_into).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`condition_mean_into`](Self::condition_mean_into).
+    pub fn condition_mean(&self, observed_values: &[f64]) -> Result<Vec<f64>> {
+        let mut scratch = Vec::with_capacity(self.observed.len());
+        let mut mean = Vec::with_capacity(self.remaining.len());
+        self.condition_mean_into(observed_values, &mut scratch, &mut mean)?;
+        Ok(mean)
     }
 }
 
@@ -320,6 +503,77 @@ mod tests {
         let cond = g.condition(&[1], &[8.0]).unwrap();
         assert!((cond.mean()[0] - 6.0).abs() < 1e-5);
         assert!(cond.covariance()[(0, 0)] < 1e-5);
+    }
+
+    #[test]
+    fn conditioner_matches_condition_bitwise() {
+        let g = three_var();
+        let obs = [1_usize, 2];
+        let conditioner = g.conditioner(&obs).unwrap();
+        assert_eq!(conditioner.observed_indices(), &obs);
+        assert_eq!(conditioner.remaining_indices(), &[0]);
+        for values in [[2.5, 2.0], [1.0, 4.5], [2.0, 3.0]] {
+            let cond = g.condition(&obs, &values).unwrap();
+            let mean = conditioner.condition_mean(&values).unwrap();
+            assert_eq!(mean[0].to_bits(), cond.mean()[0].to_bits());
+            assert_eq!(
+                conditioner.conditional_sigmas()[0].to_bits(),
+                cond.covariance()[(0, 0)].max(0.0).sqrt().to_bits()
+            );
+        }
+        assert_eq!(conditioner.jitter(), 0.0);
+        assert!(
+            (conditioner.conditional_covariance()
+                - g.condition(&obs, &[2.0, 3.0]).unwrap().covariance())
+            .max_abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn condition_mean_into_reuses_buffers() {
+        let g = three_var();
+        let conditioner = g.conditioner(&[0]).unwrap();
+        let mut scratch = Vec::new();
+        let mut mean = Vec::new();
+        conditioner.condition_mean_into(&[3.0], &mut scratch, &mut mean).unwrap();
+        let first = mean.clone();
+        // A second application through the same buffers gives the same
+        // answer (buffers are scratch, never state) ...
+        conditioner.condition_mean_into(&[3.0], &mut scratch, &mut mean).unwrap();
+        assert_eq!(mean, first);
+        // ... and matches the one-shot form.
+        assert_eq!(conditioner.condition_mean(&[3.0]).unwrap(), first);
+    }
+
+    #[test]
+    fn conditioner_rejects_bad_inputs() {
+        let g = three_var();
+        assert!(matches!(g.conditioner(&[]), Err(LinalgError::Empty)));
+        assert!(matches!(g.conditioner(&[7]), Err(LinalgError::IndexOutOfBounds { .. })));
+        let conditioner = g.conditioner(&[1]).unwrap();
+        assert!(matches!(
+            conditioner.condition_mean(&[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn conditioner_surfaces_degenerate_observed_blocks() {
+        // An indefinite "covariance" sneaks past the symmetry check but
+        // cannot be factorized even with regularization: the conditioner
+        // must surface the error instead of panicking, so callers can fall
+        // back to the prior.
+        let cov =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[2.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let g = MultivariateGaussian::new(vec![0.0; 3], cov).unwrap();
+        assert!(g.conditioner(&[0, 1]).is_err());
+        // Rank-deficient but PSD blocks regularize fine.
+        let psd =
+            Matrix::from_rows(&[&[1.0, 1.0, 0.5], &[1.0, 1.0, 0.5], &[0.5, 0.5, 1.0]]).unwrap();
+        let g = MultivariateGaussian::new(vec![0.0; 3], psd).unwrap();
+        let conditioner = g.conditioner(&[0, 1]).unwrap();
+        assert!(conditioner.jitter() > 0.0);
     }
 
     #[test]

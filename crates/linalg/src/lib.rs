@@ -13,6 +13,10 @@
 //!   (paper §3.1, used to pick representative paths per correlation group).
 //! * [`MultivariateGaussian`] — joint Gaussians with exact conditional
 //!   distributions (paper eqs. 4–5).
+//! * [`GaussianConditioner`] — the reusable, value-independent half of a
+//!   conditioning (factored gain + conditional sigmas), precomputed once
+//!   per observed-index set and applied per observation vector without
+//!   refactorizing or allocating.
 //!
 //! Everything is hand-rolled on purpose: the reproduction brief requires all
 //! substrates to be built from scratch, and the matrices involved (path
@@ -49,7 +53,7 @@ pub mod stats;
 pub use cholesky::CholeskyDecomposition;
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
-pub use gaussian::MultivariateGaussian;
+pub use gaussian::{GaussianConditioner, MultivariateGaussian};
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use pca::{Pca, PrincipalComponent};

@@ -234,6 +234,19 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v` written into `out` (cleared and
+    /// refilled), so hot loops can reuse one buffer across calls. Produces
+    /// bitwise the same values as [`matvec`](Self::matvec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if v.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matvec",
@@ -241,9 +254,11 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>())
-            .collect())
+        out.clear();
+        out.extend(
+            (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>()),
+        );
+        Ok(())
     }
 
     /// Vector-matrix product `v^T * self`, returned as a plain vector.

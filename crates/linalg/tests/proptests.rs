@@ -112,6 +112,93 @@ proptest! {
     }
 
     #[test]
+    fn conditioner_matches_brute_force_dense_conditional(
+        a in spd_matrix(8),
+        values in proptest::collection::vec(-3.0_f64..3.0, 1..8),
+        seed in 0_u64..1000,
+    ) {
+        // The precomputed conditioner must agree with the textbook dense
+        // conditional computed from an explicit LU inverse of Sigma_oo:
+        //   mu'  = mu_u + Sigma_uo Sigma_oo^-1 (d - mu_o)
+        //   Sig' = Sigma_uu - Sigma_uo Sigma_oo^-1 Sigma_ou
+        let n = a.rows();
+        prop_assume!(n >= 2);
+        let mean: Vec<f64> = (0..n).map(|i| ((seed as f64) * 0.71 + i as f64).cos()).collect();
+        let g = MultivariateGaussian::new(mean.clone(), a.clone()).expect("valid");
+        let n_obs = values.len().min(n - 1);
+        let observed: Vec<usize> = (0..n_obs).collect();
+        let remaining: Vec<usize> = (n_obs..n).collect();
+        let conditioner = g.conditioner(&observed).expect("SPD observed block");
+        prop_assert_eq!(conditioner.remaining_indices(), remaining.as_slice());
+
+        let sigma_oo = a.submatrix(&observed, &observed).unwrap();
+        let sigma_uo = a.submatrix(&remaining, &observed).unwrap();
+        let inv = LuDecomposition::new(&sigma_oo).expect("SPD is nonsingular").inverse().unwrap();
+        let innovation: Vec<f64> =
+            observed.iter().zip(&values).map(|(&i, &v)| v - mean[i]).collect();
+        let gain = sigma_uo.matmul(&inv).unwrap();
+        let shift = gain.matvec(&innovation).unwrap();
+        let brute_cov = a
+            .submatrix(&remaining, &remaining)
+            .unwrap()
+            .sub_matrix(&gain.matmul(&sigma_uo.transpose()).unwrap())
+            .unwrap();
+
+        let cond_mean = conditioner.condition_mean(&values[..n_obs]).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for (pos, &orig) in remaining.iter().enumerate() {
+            prop_assert!((cond_mean[pos] - (mean[orig] + shift[pos])).abs() < 1e-9 * scale);
+            let brute_sigma = brute_cov[(pos, pos)].max(0.0).sqrt();
+            prop_assert!((conditioner.conditional_sigmas()[pos] - brute_sigma).abs() < 1e-9 * scale);
+        }
+        prop_assert!(
+            (conditioner.conditional_covariance() - &brute_cov).max_abs() < 1e-9 * scale
+        );
+        // Exact-arithmetic regime: no regularization was needed.
+        prop_assert_eq!(conditioner.jitter(), 0.0);
+    }
+
+    #[test]
+    fn conditioner_degrades_gracefully_on_rank_deficient_observed_blocks(
+        a in spd_matrix(6),
+        values in proptest::collection::vec(-2.0_f64..2.0, 2..6),
+    ) {
+        // Duplicate variable 1 as a clone of variable 0: the observed block
+        // {0, 1} becomes exactly rank-deficient. The conditioner must take
+        // the regularized path (positive jitter), stay finite, and remain
+        // bitwise consistent with from-scratch conditioning.
+        let n = a.rows();
+        prop_assume!(n >= 3);
+        let mut dup = a.clone();
+        for j in 0..n {
+            let v = dup[(0, j)];
+            dup[(1, j)] = v;
+            dup[(j, 1)] = v;
+        }
+        dup[(1, 1)] = dup[(0, 0)];
+        let g = MultivariateGaussian::new(vec![0.0; n], dup).expect("still symmetric PSD");
+        let observed = [0_usize, 1];
+        let conditioner = g.conditioner(&observed).expect("regularization must rescue PSD");
+        // Rounding can leave the zero pivot epsilon-positive, so jitter is
+        // not always engaged — but it must never be negative, and the
+        // exactly-singular case (guaranteed jitter) is pinned by the unit
+        // test `conditioner_surfaces_degenerate_observed_blocks`.
+        prop_assert!(conditioner.jitter() >= 0.0);
+        let vals = [values[0], values[1]];
+        let mean = conditioner.condition_mean(&vals).unwrap();
+        let cond = g.condition(&observed, &vals).unwrap();
+        for (pos, (m, c)) in mean.iter().zip(cond.mean()).enumerate() {
+            prop_assert!(m.is_finite());
+            prop_assert_eq!(m.to_bits(), c.to_bits(), "mean drifted at {}", pos);
+        }
+        for (pos, &s) in conditioner.conditional_sigmas().iter().enumerate() {
+            prop_assert!(s.is_finite() && s >= 0.0);
+            let scratch = cond.covariance()[(pos, pos)].max(0.0).sqrt();
+            prop_assert_eq!(s.to_bits(), scratch.to_bits());
+        }
+    }
+
+    #[test]
     fn matmul_is_associative(
         a in nonsingular_matrix(5),
         seed in 0_u64..100,

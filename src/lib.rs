@@ -57,7 +57,9 @@ pub mod prelude {
     pub use effitest_core::experiments::ExperimentConfig;
     pub use effitest_core::population::{run_population, run_population_scratch, PopulationConfig};
     pub use effitest_core::scenarios::{ScenarioAxes, ScenarioReport, ScenarioSpec};
-    pub use effitest_core::{ChipOutcome, EffiTestFlow, FlowConfig, FlowPlan, FlowWorkspace};
+    pub use effitest_core::{
+        ChipOutcome, EffiTestFlow, FlowConfig, FlowPlan, FlowWorkspace, PredictWorkspace, Predictor,
+    };
     pub use effitest_ssta::{ChipInstance, TimingModel, VariationConfig, VariationProfile};
     pub use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
 }

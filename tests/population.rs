@@ -80,11 +80,14 @@ fn plan_is_built_once_and_shared_across_chips_and_threads() {
     // itself guarantees no per-chip rebuild or mutation can happen.
     let plan = flow.plan(&bench, &model).expect("plan");
     let td = model.nominal_period();
+    // `ranges`/`measured` are the plan-level `Predictor`'s output (the
+    // precomputed-gain prediction engine), covered bitwise on purpose.
     let key = |o: &ChipOutcome| {
         (
             o.iterations,
             o.passes,
             o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+            o.measured.clone(),
         )
     };
 
@@ -121,12 +124,17 @@ fn per_thread_workspaces_preserve_bitwise_determinism() {
     let flow = EffiTestFlow::new(FlowConfig::default());
     let plan = flow.plan(&bench, &model).expect("plan");
     let td = model.nominal_period();
+    // The predicted ranges and measured flags come out of the plan-level
+    // `Predictor` through the per-worker `PredictWorkspace`: asserting
+    // them bitwise is what keeps the prediction engine inside the
+    // thread-count-determinism contract.
     let key = |o: &ChipOutcome| {
         (
             o.iterations,
             o.passes,
             o.configured.clone().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
             o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+            o.measured.clone(),
         )
     };
     let run = |threads: usize| -> Vec<_> {
