@@ -98,6 +98,20 @@ impl<'a> ConflictOracle<'a> {
     }
 }
 
+/// Distance between a path's range width and a batch's mean member width,
+/// the slotting criterion of [`build_batches`] and [`fill_slots`].
+///
+/// An empty batch has no members to diverge from, so its distance is 0.0:
+/// it is a first-claim home for any width. The `count == 0` guard also
+/// keeps the `0.0 / 0` NaN out of the `min_by` comparators, where it would
+/// silently sort after every finite distance under `total_cmp`.
+fn mean_width_distance(width_sum: f64, count: usize, width: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    (width_sum / count as f64 - width).abs()
+}
+
 /// Packs the selected paths into batches by greedy first-fit coloring.
 ///
 /// When `widths` is provided (one initial range width per entry of
@@ -152,9 +166,9 @@ pub fn build_batches(
                 let width = w[pos];
                 feasible
                     .min_by(|(a, _), (b, _)| {
-                        let ma = batch_widths[*a].0 / batch_widths[*a].1 as f64;
-                        let mb = batch_widths[*b].0 / batch_widths[*b].1 as f64;
-                        (ma - width).abs().total_cmp(&(mb - width).abs())
+                        let da = mean_width_distance(batch_widths[*a].0, batch_widths[*a].1, width);
+                        let db = mean_width_distance(batch_widths[*b].0, batch_widths[*b].1, width);
+                        da.total_cmp(&db)
                     })
                     .map(|(i, _)| i)
             }
@@ -207,15 +221,13 @@ pub fn fill_slots(
         let slot = batches
             .iter()
             .enumerate()
-            .filter(|(i, batch)| {
-                batch.len() < cap
-                    && batch.iter().all(|&q| !oracle.conflicts(p, q))
-                    && means[*i].1 > 0
+            .filter(|(_, batch)| {
+                batch.len() < cap && batch.iter().all(|&q| !oracle.conflicts(p, q))
             })
             .min_by(|(a, _), (b, _)| {
-                let ma = means[*a].0 / means[*a].1 as f64;
-                let mb = means[*b].0 / means[*b].1 as f64;
-                (ma - width).abs().total_cmp(&(mb - width).abs())
+                let da = mean_width_distance(means[*a].0, means[*a].1, width);
+                let db = mean_width_distance(means[*b].0, means[*b].1, width);
+                da.total_cmp(&db)
             })
             .map(|(i, _)| i);
         if let Some(b) = slot {
@@ -364,6 +376,33 @@ mod tests {
             assert!(!selected.contains(p));
         }
         assert!(!filled.is_empty(), "no slots were filled");
+    }
+
+    #[test]
+    fn empty_batches_receive_fillers() {
+        // Regression: the mean-width comparator divided 0.0 by a zero
+        // member count, and the NaN guard (`count > 0` filter) excluded
+        // empty batches from slot filling entirely, silently wasting their
+        // capacity.
+        let (bench, _) = fixture();
+        let all: Vec<usize> = (0..bench.paths.len()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        let mut batches: Vec<Vec<usize>> = vec![vec![], vec![]];
+        let candidates: Vec<(usize, f64, f64)> = vec![(0, 2.0, 1.0), (1, 1.5, 1.0), (2, 1.0, 1.0)];
+        let filled = fill_slots(&oracle, &mut batches, &candidates, Some(2), &|_| 1.0);
+        assert!(!filled.is_empty(), "empty batches must be eligible fill targets");
+        let placed: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(placed, filled.len());
+        for batch in &batches {
+            for (i, &a) in batch.iter().enumerate() {
+                for &b in &batch[i + 1..] {
+                    assert!(!oracle.conflicts(a, b));
+                }
+            }
+        }
+        // Distances stay finite and well-ordered for empty batches.
+        assert_eq!(mean_width_distance(0.0, 0, 5.0), 0.0);
+        assert_eq!(mean_width_distance(6.0, 2, 5.0), 2.0);
     }
 
     #[test]

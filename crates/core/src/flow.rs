@@ -358,8 +358,10 @@ impl EffiTestFlow {
 
     /// Phase 1 (the aligned test), shared by the engine and reference
     /// entry points so their differential comparison always runs on the
-    /// same measured bounds.
-    fn run_aligned_phase(
+    /// same measured bounds. Also the batched population engine's first
+    /// phase (`crate::population::run_flow_population_batched`), which is
+    /// why it is crate-visible.
+    pub(crate) fn run_aligned_phase(
         &self,
         ws: &mut FlowWorkspace,
         prepared: &FlowPlan<'_>,

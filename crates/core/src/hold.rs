@@ -91,7 +91,7 @@ pub fn compute_hold_bounds(model: &TimingModel, config: &HoldConfig) -> HoldBoun
             samples[pi].push(chip.hold_bound(p).expect("hold form exists"));
         }
     }
-    let discards = (((1.0 - config.yield_target) * m as f64).floor() as usize).min(m - 1);
+    let discards = allowed_discards(config.yield_target, m);
     let kept = greedy_discard(&samples, discards);
 
     let mut lambda = HashMap::new();
@@ -105,6 +105,18 @@ pub fn compute_hold_bounds(model: &TimingModel, config: &HoldConfig) -> HoldBoun
         lambda.insert(p, lam);
     }
     HoldBounds { lambda }
+}
+
+/// Number of samples the yield target permits discarding:
+/// `floor((1 - Y) M)`, clamped so at least one sample is always kept.
+///
+/// `m == 0` must short-circuit before the `m - 1` clamp — the expression
+/// underflows `usize` on an empty sample set.
+fn allowed_discards(yield_target: f64, m: usize) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    (((1.0 - yield_target) * m as f64).floor() as usize).min(m - 1)
 }
 
 /// Greedy sample discard: repeatedly removes the sample whose removal
@@ -296,6 +308,18 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(empty.lambda(0), None);
         assert_eq!(empty.total(), 0.0);
+    }
+
+    #[test]
+    fn allowed_discards_handles_empty_sample_sets() {
+        // Regression: `min(m - 1)` underflowed when m == 0.
+        assert_eq!(allowed_discards(0.99, 0), 0);
+        assert_eq!(allowed_discards(0.0, 0), 0);
+        // Normal cases: floor((1 - Y) M), always keeping one sample.
+        assert_eq!(allowed_discards(0.99, 512), 5);
+        assert_eq!(allowed_discards(1.0, 512), 0);
+        assert_eq!(allowed_discards(0.0, 4), 3);
+        assert_eq!(allowed_discards(0.5, 1), 0);
     }
 
     #[test]

@@ -69,4 +69,7 @@ pub mod scenarios;
 pub mod select;
 
 pub use flow::{ChipOutcome, EffiTestFlow, FlowConfig, FlowError, FlowPlan, FlowWorkspace};
-pub use predict::{PredictWorkspace, PredictedRanges, Predictor};
+pub use predict::{
+    BatchPredictWorkspace, BatchPredictedRanges, ChipMatrix, PredictWorkspace, PredictedRanges,
+    Predictor,
+};

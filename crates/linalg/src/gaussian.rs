@@ -205,6 +205,7 @@ impl MultivariateGaussian {
             }
         }
         let cond_sigmas = (0..cond_cov.rows()).map(|i| cond_cov[(i, i)].max(0.0).sqrt()).collect();
+        let cross_t = cross.transpose();
         Ok(GaussianConditioner {
             observed: observed_idx.to_vec(),
             mean_obs: observed_idx.iter().map(|&i| self.mean[i]).collect(),
@@ -212,6 +213,7 @@ impl MultivariateGaussian {
             remaining,
             chol,
             cross,
+            cross_t,
             cond_cov,
             cond_sigmas,
         })
@@ -312,6 +314,11 @@ pub struct GaussianConditioner {
     chol: CholeskyDecomposition,
     /// Cross covariance `Sigma_uo` (remaining x observed).
     cross: Matrix,
+    /// `Sigma_ou` — the transpose of `cross`, precomputed so the
+    /// chip-major batch form can run its GEMM with both operands streamed
+    /// row-major (see
+    /// [`condition_mean_batch_chipmajor_into`](Self::condition_mean_batch_chipmajor_into)).
+    cross_t: Matrix,
     /// Conditional covariance `Sigma_uu - Sigma_uo Sigma_oo^-1 Sigma_ou`.
     cond_cov: Matrix,
     /// Square roots of the conditional covariance diagonal (clamped at 0).
@@ -383,6 +390,140 @@ impl GaussianConditioner {
         // `condition`'s `mu + shift`.
         for (shift, &mu) in mean_out.iter_mut().zip(&self.mean_rem) {
             *shift += mu;
+        }
+        Ok(())
+    }
+
+    /// Conditional means for a whole batch of observation vectors at once
+    /// (paper eq. 4 applied to every chip of a population in one pass).
+    ///
+    /// `observed_values` holds a row-major `observed x n_chips` matrix —
+    /// row `r` carries observation `r` of every chip — and is consumed as
+    /// scratch (overwritten with the triangular-solve intermediates).
+    /// `mean_out` is cleared and refilled with the row-major
+    /// `remaining x n_chips` conditional means.
+    ///
+    /// Column `c` of the result is **bitwise identical** to
+    /// [`condition_mean_into`](Self::condition_mean_into) on chip `c`'s
+    /// observation vector: the innovation, the multi-column triangular solve
+    /// ([`CholeskyDecomposition::solve_columns_in_place`]), the blocked GEMM
+    /// ([`crate::kernels::gemm_into`]), and the prior-mean add each match
+    /// their per-vector counterpart element for element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `observed_values.len()`
+    /// is not `observed x n_chips`.
+    pub fn condition_mean_batch_into(
+        &self,
+        observed_values: &mut [f64],
+        n_chips: usize,
+        mean_out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let n_obs = self.observed.len();
+        if observed_values.len() != n_obs * n_chips {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gaussian_condition_batch",
+                lhs: (n_obs, n_chips),
+                rhs: (observed_values.len(), 1),
+            });
+        }
+        mean_out.clear();
+        if n_chips == 0 {
+            return Ok(());
+        }
+        // innovation rows = d_o - mu_o, one prior mean per observed row.
+        for (row, &m) in observed_values.chunks_exact_mut(n_chips).zip(&self.mean_obs) {
+            for v in row.iter_mut() {
+                *v -= m;
+            }
+        }
+        // W = Sigma_oo^{-1} (D_o - mu_o); M' = mu_u + Sigma_uo W.
+        self.chol.solve_columns_in_place(observed_values, n_chips)?;
+        let n_rem = self.remaining.len();
+        mean_out.resize(n_rem * n_chips, 0.0);
+        crate::kernels::gemm_into(
+            n_rem,
+            n_obs,
+            n_chips,
+            self.cross.as_slice(),
+            observed_values,
+            mean_out,
+        );
+        for (row, &mu) in mean_out.chunks_exact_mut(n_chips).zip(&self.mean_rem) {
+            for shift in row.iter_mut() {
+                *shift += mu;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`condition_mean_batch_into`](Self::condition_mean_batch_into) with
+    /// a **chip-major** result: `mean_out` receives `n_chips x n_rem`
+    /// row-major, so one chip's conditional means are contiguous.
+    ///
+    /// Runs `M'^T = mu_u^T + W^T Sigma_ou` instead of
+    /// `M' = mu_u + Sigma_uo W`: the solve is shared, the small `W` block
+    /// is transposed through `wt_scratch`, and the GEMM streams both
+    /// operands row-major. Every element is **bitwise identical** to the
+    /// transposed element of the path-major form — the products pair the
+    /// same operands (IEEE multiplication commutes bitwise) and each
+    /// output element accumulates over the same ascending observation
+    /// order from `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`condition_mean_batch_into`](Self::condition_mean_batch_into).
+    pub fn condition_mean_batch_chipmajor_into(
+        &self,
+        observed_values: &mut [f64],
+        n_chips: usize,
+        wt_scratch: &mut Vec<f64>,
+        mean_out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let n_obs = self.observed.len();
+        if observed_values.len() != n_obs * n_chips {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gaussian_condition_batch",
+                lhs: (n_obs, n_chips),
+                rhs: (observed_values.len(), 1),
+            });
+        }
+        mean_out.clear();
+        if n_chips == 0 {
+            return Ok(());
+        }
+        // innovation rows = d_o - mu_o, one prior mean per observed row —
+        // identical to the path-major form.
+        for (row, &m) in observed_values.chunks_exact_mut(n_chips).zip(&self.mean_obs) {
+            for v in row.iter_mut() {
+                *v -= m;
+            }
+        }
+        self.chol.solve_columns_in_place(observed_values, n_chips)?;
+        // W^T (`n_chips x n_obs`): a small transpose so the GEMM below
+        // reads it row-major.
+        wt_scratch.clear();
+        wt_scratch.resize(n_chips * n_obs, 0.0);
+        for o in 0..n_obs {
+            for c in 0..n_chips {
+                wt_scratch[c * n_obs + o] = observed_values[o * n_chips + c];
+            }
+        }
+        let n_rem = self.remaining.len();
+        mean_out.resize(n_chips * n_rem, 0.0);
+        crate::kernels::gemm_into(
+            n_chips,
+            n_obs,
+            n_rem,
+            wt_scratch,
+            self.cross_t.as_slice(),
+            mean_out,
+        );
+        for row in mean_out.chunks_exact_mut(n_rem) {
+            for (shift, &mu) in row.iter_mut().zip(&self.mean_rem) {
+                *shift += mu;
+            }
         }
         Ok(())
     }
@@ -544,6 +685,96 @@ mod tests {
         assert_eq!(mean, first);
         // ... and matches the one-shot form.
         assert_eq!(conditioner.condition_mean(&[3.0]).unwrap(), first);
+    }
+
+    #[test]
+    fn condition_mean_batch_matches_per_vector_bitwise() {
+        let g = three_var();
+        let conditioner = g.conditioner(&[1, 2]).unwrap();
+        let chips: [[f64; 2]; 4] = [[2.5, 2.0], [1.0, 4.5], [2.0, 3.0], [-0.25, 7.5]];
+        let n_chips = chips.len();
+        // Row-major observed x chips layout.
+        let mut batch = vec![0.0; 2 * n_chips];
+        for (c, obs) in chips.iter().enumerate() {
+            for (r, &v) in obs.iter().enumerate() {
+                batch[r * n_chips + c] = v;
+            }
+        }
+        let mut means = Vec::new();
+        conditioner.condition_mean_batch_into(&mut batch, n_chips, &mut means).unwrap();
+        assert_eq!(means.len(), n_chips); // one remaining variable
+        for (c, obs) in chips.iter().enumerate() {
+            let reference = conditioner.condition_mean(obs).unwrap();
+            assert_eq!(
+                means[c].to_bits(),
+                reference[0].to_bits(),
+                "chip {c} diverged from per-vector conditioning"
+            );
+        }
+    }
+
+    #[test]
+    fn condition_mean_batch_chipmajor_is_the_bitwise_transpose() {
+        // A 4-variable Gaussian so the remaining block has 2 variables and
+        // the transpose is non-trivial in both dimensions.
+        let cov = Matrix::from_rows(&[
+            &[2.0, 0.6, 0.3, 0.2],
+            &[0.6, 1.5, 0.4, 0.1],
+            &[0.3, 0.4, 1.2, 0.5],
+            &[0.2, 0.1, 0.5, 1.8],
+        ])
+        .unwrap();
+        let g = MultivariateGaussian::new(vec![1.0, -2.0, 0.5, 3.0], cov).unwrap();
+        let conditioner = g.conditioner(&[0, 3]).unwrap();
+        let chips: [[f64; 2]; 5] = [[1.5, 2.0], [0.25, 4.0], [-1.0, 3.5], [2.0, 2.5], [1.0, 3.0]];
+        let n_chips = chips.len();
+        let mut batch = vec![0.0; 2 * n_chips];
+        for (c, obs) in chips.iter().enumerate() {
+            for (r, &v) in obs.iter().enumerate() {
+                batch[r * n_chips + c] = v;
+            }
+        }
+        let mut path_major = Vec::new();
+        conditioner
+            .condition_mean_batch_into(&mut batch.clone(), n_chips, &mut path_major)
+            .unwrap();
+        let mut wt = Vec::new();
+        let mut chip_major = Vec::new();
+        conditioner
+            .condition_mean_batch_chipmajor_into(&mut batch, n_chips, &mut wt, &mut chip_major)
+            .unwrap();
+        let n_rem = conditioner.remaining_indices().len();
+        assert_eq!(n_rem, 2);
+        assert_eq!(chip_major.len(), n_chips * n_rem);
+        for c in 0..n_chips {
+            for r in 0..n_rem {
+                assert_eq!(
+                    chip_major[c * n_rem + r].to_bits(),
+                    path_major[r * n_chips + c].to_bits(),
+                    "chip {c} remaining {r} diverged between layouts"
+                );
+            }
+            // And both match the per-vector reference bitwise.
+            let reference = conditioner.condition_mean(&chips[c]).unwrap();
+            for (r, &mu) in reference.iter().enumerate() {
+                assert_eq!(chip_major[c * n_rem + r].to_bits(), mu.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn condition_mean_batch_validates_shape_and_handles_empty() {
+        let g = three_var();
+        let conditioner = g.conditioner(&[1]).unwrap();
+        let mut wrong = vec![0.0; 3];
+        let mut means = Vec::new();
+        assert!(matches!(
+            conditioner.condition_mean_batch_into(&mut wrong, 2, &mut means),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let mut empty: Vec<f64> = Vec::new();
+        conditioner.condition_mean_batch_into(&mut empty, 0, &mut means).unwrap();
+        assert!(means.is_empty());
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Cache-blocked batch kernels behind the population-level prediction path.
+//!
+//! The per-chip prediction engine applies each group's factored conditioning
+//! gain with one [`Matrix::matvec_into`](crate::Matrix::matvec_into) per
+//! chip. Batching the whole chip population turns that into a matrix-matrix
+//! product — the same arithmetic, but with the gain row reused across every
+//! chip while it is hot in cache. The kernel here is written so that **each
+//! output column is bitwise identical** to the corresponding matvec:
+//!
+//! * products are accumulated in ascending `k` order, starting from `0.0`,
+//!   exactly like the `sum::<f64>()` fold inside `matvec_into`;
+//! * no zero-skip: `matvec_into` multiplies every element, so the batch
+//!   kernel must too (skipping would change `-0.0`/`NaN` propagation);
+//! * column blocking only changes *which columns* are worked on at a time,
+//!   never the per-element accumulation order, so blocking is free.
+//!
+//! Rust does not contract `a * b + c` into fused multiply-adds on its own,
+//! which keeps the per-element IEEE operation sequence identical between the
+//! vector and batch forms.
+
+/// Number of output columns processed per block: 256 columns x 8 bytes is
+/// one 2 KiB stripe of `b` and `out` per row, small enough that the stripes
+/// of all `k` rows of `b` stay L1/L2-resident while a row of `a` streams
+/// over them.
+const COL_BLOCK: usize = 256;
+
+/// General matrix-matrix product `out = a * b` with `a` of shape `m x k`,
+/// `b` of shape `k x n`, and `out` of shape `m x n`, all row-major.
+///
+/// `out` is fully overwritten. Column `j` of `out` is bitwise identical to
+/// `a.matvec(column j of b)` for every `j` — see the module docs for why.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given shape. (The safe,
+/// shape-checked wrapper is [`Matrix::matmul_into`](crate::Matrix::matmul_into).)
+pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "gemm_into: a is not {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm_into: b is not {k}x{n}");
+    assert_eq!(out.len(), m * n, "gemm_into: out is not {m}x{n}");
+    out.fill(0.0);
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + COL_BLOCK).min(n);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n + jb..i * n + je];
+            for (kk, &aik) in arow.iter().enumerate() {
+                let brow = &b[kk * n + jb..kk * n + je];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        jb = je;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    /// Deterministic pseudo-random fill so the tests cover non-trivial
+    /// values without a random dependency.
+    fn lcg_fill(len: usize, seed: &mut u64) -> Vec<f64> {
+        (0..len)
+            .map(|_| {
+                *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn columns_match_matvec_bitwise() {
+        let mut seed = 42;
+        // Shapes straddling the column block on purpose.
+        for (m, k, n) in [(3, 4, 5), (1, 1, 1), (7, 2, 300), (5, 9, 257)] {
+            let a = lcg_fill(m * k, &mut seed);
+            let b = lcg_fill(k * n, &mut seed);
+            let mut out = vec![f64::NAN; m * n];
+            gemm_into(m, k, n, &a, &b, &mut out);
+            let am = Matrix::from_vec(m, k, a).unwrap();
+            let bm = Matrix::from_vec(k, n, b).unwrap();
+            for j in 0..n {
+                let col: Vec<f64> = (0..k).map(|i| bm.as_slice()[i * n + j]).collect();
+                let reference = am.matvec(&col).unwrap();
+                for i in 0..m {
+                    assert_eq!(
+                        out[i * n + j].to_bits(),
+                        reference[i].to_bits(),
+                        "({m}x{k}x{n}) element ({i},{j}) diverged from matvec"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_are_noops() {
+        let mut out = Vec::new();
+        gemm_into(0, 3, 4, &[], &[0.0; 12], &mut out);
+        gemm_into(2, 3, 0, &[0.0; 6], &[], &mut out);
+        let mut out = vec![f64::NAN; 6];
+        // k == 0: every output element is the empty sum, i.e. exactly 0.0.
+        gemm_into(2, 0, 3, &[], &[], &mut out);
+        assert!(out.iter().all(|v| v.to_bits() == 0.0_f64.to_bits()));
+    }
+
+    #[test]
+    fn overwrites_stale_output() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let mut out = vec![99.0; 1];
+        gemm_into(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out[0], 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_into")]
+    fn rejects_bad_shapes() {
+        let mut out = vec![0.0; 4];
+        gemm_into(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut out);
+    }
+}

@@ -17,6 +17,9 @@
 //!   conditioning (factored gain + conditional sigmas), precomputed once
 //!   per observed-index set and applied per observation vector without
 //!   refactorizing or allocating.
+//! * [`kernels`] — cache-blocked batch kernels (`gemm_into`) whose columns
+//!   are bitwise identical to the vector operations they replace, the
+//!   substrate of the population-level prediction path.
 //!
 //! Everything is hand-rolled on purpose: the reproduction brief requires all
 //! substrates to be built from scratch, and the matrices involved (path
@@ -45,6 +48,7 @@ mod cholesky;
 mod eigen;
 mod error;
 mod gaussian;
+pub mod kernels;
 mod lu;
 mod matrix;
 mod pca;

@@ -55,11 +55,15 @@ pub mod prelude {
         TuningBufferSpec,
     };
     pub use effitest_core::experiments::ExperimentConfig;
-    pub use effitest_core::population::{run_population, run_population_scratch, PopulationConfig};
+    pub use effitest_core::population::{
+        run_flow_population, run_flow_population_batched, run_population, run_population_scratch,
+        PopulationConfig,
+    };
     pub use effitest_core::scenarios::{ScenarioAxes, ScenarioReport, ScenarioSpec};
     pub use effitest_core::{
-        ChipOutcome, EffiTestFlow, FlowConfig, FlowPlan, FlowWorkspace, PredictWorkspace, Predictor,
+        BatchPredictWorkspace, BatchPredictedRanges, ChipMatrix, ChipOutcome, EffiTestFlow,
+        FlowConfig, FlowPlan, FlowWorkspace, PredictWorkspace, Predictor,
     };
     pub use effitest_ssta::{ChipInstance, TimingModel, VariationConfig, VariationProfile};
-    pub use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
+    pub use effitest_tester::{chip_passes, ChipBank, DelayBounds, VirtualTester};
 }

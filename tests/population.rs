@@ -10,7 +10,8 @@
 
 use effitest::flow::experiments::{table1_row, ExperimentConfig, Table1Row};
 use effitest::flow::population::{
-    run_flow_population, run_population, run_population_scratch, PopulationConfig,
+    run_flow_population, run_flow_population_batched, run_population, run_population_scratch,
+    PopulationConfig,
 };
 use effitest::prelude::*;
 
@@ -154,6 +155,86 @@ fn per_thread_workspaces_preserve_bitwise_determinism() {
         key(&flow.run_chip(&plan, chip, td).expect("matched chip"))
     });
     assert_eq!(fresh, serial, "workspace reuse changed per-chip outcomes");
+}
+
+/// Everything observable about a `ChipOutcome`, bitwise (wall-clock
+/// fields excluded).
+fn outcome_key(o: &ChipOutcome) -> impl PartialEq + std::fmt::Debug {
+    (
+        o.iterations,
+        o.passes,
+        o.contradictions,
+        o.configured.clone().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+        o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+        o.measured.clone(),
+    )
+}
+
+#[test]
+fn both_engines_survive_degenerate_population_shapes() {
+    // n_chips == 0, n_chips == 1, and threads far above n_chips must not
+    // panic in either engine, and the batched engine must stay bitwise
+    // identical to the per-chip engine everywhere.
+    let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(20), 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let plan = flow.plan(&bench, &model).expect("plan");
+    let td = model.nominal_period();
+    for n_chips in [0, 1, 3] {
+        let serial = PopulationConfig { n_chips, base_seed: 4400, threads: 1 };
+        let reference: Vec<_> =
+            run_flow_population(&flow, &plan, td, &serial).iter().map(outcome_key).collect();
+        assert_eq!(reference.len(), n_chips);
+        for threads in [1, 2, 16] {
+            let pop = PopulationConfig { threads, ..serial };
+            let per_chip: Vec<_> =
+                run_flow_population(&flow, &plan, td, &pop).iter().map(outcome_key).collect();
+            assert_eq!(per_chip, reference, "per-chip engine drifted at {threads} threads");
+            let batched: Vec<_> = run_flow_population_batched(&flow, &plan, td, &pop)
+                .iter()
+                .map(outcome_key)
+                .collect();
+            assert_eq!(
+                batched, reference,
+                "batched engine drifted at {n_chips} chips, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_engine_matches_per_chip_across_the_scenario_matrix() {
+    // The full 24-cell smoke matrix (6 topologies x 4 variation profiles):
+    // on every cell the batched population engine must reproduce the
+    // per-chip engine bitwise, at 1 and 4 worker threads.
+    let mut axes = ScenarioAxes::smoke(40);
+    axes.chip_counts = vec![5];
+    axes.flow.hold.samples = 32;
+    let cells = axes.cells();
+    assert_eq!(cells.len(), 24, "smoke matrix is expected to span 24 cells");
+    for cell in &cells {
+        let bench = GeneratedBenchmark::generate(&cell.spec, cell.seed);
+        let model = TimingModel::build_with_buffer_range(
+            &bench,
+            &cell.variation.config(),
+            cell.tuning_fraction,
+            TimingModel::BUFFER_STEPS,
+        );
+        let flow = EffiTestFlow::new(cell.flow.clone());
+        let plan = flow.plan(&bench, &model).expect("plan");
+        let td = model.nominal_period();
+        let serial = PopulationConfig { n_chips: cell.n_chips, base_seed: cell.seed, threads: 1 };
+        let reference: Vec<_> =
+            run_flow_population(&flow, &plan, td, &serial).iter().map(outcome_key).collect();
+        for threads in [1, 4] {
+            let pop = PopulationConfig { threads, ..serial };
+            let batched: Vec<_> = run_flow_population_batched(&flow, &plan, td, &pop)
+                .iter()
+                .map(outcome_key)
+                .collect();
+            assert_eq!(batched, reference, "cell {} drifted at {threads} threads", cell.id());
+        }
+    }
 }
 
 #[test]
