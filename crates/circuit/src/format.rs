@@ -60,7 +60,7 @@ pub fn to_text(netlist: &Netlist, paths: Option<&PathSet>) -> String {
                 PathKind::Min => "min",
             };
             let _ = write!(out, "path ff{} ff{} {}", p.source.index(), p.sink.index(), kind);
-            for &g in &p.gates {
+            for &g in p.gates {
                 let _ = write!(out, " g{}", g.index());
             }
             out.push('\n');

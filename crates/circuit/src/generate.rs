@@ -126,6 +126,50 @@ impl BenchmarkSpec {
         Self::paper("pci_bridge32", 3321, 12494, 32, 3472)
     }
 
+    /// An industrial-scale spec: `np` sensitizable paths converging on an
+    /// H-tree clock network ([`Topology::Large`]).
+    ///
+    /// The statistics are *derived*, not free knobs: one sink hub per
+    /// H-tree leaf (`nb = 4^depth`, depth picked so each hub captures a
+    /// few hundred paths), one launching flip-flop per path
+    /// (`ns = np + nb`), and `ng` from the closed-form gate count of the
+    /// fan-in-pair structure the large generator builds — which is also
+    /// how the generator can run in constant work per path and still
+    /// reproduce the spec's statistics exactly.
+    ///
+    /// A thin slice of paths (~1.6%, spread uniformly over the hubs) gets
+    /// maximum-length all-`Buf` chains; everything else is strictly
+    /// shorter, so criticality-driven pre-selection has a real tail to
+    /// cut at.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `np < 64`; the tier starts where the paper-sized
+    /// generator stops.
+    pub fn large(np: usize) -> Self {
+        assert!(np >= 64, "the large tier starts at 64 paths; use a paper spec below that");
+        let mut depth: u8 = 1;
+        while depth < 5 && 4_usize.pow(depth as u32) * 400 < np {
+            depth += 1;
+        }
+        let nb = 4_usize.pow(depth as u32);
+        let critical_per_1024: u16 = 16;
+        let (min_path_len, max_path_len) = (8, 16);
+        BenchmarkSpec {
+            name: format!("large{np}"),
+            ns: np + nb,
+            ng: large_gate_count(np, min_path_len, max_path_len, critical_per_1024),
+            nb,
+            np,
+            clusters: nb,
+            die_size: 1000.0,
+            min_path_len,
+            max_path_len,
+            outlier_fraction: 0.0,
+            topology: Topology::Large { depth, critical_per_1024 },
+        }
+    }
+
     /// All eight circuits of the paper's Table 1, in table order.
     pub fn all_paper_circuits() -> Vec<BenchmarkSpec> {
         vec![
@@ -208,6 +252,12 @@ impl BenchmarkSpec {
             Topology::PipelineChain => self.nb.clamp(1, 6),
             Topology::Mesh => self.nb.clamp(1, 9),
             Topology::SparseOutliers => self.nb.clamp(1, 4),
+            // The large tier derives every statistic from `np`; reshaping
+            // a Table-1 spec into it would leave `ns`/`ng`/`nb` out of
+            // sync with the closed-form structure the generator builds.
+            Topology::Large { .. } => {
+                panic!("the `large` tier is built with `BenchmarkSpec::large`, not by reshaping")
+            }
         };
         if topology == Topology::SparseOutliers {
             self.outlier_fraction = 0.25;
@@ -258,6 +308,12 @@ impl GeneratedBenchmark {
     /// host `nb` buffers); the specs produced by the constructors and
     /// [`BenchmarkSpec::scaled_down`] are always feasible.
     pub fn generate(spec: &BenchmarkSpec, seed: u64) -> Self {
+        if let Topology::Large { depth, critical_per_1024 } = spec.topology {
+            // The random-walk placer below re-rolls each path against the
+            // already-placed set; at 10k-1M paths that is infeasible. The
+            // large tier has its own constant-work-per-path generator.
+            return generate_large(spec, seed, depth, critical_per_1024);
+        }
         assert!(spec.nb >= 1, "need at least one buffered flip-flop");
         assert!(spec.ns >= spec.nb + 4, "ns too small for nb");
         assert!(spec.clusters >= 1);
@@ -446,7 +502,7 @@ impl GeneratedBenchmark {
             let Some(meta) = meta else { continue };
             let pid = crate::PathId::new(idx as u32);
             let (source, sink) = paths.path(pid).endpoints();
-            let chain = paths.path(pid).gates.clone();
+            let chain = paths.path(pid).gates.to_vec();
             if let Some(short) =
                 carve_short_path(&mut rng, &mut netlist, &chain, &meta.via1, source, &mut protected)
             {
@@ -475,6 +531,234 @@ impl GeneratedBenchmark {
             self.paths.len(),
         )
     }
+}
+
+/// Gates shared by both members of a large-tier path pair: the 2-input
+/// merge gate where the pair's prefixes converge plus three single-input
+/// stem gates leading to the shared sink hub.
+const LARGE_STEM_LEN: usize = 4;
+
+/// `true` if large-tier path `i` belongs to the near-critical tail. A
+/// multiplicative hash spreads the tail uniformly over paths (and thus
+/// over sink hubs) without an RNG object, and keeps the pattern a pure
+/// function both the spec constructor and the generator can share.
+fn large_is_critical(i: usize, critical_per_1024: u16) -> bool {
+    let h = (i as u64 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 54) < critical_per_1024 as u64
+}
+
+/// Chain length (gate count) of large-tier path `i`. Critical paths get
+/// the full `max_path_len`; the rest cycle through `[min, max - 2]`,
+/// leaving a one-length gap below the critical tail.
+fn large_path_len(i: usize, min: usize, max: usize, critical_per_1024: u16) -> usize {
+    if large_is_critical(i, critical_per_1024) {
+        max
+    } else {
+        let band = max - 1 - min;
+        let h = (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        min + (h >> 32) as usize % band
+    }
+}
+
+/// Closed-form netlist gate count of the large tier: each pair stores its
+/// two chains but shares the `LARGE_STEM_LEN` merge/stem gates.
+fn large_gate_count(np: usize, min: usize, max: usize, critical_per_1024: u16) -> usize {
+    let total: usize = (0..np).map(|i| large_path_len(i, min, max, critical_per_1024)).sum();
+    total - (np / 2) * LARGE_STEM_LEN
+}
+
+/// Deterministic hash-based jitter in `[0, 1)`: the large generator's
+/// replacement for an RNG stream (constant work, trivially reproducible,
+/// still seed-sensitive through `mix`).
+fn unit_hash(mix: u64, a: u64, b: u64) -> f64 {
+    let mut x = mix
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xD1B5_4A32_D192_ED03).rotate_left(31);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generates an industrial-scale benchmark: sink hubs on H-tree leaves,
+/// paths in fan-in pairs (two per-path prefix chains converging at a
+/// shared AND merge gate, then a shared stem into the hub). Endpoint
+/// sharing is dense (hundreds of paths per hub) while the *stored*
+/// sensitization-conflict structure stays sparse — exactly one edge per
+/// pair — which is what keeps the sparse conflict graph `O(np)`.
+fn generate_large(
+    spec: &BenchmarkSpec,
+    seed: u64,
+    depth: u8,
+    critical_per_1024: u16,
+) -> GeneratedBenchmark {
+    let nb = 4_usize.pow(depth as u32);
+    assert_eq!(spec.nb, nb, "large spec out of sync: nb must be 4^depth");
+    assert_eq!(spec.ns, spec.np + nb, "large spec out of sync: ns must be np + nb");
+    assert_eq!(
+        spec.ng,
+        large_gate_count(spec.np, spec.min_path_len, spec.max_path_len, critical_per_1024),
+        "large spec gate budget out of sync; build large specs with `BenchmarkSpec::large`"
+    );
+    assert!(spec.min_path_len > LARGE_STEM_LEN, "prefix chains need at least one gate");
+    assert!(spec.max_path_len >= spec.min_path_len + 2, "need a gap below the critical tail");
+
+    let die = Rect::new(0.0, 0.0, spec.die_size, spec.die_size);
+    let mut netlist = Netlist::new(spec.name.clone(), die);
+    let mix = seed ^ hash_name(&spec.name);
+
+    // Sink hubs: one tunable buffer per H-tree leaf.
+    let mut leaves: Vec<(f64, f64)> = Vec::with_capacity(nb);
+    crate::topology::htree_leaves(0.5, 0.5, 0.25, depth as usize, &mut leaves);
+    let placeholder = crate::TuningBufferSpec::centered(0.0, 2);
+    let hubs: Vec<FlipFlopId> = leaves
+        .iter()
+        .enumerate()
+        .map(|(b, &(fx, fy))| {
+            let loc = Point::new(fx * spec.die_size, fy * spec.die_size);
+            netlist.add_flip_flop(FlipFlop::new(format!("hub{b}"), loc).with_buffer(placeholder))
+        })
+        .collect();
+    let cell = spec.die_size / (1u64 << depth) as f64;
+
+    let len_of =
+        |i: usize| large_path_len(i, spec.min_path_len, spec.max_path_len, critical_per_1024);
+    let total_chain_gates: usize = (0..spec.np).map(len_of).sum();
+    let mut paths = PathSet::with_capacity(spec.np, total_chain_gates);
+
+    // Per-path source flip-flop, placed in the sink hub's leaf cell so
+    // the hub's paths share spatial-correlation cells (the clustering the
+    // statistical prediction relies on).
+    let place_near = |netlist: &Netlist, hub: FlipFlopId, tag: u64, k: u64| -> Point {
+        let c = netlist.flip_flop(hub).expect("valid hub").location;
+        let dx = (unit_hash(mix, tag, 2 * k) - 0.5) * 0.8 * cell;
+        let dy = (unit_hash(mix, tag, 2 * k + 1) - 0.5) * 0.8 * cell;
+        Point::new((c.x + dx).clamp(die.x0, die.x1), (c.y + dy).clamp(die.y0, die.y1))
+    };
+
+    // One single-input chain gate: all-Buf on critical paths (the slowest
+    // single-input cell, so length strictly orders the critical tail above
+    // everything else), an Inv/Buf jitter mix elsewhere (a smooth nominal
+    // delay spread below the tail).
+    let chain_kind = |i: usize, k: usize| {
+        if large_is_critical(i, critical_per_1024) {
+            GateKind::Buf
+        } else if unit_hash(mix, 0x6b1 ^ i as u64, k as u64) < 0.5 {
+            GateKind::Inv
+        } else {
+            GateKind::Buf
+        }
+    };
+
+    let mut chain: Vec<GateId> = Vec::with_capacity(spec.max_path_len);
+    let build_prefix = |netlist: &mut Netlist,
+                        chain: &mut Vec<GateId>,
+                        i: usize,
+                        source: FlipFlopId,
+                        hub: FlipFlopId,
+                        len: usize| {
+        chain.clear();
+        let start = netlist.flip_flop(source).expect("valid id").location;
+        let end = netlist.flip_flop(hub).expect("valid id").location;
+        for k in 0..len {
+            let t = (k as f64 + 0.5) / (len as f64 + 1.0);
+            let jx = (unit_hash(mix, 0x9a0 ^ i as u64, 2 * k as u64) - 0.5) * 0.1 * cell;
+            let jy = (unit_hash(mix, 0x9a0 ^ i as u64, 2 * k as u64 + 1) - 0.5) * 0.1 * cell;
+            let loc = Point::new(
+                (start.x + t * (end.x - start.x) + jx).clamp(die.x0, die.x1),
+                (start.y + t * (end.y - start.y) + jy).clamp(die.y0, die.y1),
+            );
+            let input = if k == 0 { Signal::Ff(source) } else { Signal::Gate(chain[k - 1]) };
+            chain.push(netlist.add_gate(Gate::new(chain_kind(i, k), loc, vec![input])));
+        }
+    };
+
+    let mut scratch_b: Vec<GateId> = Vec::with_capacity(spec.max_path_len);
+    let n_pairs = spec.np / 2;
+    for q in 0..n_pairs {
+        let (ia, ib) = (2 * q, 2 * q + 1);
+        let hub = hubs[q % nb];
+        let hub_loc = netlist.flip_flop(hub).expect("valid hub").location;
+        let src_a = netlist.add_flip_flop(FlipFlop::new(
+            format!("ff{ia}"),
+            place_near(&netlist, hub, 0x5a, ia as u64),
+        ));
+        let src_b = netlist.add_flip_flop(FlipFlop::new(
+            format!("ff{ib}"),
+            place_near(&netlist, hub, 0x5a, ib as u64),
+        ));
+
+        build_prefix(&mut netlist, &mut chain, ia, src_a, hub, len_of(ia) - LARGE_STEM_LEN);
+        build_prefix(&mut netlist, &mut scratch_b, ib, src_b, hub, len_of(ib) - LARGE_STEM_LEN);
+
+        // Merge: AND2 of the two prefix tails. Each pair member requires
+        // the partner's tail stable at 1 (the AND's non-controlling
+        // value), so the pair is mutually exclusive — and nothing else is.
+        let merge = netlist.add_gate(Gate::new(
+            GateKind::And2,
+            place_near(&netlist, hub, 0x31, q as u64),
+            vec![
+                Signal::Gate(*chain.last().expect("prefix non-empty")),
+                Signal::Gate(*scratch_b.last().expect("prefix non-empty")),
+            ],
+        ));
+        // Shared stem into the hub.
+        let mut prev = merge;
+        let mut stem = [merge; LARGE_STEM_LEN];
+        for (k, slot) in stem.iter_mut().enumerate().skip(1) {
+            let jx = (unit_hash(mix, 0x77 ^ q as u64, 2 * k as u64) - 0.5) * 0.1 * cell;
+            let jy = (unit_hash(mix, 0x77 ^ q as u64, 2 * k as u64 + 1) - 0.5) * 0.1 * cell;
+            let loc = Point::new(
+                (hub_loc.x + jx).clamp(die.x0, die.x1),
+                (hub_loc.y + jy).clamp(die.y0, die.y1),
+            );
+            let kind = if large_is_critical(ia, critical_per_1024)
+                || large_is_critical(ib, critical_per_1024)
+            {
+                GateKind::Buf
+            } else if unit_hash(mix, 0x4c3 ^ q as u64, k as u64) < 0.5 {
+                GateKind::Inv
+            } else {
+                GateKind::Buf
+            };
+            prev = netlist.add_gate(Gate::new(kind, loc, vec![Signal::Gate(prev)]));
+            *slot = prev;
+        }
+        // The hub's D input captures through the shared stem. Many pairs
+        // sink at one hub; the capture-side multiplexing is abstracted
+        // (only the last-wired pair's stem is recorded as the D driver —
+        // the timing model works from the path chains, not the D pin).
+        netlist.flip_flop_mut(hub).expect("valid id").data_input = Some(Signal::Gate(prev));
+
+        chain.extend_from_slice(&stem);
+        paths.add_slice(src_a, hub, &chain, PathKind::Max);
+        scratch_b.extend_from_slice(&stem);
+        paths.add_slice(src_b, hub, &scratch_b, PathKind::Max);
+    }
+    if spec.np % 2 == 1 {
+        // Odd path count: one standalone single-input chain into its hub.
+        let i = spec.np - 1;
+        let hub = hubs[n_pairs % nb];
+        let src = netlist.add_flip_flop(FlipFlop::new(
+            format!("ff{i}"),
+            place_near(&netlist, hub, 0x5a, i as u64),
+        ));
+        build_prefix(&mut netlist, &mut chain, i, src, hub, len_of(i));
+        netlist.flip_flop_mut(hub).expect("valid id").data_input =
+            Some(Signal::Gate(*chain.last().expect("chain non-empty")));
+        paths.add_slice(src, hub, &chain, PathKind::Max);
+    }
+
+    // No carved hold paths at this tier: `compute_hold_bounds` treats an
+    // all-`None` set as "no hold constraints", which is the right model
+    // for a capture-mux-abstracted clock-network benchmark.
+    let short_paths: Vec<Option<crate::TimedPath>> = vec![None; spec.np];
+    let bench = GeneratedBenchmark { netlist, paths, short_paths, spec: spec.clone() };
+    debug_assert!(bench.netlist.validate().is_ok());
+    debug_assert!(bench.paths.validate(&bench.netlist).is_ok());
+    bench
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -1031,7 +1315,7 @@ mod tests {
         let mut left = 0_usize;
         let mut total = 0_usize;
         for p in b.paths.iter() {
-            for &g in &p.gates {
+            for &g in p.gates {
                 total += 1;
                 if b.netlist.gate(g).unwrap().location.x < die_mid {
                     left += 1;
@@ -1042,6 +1326,81 @@ mod tests {
             left * 5 >= total * 2,
             "unbalanced tree should load the first branch: {left}/{total} gates on the left"
         );
+    }
+
+    #[test]
+    fn large_spec_statistics_are_exact_and_validate() {
+        let spec = BenchmarkSpec::large(2000);
+        assert!(matches!(spec.topology, Topology::Large { depth: 2, .. }));
+        assert_eq!(spec.nb, 16);
+        assert_eq!(spec.ns, spec.np + spec.nb);
+        let b = GeneratedBenchmark::generate(&spec, 3);
+        assert_eq!(b.stats(), (spec.ns, spec.ng, spec.nb, spec.np));
+        b.netlist.validate().unwrap();
+        b.paths.validate(&b.netlist).unwrap();
+        // Every path sinks at a buffered hub; no hold paths are carved.
+        let hubs: std::collections::HashSet<_> =
+            b.netlist.buffered_flip_flops().into_iter().collect();
+        for p in b.paths.iter() {
+            assert!(hubs.contains(&p.sink), "path {} does not sink at a hub", p.id);
+        }
+        assert!(b.short_paths.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn large_generation_is_deterministic_and_seed_sensitive() {
+        let spec = BenchmarkSpec::large(500);
+        let a = GeneratedBenchmark::generate(&spec, 5);
+        let b = GeneratedBenchmark::generate(&spec, 5);
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.paths, b.paths);
+        let c = GeneratedBenchmark::generate(&spec, 6);
+        assert_ne!(a.netlist, c.netlist);
+    }
+
+    #[test]
+    fn large_conflicts_are_exactly_the_fan_in_pairs() {
+        use crate::sensitize::MutualExclusions;
+        let spec = BenchmarkSpec::large(600);
+        let b = GeneratedBenchmark::generate(&spec, 7);
+        let views: Vec<crate::PathView<'_>> = b.paths.iter().collect();
+        let mx = MutualExclusions::build(&b.netlist, &views).unwrap();
+        // Stored sensitization conflicts: one edge per pair, nothing else
+        // (endpoint sharing at the hubs is handled by the O(1) endpoint
+        // rule, never stored).
+        assert_eq!(mx.pair_count(), spec.np / 2);
+        for i in 0..spec.np {
+            let expected: &[usize] = if i % 2 == 0 { &[i + 1] } else { &[] };
+            assert_eq!(mx.excluded_after(i), expected, "path {i}");
+        }
+        // And the sparse build agrees with the dense reference here too.
+        let dense = MutualExclusions::build_dense(&b.netlist, &views).unwrap();
+        for i in 0..spec.np {
+            assert_eq!(mx.excluded_after(i), dense.excluded_after(i));
+        }
+    }
+
+    #[test]
+    fn large_critical_tail_is_thin_and_longest() {
+        let spec = BenchmarkSpec::large(4000);
+        let b = GeneratedBenchmark::generate(&spec, 9);
+        let critical = b.paths.iter().filter(|p| p.len() == spec.max_path_len).count();
+        // ~16/1024 of the paths, spread by hash: allow generous slack.
+        assert!(
+            (20..=110).contains(&critical),
+            "critical tail out of range: {critical}/{} paths at max length",
+            spec.np
+        );
+        // Nothing occupies the separating gap just below the tail.
+        assert!(b.paths.iter().all(|p| p.len() != spec.max_path_len - 1));
+        assert!(b.paths.iter().all(|p| p.len() >= spec.min_path_len));
+    }
+
+    #[test]
+    #[should_panic(expected = "built with `BenchmarkSpec::large`")]
+    fn reshaping_into_the_large_tier_is_rejected() {
+        let _ = BenchmarkSpec::iscas89_s9234()
+            .with_topology(Topology::Large { depth: 2, critical_per_1024: 16 });
     }
 
     #[test]

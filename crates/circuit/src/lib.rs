@@ -55,7 +55,7 @@ pub use generate::{BenchmarkSpec, GeneratedBenchmark};
 pub use geom::{Point, Rect};
 pub use ids::{FlipFlopId, GateId, PathId};
 pub use netlist::{FlipFlop, Netlist, Signal};
-pub use path::{PathKind, PathSet, TimedPath};
+pub use path::{PathKind, PathSet, PathTable, PathView, TimedPath};
 pub use topology::Topology;
 
 /// Result alias used throughout the crate.

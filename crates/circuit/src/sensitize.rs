@@ -23,10 +23,22 @@
 //! two interfering transitions). The model is conservative — real ATPG
 //! might still find a vector for some pairs we reject — which only costs a
 //! few extra batches, never a wrong measurement.
+//!
+//! ## Sparse construction
+//!
+//! Every exclusion rule is of the form "both paths reference the same
+//! interned id" (a shared through-gate, a stable signal the other toggles
+//! or pins oppositely, a stable flip-flop the other launches from). So
+//! instead of testing all `n(n-1)/2` pairs, [`MutualExclusions::build`]
+//! inverts the requirements into per-id adjacency lists and gathers each
+//! path's conflict neighbours from the handful of lists it appears in —
+//! `O(n + edges)` instead of `O(n²)`. The pairwise loop survives as
+//! [`MutualExclusions::build_dense`], the reference oracle the differential
+//! tests pin the sparse build against.
 
 use std::collections::HashMap;
 
-use crate::{GateId, Netlist, Result, Signal, TimedPath};
+use crate::{FlipFlopId, GateId, Netlist, PathView, Result, Signal};
 
 /// A stability requirement on a side-input signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +85,8 @@ impl PathRequirements {
     ///
     /// Propagates id-validation errors for paths that do not belong to the
     /// netlist.
-    pub fn compute(netlist: &Netlist, path: &TimedPath) -> Result<Self> {
-        let mut through = path.gates.clone();
+    pub fn compute(netlist: &Netlist, path: PathView<'_>) -> Result<Self> {
+        let mut through = path.gates.to_vec();
         through.sort_unstable();
         let mut stable_map: HashMap<Signal, StableValue> = HashMap::new();
 
@@ -207,8 +219,26 @@ pub struct MutualExclusions {
     excluded: Vec<Vec<usize>>,
 }
 
+/// Per-interned-id inverted indexes over a path set's requirements; each
+/// conflict rule reads as "gather every path appearing in the same list".
+#[derive(Default)]
+struct InvertedIndexes {
+    /// Paths whose transition passes through the gate.
+    by_through: HashMap<GateId, Vec<u32>>,
+    /// Paths requiring the gate's output stable (at any value).
+    stable_gate: HashMap<GateId, Vec<u32>>,
+    /// Paths requiring the signal stable at exactly Zero / exactly One.
+    stable_zero: HashMap<Signal, Vec<u32>>,
+    stable_one: HashMap<Signal, Vec<u32>>,
+    /// Paths launching from the flip-flop.
+    by_source: HashMap<FlipFlopId, Vec<u32>>,
+    /// Paths requiring the flip-flop's output stable.
+    stable_ff: HashMap<FlipFlopId, Vec<u32>>,
+}
+
 impl MutualExclusions {
-    /// Computes requirements for every path and the pairwise exclusions.
+    /// Computes requirements for every path and the pairwise exclusions,
+    /// in `O(n + edges)` via inverted indexes (see the module docs).
     ///
     /// Source flip-flop transitions are accounted for here: a path that
     /// needs signal `Ff(f)` stable excludes any path launching from `f`.
@@ -216,15 +246,90 @@ impl MutualExclusions {
     /// # Errors
     ///
     /// Propagates requirement-computation errors.
-    pub fn build(netlist: &Netlist, paths: &[&TimedPath]) -> Result<Self> {
+    pub fn build(netlist: &Netlist, paths: &[PathView<'_>]) -> Result<Self> {
         let reqs: Vec<PathRequirements> =
-            paths.iter().map(|p| PathRequirements::compute(netlist, p)).collect::<Result<_>>()?;
+            paths.iter().map(|p| PathRequirements::compute(netlist, *p)).collect::<Result<_>>()?;
+
+        let mut ix = InvertedIndexes::default();
+        for (i, (req, path)) in reqs.iter().zip(paths).enumerate() {
+            let i = i as u32;
+            for &g in &req.through {
+                ix.by_through.entry(g).or_default().push(i);
+            }
+            for &(sig, val) in &req.stable {
+                match sig {
+                    Signal::Gate(g) => ix.stable_gate.entry(g).or_default().push(i),
+                    Signal::Ff(f) => ix.stable_ff.entry(f).or_default().push(i),
+                };
+                match val {
+                    StableValue::Zero => ix.stable_zero.entry(sig).or_default().push(i),
+                    StableValue::One => ix.stable_one.entry(sig).or_default().push(i),
+                    StableValue::Any => {}
+                }
+            }
+            ix.by_source.entry(path.source).or_default().push(i);
+        }
+
+        // Gather each path's conflict candidates from the lists it appears
+        // in. Every rule indexes both participants, so collecting only
+        // `j > i` from `i`'s side still yields every pair exactly once.
+        let empty: Vec<u32> = Vec::new();
+        let mut mark: Vec<u32> = vec![u32::MAX; paths.len()];
+        let mut excluded = vec![Vec::new(); paths.len()];
+        for (i, (req, path)) in reqs.iter().zip(paths).enumerate() {
+            let list = &mut excluded[i];
+            let mut gather = |cands: &[u32]| {
+                for &j in cands {
+                    if j as usize > i && mark[j as usize] != i as u32 {
+                        mark[j as usize] = i as u32;
+                        list.push(j as usize);
+                    }
+                }
+            };
+            for &g in &req.through {
+                // Rule 3: another path through the same gate.
+                gather(&ix.by_through[&g]);
+                // Rule 1 (mirrored): another path needs this gate stable.
+                gather(ix.stable_gate.get(&g).unwrap_or(&empty));
+            }
+            for &(sig, val) in &req.stable {
+                match sig {
+                    // Rule 1: this path needs a gate stable that another
+                    // path toggles.
+                    Signal::Gate(g) => gather(ix.by_through.get(&g).unwrap_or(&empty)),
+                    // Source rule: this path needs a flip-flop stable that
+                    // another path launches from.
+                    Signal::Ff(f) => gather(ix.by_source.get(&f).unwrap_or(&empty)),
+                }
+                // Rule 2: same signal pinned to the opposite value.
+                match val {
+                    StableValue::Zero => gather(ix.stable_one.get(&sig).unwrap_or(&empty)),
+                    StableValue::One => gather(ix.stable_zero.get(&sig).unwrap_or(&empty)),
+                    StableValue::Any => {}
+                }
+            }
+            // Source rule (mirrored): another path needs our source stable.
+            gather(ix.stable_ff.get(&path.source).unwrap_or(&empty));
+            list.sort_unstable();
+        }
+        Ok(MutualExclusions { excluded })
+    }
+
+    /// The original all-pairs construction, kept as the reference oracle
+    /// for differential tests of the sparse [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// Propagates requirement-computation errors.
+    pub fn build_dense(netlist: &Netlist, paths: &[PathView<'_>]) -> Result<Self> {
+        let reqs: Vec<PathRequirements> =
+            paths.iter().map(|p| PathRequirements::compute(netlist, *p)).collect::<Result<_>>()?;
         let mut excluded = vec![Vec::new(); paths.len()];
         for i in 0..paths.len() {
             for j in (i + 1)..paths.len() {
                 let incompatible = !reqs[i].compatible(&reqs[j])
-                    || stable_blocks_source(&reqs[i], paths[j])
-                    || stable_blocks_source(&reqs[j], paths[i]);
+                    || stable_blocks_source(&reqs[i], paths[j].source)
+                    || stable_blocks_source(&reqs[j], paths[i].source);
                 if incompatible {
                     excluded[i].push(j);
                 }
@@ -240,14 +345,21 @@ impl MutualExclusions {
         self.excluded.get(lo).is_some_and(|v| v.binary_search(&hi).is_ok())
     }
 
+    /// The positions `j > i` excluded with `i`, ascending (the upper
+    /// triangle of the conflict graph; callers wanting full adjacency
+    /// symmetrize it).
+    pub fn excluded_after(&self, i: usize) -> &[usize] {
+        &self.excluded[i]
+    }
+
     /// Total number of excluded pairs.
     pub fn pair_count(&self) -> usize {
         self.excluded.iter().map(|v| v.len()).sum()
     }
 }
 
-fn stable_blocks_source(reqs: &PathRequirements, other: &TimedPath) -> bool {
-    reqs.stable.iter().any(|&(sig, _)| sig == Signal::Ff(other.source))
+fn stable_blocks_source(reqs: &PathRequirements, source: FlipFlopId) -> bool {
+    reqs.stable.iter().any(|&(sig, _)| sig == Signal::Ff(source))
 }
 
 #[cfg(test)]
@@ -345,7 +457,7 @@ mod tests {
     #[test]
     fn mutual_exclusions_cover_source_toggling() {
         let (n, paths) = fixture();
-        let refs: Vec<&TimedPath> = paths.iter().collect();
+        let refs: Vec<PathView<'_>> = paths.iter().collect();
         let mx = MutualExclusions::build(&n, &refs).unwrap();
         // C's NAND takes f3 as its on-path input; path B *ends* at f3 but
         // that is an endpoint conflict, not a sensitization one. A and C
@@ -386,5 +498,29 @@ mod tests {
         assert!(Any.compatible(Zero));
         assert!(Any.compatible(One));
         assert!(Any.compatible(Any));
+    }
+
+    #[test]
+    fn sparse_build_matches_dense_on_fixture() {
+        let (n, paths) = fixture();
+        let refs: Vec<PathView<'_>> = paths.iter().collect();
+        let sparse = MutualExclusions::build(&n, &refs).unwrap();
+        let dense = MutualExclusions::build_dense(&n, &refs).unwrap();
+        assert_eq!(sparse.excluded, dense.excluded);
+    }
+
+    #[test]
+    fn sparse_build_matches_dense_on_every_topology() {
+        use crate::generate::{BenchmarkSpec, GeneratedBenchmark};
+        use crate::topology::Topology;
+        let base = BenchmarkSpec::iscas89_s9234().scaled_down(10);
+        for topology in Topology::all() {
+            let spec = base.clone().with_topology(topology);
+            let bench = GeneratedBenchmark::generate(&spec, 1);
+            let refs: Vec<PathView<'_>> = bench.paths.iter().collect();
+            let sparse = MutualExclusions::build(&bench.netlist, &refs).unwrap();
+            let dense = MutualExclusions::build_dense(&bench.netlist, &refs).unwrap();
+            assert_eq!(sparse.excluded, dense.excluded, "topology {}", topology.name());
+        }
     }
 }

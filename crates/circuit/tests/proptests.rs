@@ -71,7 +71,7 @@ proptest! {
         for p in bench.paths.iter().take(24) {
             let r = PathRequirements::compute(&bench.netlist, p).expect("valid path");
             // Through gates are exactly the path's gates.
-            let mut sorted = p.gates.clone();
+            let mut sorted = p.gates.to_vec();
             sorted.sort_unstable();
             prop_assert_eq!(r.through(), &sorted[..]);
             // A path never requires its own gates or source stable.

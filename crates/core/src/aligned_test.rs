@@ -13,6 +13,19 @@
 //! Setting [`AlignedTestConfig::use_alignment`] to `false` freezes all
 //! buffers at zero, which is the paper's "path multiplexing without delay
 //! alignment" ablation (Fig. 8, middle bars).
+//!
+//! # Incremental frequency stepping
+//!
+//! The production loop ([`AlignedTestConfig::incremental`], the default)
+//! keeps batch-local *slot arrays*: per tested path its bounds, cached
+//! range center, buffer hookups and hold bound, all resolved **once per
+//! batch**. Each frequency step then touches dense arrays only, and range
+//! centers are recomputed solely for the paths whose bounds the previous
+//! probe actually narrowed (tracked by
+//! [`effitest_ssta::ChangeTracker`]) — an incremental timing update
+//! instead of a full re-derivation per step. The original per-iteration
+//! HashMap implementation survives as the reference the differential
+//! tests pin the incremental loop against, bitwise.
 
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -23,7 +36,7 @@ use effitest_solver::align::{
     AlignmentProblem, BufferVar,
 };
 use effitest_solver::weighted_median_in_place;
-use effitest_ssta::TimingModel;
+use effitest_ssta::{ChangeTracker, TimingModel};
 use effitest_tester::{DelayBounds, Observation, VirtualTester};
 
 use crate::hold::HoldBounds;
@@ -52,6 +65,12 @@ pub struct AlignedTestConfig {
     pub exact_node_limit: usize,
     /// Hard cap on iterations per batch (defensive; generous).
     pub max_iterations_per_batch: usize,
+    /// `true` (the default) runs the slot-array loop with incremental
+    /// center updates; `false` routes through the original per-iteration
+    /// HashMap implementation, kept as the bitwise reference. The two
+    /// produce identical bounds, iteration counts, and contradiction
+    /// counts on every chip (proven differentially in the test suite).
+    pub incremental: bool,
 }
 
 impl Default for AlignedTestConfig {
@@ -65,6 +84,7 @@ impl Default for AlignedTestConfig {
             exact_alignment: false,
             exact_node_limit: effitest_solver::DEFAULT_NODE_LIMIT,
             max_iterations_per_batch: 10_000,
+            incremental: true,
         }
     }
 }
@@ -113,6 +133,16 @@ pub struct AlignedTestWorkspace {
     probes: Vec<(usize, f64)>,
     results: Vec<bool>,
     bounds: HashMap<usize, DelayBounds>,
+    // Batch-local slot arrays of the incremental loop: one entry per
+    // batch position, resolved once per batch (see the module docs).
+    slot_paths: Vec<usize>,
+    slot_bounds: Vec<DelayBounds>,
+    slot_center: Vec<f64>,
+    slot_src: Vec<Option<usize>>,
+    slot_snk: Vec<Option<usize>>,
+    slot_hold: Vec<Option<f64>>,
+    active_slots: Vec<usize>,
+    tracker: ChangeTracker,
 }
 
 impl AlignedTestWorkspace {
@@ -239,7 +269,11 @@ pub fn run_aligned_test_with(
     ws.buffered.extend(model.buffered_ffs().iter().copied());
 
     for batch in batches {
-        let (t, c) = test_one_batch(ws, model, tester, batch, lambda, config, &mut all_bounds);
+        let (t, c) = if config.incremental {
+            test_one_batch_incremental(ws, model, tester, batch, lambda, config, &mut all_bounds)
+        } else {
+            test_one_batch_reference(ws, model, tester, batch, lambda, config, &mut all_bounds)
+        };
         align_time += t;
         contradictions += c;
     }
@@ -252,9 +286,172 @@ pub fn run_aligned_test_with(
     }
 }
 
+/// Tests one batch to convergence with batch-local slot arrays and
+/// incremental center updates; returns the alignment solve time and the
+/// number of contradictory observations.
+///
+/// Bitwise identical to [`test_one_batch_reference`]: the slot arrays
+/// cache pure functions of state the reference recomputes each iteration
+/// (endpoint buffer hookups, hold bounds, range centers), and the
+/// [`ChangeTracker`] only skips center recomputations whose inputs did
+/// not change.
+fn test_one_batch_incremental(
+    ws: &mut AlignedTestWorkspace,
+    model: &TimingModel,
+    tester: &mut VirtualTester<'_>,
+    batch: &[usize],
+    lambda: &HoldBounds,
+    config: &AlignedTestConfig,
+    all_bounds: &mut HashMap<usize, DelayBounds>,
+) -> (Duration, u64) {
+    let mut align_time = Duration::ZERO;
+    let mut contradictions = 0_u64;
+    // Dense buffer indexing over the buffered flip-flops touched by this
+    // batch.
+    let spec = model.buffer_spec();
+    index_batch_buffers(model, batch, &ws.buffered, &mut ws.buffer_index);
+    ws.buffers.clear();
+    ws.buffers.extend((0..ws.buffer_index.len()).map(|_| BufferVar {
+        min: spec.min(),
+        max: spec.max(),
+        steps: spec.steps(),
+    }));
+    ws.zeros.clear();
+    ws.zeros.resize(ws.buffers.len(), 0.0);
+    ws.engine.set_node_limit(config.exact_node_limit);
+    ws.engine.begin_batch(&ws.buffers);
+
+    // Resolve per-slot constants once per batch: initial bounds, buffer
+    // hookups, hold bounds. The reference loop re-derives all of these
+    // every iteration.
+    let n = batch.len();
+    ws.slot_paths.clear();
+    ws.slot_paths.extend_from_slice(batch);
+    ws.slot_bounds.clear();
+    ws.slot_bounds.extend(batch.iter().map(|&p| {
+        DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), config.bound_sigma)
+    }));
+    ws.slot_src.clear();
+    ws.slot_snk.clear();
+    ws.slot_hold.clear();
+    for &p in batch {
+        let (src, snk) = model.endpoints(p);
+        ws.slot_src.push(ws.buffer_index.get(&src).copied());
+        ws.slot_snk.push(ws.buffer_index.get(&snk).copied());
+        ws.slot_hold.push(lambda.lambda(p));
+    }
+    ws.slot_center.clear();
+    ws.slot_center.resize(n, 0.0);
+    ws.tracker.reset(n); // every center is stale before the first step
+    ws.active_slots.clear();
+    ws.active_slots.extend(0..n);
+    let (active_slots, slot_bounds) = (&mut ws.active_slots, &ws.slot_bounds);
+    active_slots.retain(|&s| !slot_bounds[s].converged(config.epsilon));
+
+    let mut iterations = 0_usize;
+
+    while !ws.active_slots.is_empty() && iterations < config.max_iterations_per_batch {
+        iterations += 1;
+        // --- Incremental timing update: refresh only the centers whose
+        // bounds the previous probe actually moved. ---
+        for &s in &ws.active_slots {
+            if ws.tracker.changed_in_current_step(s) {
+                ws.slot_center[s] = ws.slot_bounds[s].center();
+            }
+        }
+        ws.tracker.advance();
+        ws.centers.clear();
+        ws.centers.extend(ws.active_slots.iter().map(|&s| ws.slot_center[s]));
+        sorted_center_weights_into(
+            &ws.centers,
+            config.k0,
+            config.kd,
+            &mut ws.order,
+            &mut ws.weights,
+        );
+
+        let solve_started = Instant::now();
+        let (period, buffer_values): (f64, &[f64]) = if config.use_alignment {
+            let paths = ws.engine.paths_mut();
+            paths.clear();
+            paths.extend(ws.active_slots.iter().zip(&ws.weights).map(|(&s, &w)| AlignPath {
+                center: ws.slot_center[s],
+                weight: w,
+                source_buffer: ws.slot_src[s],
+                sink_buffer: ws.slot_snk[s],
+                hold_lower_bound: ws.slot_hold[s],
+            }));
+            let solved_exact = config.exact_alignment && ws.engine.solve_exact().is_some();
+            let sol = if solved_exact { ws.engine.last_solution() } else { ws.engine.solve() };
+            (sol.period, &sol.buffer_values)
+        } else {
+            ws.pts.clear();
+            ws.pts.extend(ws.centers.iter().copied().zip(ws.weights.iter().copied()));
+            let period = weighted_median_in_place(&mut ws.pts).unwrap_or(0.0);
+            (period, &ws.zeros)
+        };
+        align_time += solve_started.elapsed();
+
+        // --- One frequency step over the whole batch. ---
+        ws.probes.clear();
+        ws.probes.extend(ws.active_slots.iter().map(|&s| {
+            let xi = ws.slot_src[s].map_or(0.0, |b| buffer_values[b]);
+            let xj = ws.slot_snk[s].map_or(0.0, |b| buffer_values[b]);
+            (ws.slot_paths[s], xi - xj)
+        }));
+        tester.apply_batch_into(period, &ws.probes, &mut ws.results);
+
+        // --- Update bounds; mark moved slots dirty; retire converged. ---
+        let mut progressed = false;
+        for ((&s, &(_, shift)), &passed) in ws.active_slots.iter().zip(&ws.probes).zip(&ws.results)
+        {
+            let b = &mut ws.slot_bounds[s];
+            let before = *b;
+            if b.update(period, shift, passed) == Observation::Contradictory {
+                contradictions += 1;
+            }
+            if b.lower.to_bits() != before.lower.to_bits()
+                || b.upper.to_bits() != before.upper.to_bits()
+            {
+                ws.tracker.mark(s);
+            }
+            if b.width() < before.width() - 1e-15 {
+                progressed = true;
+            }
+        }
+        let (active_slots, slot_bounds) = (&mut ws.active_slots, &ws.slot_bounds);
+        active_slots.retain(|&s| !slot_bounds[s].converged(config.epsilon));
+
+        // Degenerate stall: same fallback as the reference (see there).
+        if !progressed && !ws.active_slots.is_empty() {
+            let &widest = ws
+                .active_slots
+                .iter()
+                .max_by(|&&a, &&b| ws.slot_bounds[a].width().total_cmp(&ws.slot_bounds[b].width()))
+                .expect("non-empty active set");
+            let period = ws.slot_bounds[widest].center();
+            let passed = tester.apply_single(period, ws.slot_paths[widest], 0.0);
+            let obs = ws.slot_bounds[widest].update(period, 0.0, passed);
+            // A center probe sits strictly inside the interval and cannot
+            // contradict either bound.
+            debug_assert_eq!(obs, Observation::Tightened);
+            ws.tracker.mark(widest);
+            let (active_slots, slot_bounds) = (&mut ws.active_slots, &ws.slot_bounds);
+            active_slots.retain(|&s| !slot_bounds[s].converged(config.epsilon));
+        }
+    }
+
+    all_bounds.extend(ws.slot_paths.iter().copied().zip(ws.slot_bounds.iter().copied()));
+    (align_time, contradictions)
+}
+
 /// Tests one batch to convergence; returns the alignment solve time and
 /// the number of contradictory observations.
-fn test_one_batch(
+///
+/// This is the original HashMap-per-iteration implementation, kept as the
+/// bitwise reference for [`test_one_batch_incremental`] (selected by
+/// [`AlignedTestConfig::incremental`] `= false`).
+fn test_one_batch_reference(
     ws: &mut AlignedTestWorkspace,
     model: &TimingModel,
     tester: &mut VirtualTester<'_>,
@@ -571,6 +768,60 @@ mod tests {
             "batched {} >= path-wise {pw_iters}",
             aligned.iterations
         );
+    }
+
+    #[test]
+    fn incremental_loop_matches_reference_bitwise() {
+        // The slot-array loop must reproduce the HashMap reference
+        // *exactly* — bounds bits, iteration counts, contradiction counts
+        // — across chips, alignment modes, and workspace reuse.
+        let (bench, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let selected = all_selected(&groups);
+        let all: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        let widths: Vec<f64> = selected.iter().map(|&p| 6.0 * model.path_sigma(p)).collect();
+        let batches = build_batches(&oracle, &selected, Some(&widths));
+        let epsilon = default_epsilon(&model);
+
+        let mut ws_inc = AlignedTestWorkspace::new();
+        let mut ws_ref = AlignedTestWorkspace::new();
+        for use_alignment in [true, false] {
+            for seed in 0..4 {
+                let chip = model.sample_chip(40 + seed);
+                let base =
+                    AlignedTestConfig { epsilon, use_alignment, ..AlignedTestConfig::default() };
+                let mut t1 = VirtualTester::new(&chip);
+                let inc = run_aligned_test_with(
+                    &mut ws_inc,
+                    &model,
+                    &mut t1,
+                    &batches,
+                    &HoldBounds::default(),
+                    &AlignedTestConfig { incremental: true, ..base.clone() },
+                );
+                let mut t2 = VirtualTester::new(&chip);
+                let refr = run_aligned_test_with(
+                    &mut ws_ref,
+                    &model,
+                    &mut t2,
+                    &batches,
+                    &HoldBounds::default(),
+                    &AlignedTestConfig { incremental: false, ..base },
+                );
+                assert_eq!(inc.iterations, refr.iterations, "iteration drift (seed {seed})");
+                assert_eq!(inc.contradictions, refr.contradictions);
+                assert_eq!(inc.bounds.len(), refr.bounds.len());
+                for (p, b) in &inc.bounds {
+                    let r = &refr.bounds[p];
+                    assert_eq!(
+                        (b.lower.to_bits(), b.upper.to_bits()),
+                        (r.lower.to_bits(), r.upper.to_bits()),
+                        "bounds drift on path {p} (seed {seed}, alignment {use_alignment})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,11 +12,24 @@
 //! *predicted* variance (paper eq. 5 — independent of any measured value)
 //! are slotted into batches they do not conflict with, so the otherwise
 //! idle test slots also produce delay information.
+//!
+//! # Sparse placement
+//!
+//! The conflict graph is never materialized densely. Endpoint conflicts
+//! form cliques over the paths sharing a flip-flop, so they are resolved
+//! through per-endpoint lists; sensitization exclusions are stored once as
+//! a symmetric CSR adjacency built from the sparse
+//! [`MutualExclusions`] lists. Placement then only visits a path's actual
+//! neighbors (to stamp their batches as forbidden) instead of probing
+//! every batch member, which drops coloring from quadratic to
+//! O(paths + conflict edges + batches). The quadratic loops survive as
+//! [`build_batches_dense`] / [`fill_slots_dense`], the reference oracles
+//! the differential tests pin the sparse placement against.
 
 use std::collections::HashMap;
 
 use effitest_circuit::sensitize::MutualExclusions;
-use effitest_circuit::{GeneratedBenchmark, PathId};
+use effitest_circuit::{FlipFlopId, GeneratedBenchmark, PathId, PathView};
 use effitest_ssta::TimingModel;
 
 /// The batching outcome.
@@ -54,9 +67,14 @@ impl Batches {
 pub struct ConflictOracle<'a> {
     bench: &'a GeneratedBenchmark,
     exclusions: MutualExclusions,
-    /// Maps path index -> position in the oracle's path list.
-    position: HashMap<usize, usize>,
+    /// Position of each benchmark path in the oracle's path list, indexed
+    /// by path index; `usize::MAX` marks unregistered paths.
+    position: Vec<usize>,
     paths: Vec<usize>,
+    /// Symmetric CSR adjacency over the stored sensitization exclusions,
+    /// indexed by oracle position. Entries are *benchmark* path indices.
+    sens_off: Vec<u32>,
+    sens_adj: Vec<u32>,
 }
 
 impl<'a> ConflictOracle<'a> {
@@ -64,14 +82,52 @@ impl<'a> ConflictOracle<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if a path index is out of range for the benchmark.
+    /// Panics if a path index is out of range for the benchmark or listed
+    /// twice.
     pub fn new(bench: &'a GeneratedBenchmark, paths: &[usize]) -> Self {
-        let refs: Vec<&effitest_circuit::TimedPath> =
+        let views: Vec<PathView<'_>> =
             paths.iter().map(|&p| bench.paths.path(PathId::new(p as u32))).collect();
         let exclusions =
-            MutualExclusions::build(&bench.netlist, &refs).expect("generated paths are valid");
-        let position = paths.iter().enumerate().map(|(pos, &p)| (p, pos)).collect();
-        ConflictOracle { bench, exclusions, position, paths: paths.to_vec() }
+            MutualExclusions::build(&bench.netlist, &views).expect("generated paths are valid");
+        let mut position = vec![usize::MAX; bench.paths.len()];
+        for (pos, &p) in paths.iter().enumerate() {
+            assert!(position[p] == usize::MAX, "path {p} registered twice with the oracle");
+            position[p] = pos;
+        }
+        // Symmetrize the one-sided `excluded_after` lists into CSR form.
+        let n = paths.len();
+        let mut degree = vec![0_u32; n];
+        for i in 0..n {
+            for &j in exclusions.excluded_after(i) {
+                degree[i] += 1;
+                degree[j] += 1;
+            }
+        }
+        let mut sens_off = Vec::with_capacity(n + 1);
+        let mut total = 0_u32;
+        sens_off.push(0);
+        for &d in &degree {
+            total += d;
+            sens_off.push(total);
+        }
+        let mut cursor: Vec<u32> = sens_off[..n].to_vec();
+        let mut sens_adj = vec![0_u32; total as usize];
+        for i in 0..n {
+            for &j in exclusions.excluded_after(i) {
+                sens_adj[cursor[i] as usize] = paths[j] as u32;
+                cursor[i] += 1;
+                sens_adj[cursor[j] as usize] = paths[i] as u32;
+                cursor[j] += 1;
+            }
+        }
+        ConflictOracle { bench, exclusions, position, paths: paths.to_vec(), sens_off, sens_adj }
+    }
+
+    /// Oracle position of path `p`, panicking on unregistered paths.
+    fn pos(&self, p: usize) -> usize {
+        let pos = self.position[p];
+        assert!(pos != usize::MAX, "path {p} was not registered with the oracle");
+        pos
     }
 
     /// `true` if the two paths cannot share a test batch.
@@ -88,8 +144,15 @@ impl<'a> ConflictOracle<'a> {
         if pa.conflicts_with(pb) {
             return true;
         }
-        let (ia, ib) = (self.position[&a], self.position[&b]);
-        self.exclusions.excludes(ia, ib)
+        self.exclusions.excludes(self.pos(a), self.pos(b))
+    }
+
+    /// Benchmark path indices whose stored sensitization exclusion
+    /// involves `p`. Endpoint conflicts are cliques over shared flip-flops
+    /// and are *not* stored; resolve them through the endpoints.
+    pub fn sens_neighbors(&self, p: usize) -> &[u32] {
+        let pos = self.pos(p);
+        &self.sens_adj[self.sens_off[pos] as usize..self.sens_off[pos + 1] as usize]
     }
 
     /// The paths this oracle knows about.
@@ -112,6 +175,44 @@ fn mean_width_distance(width_sum: f64, count: usize, width: f64) -> f64 {
     (width_sum / count as f64 - width).abs()
 }
 
+/// Per-endpoint lists of already-placed paths, the sparse stand-in for
+/// probing every batch member during placement.
+#[derive(Default)]
+struct EndpointIndex {
+    by_source: HashMap<FlipFlopId, Vec<u32>>,
+    by_sink: HashMap<FlipFlopId, Vec<u32>>,
+}
+
+impl EndpointIndex {
+    fn insert(&mut self, view: PathView<'_>) {
+        self.by_source.entry(view.source).or_default().push(view.id.index() as u32);
+        self.by_sink.entry(view.sink).or_default().push(view.id.index() as u32);
+    }
+
+    /// Stamps the batches of every placed path conflicting with `view` as
+    /// forbidden for the current placement step.
+    fn stamp_forbidden(
+        &self,
+        oracle: &ConflictOracle<'_>,
+        view: PathView<'_>,
+        batch_of: &[u32],
+        forbidden: &mut [u64],
+        stamp: u64,
+    ) {
+        for list in [self.by_source.get(&view.source), self.by_sink.get(&view.sink)] {
+            for &q in list.into_iter().flatten() {
+                forbidden[batch_of[q as usize] as usize] = stamp;
+            }
+        }
+        for &q in oracle.sens_neighbors(view.id.index()) {
+            let b = batch_of[q as usize];
+            if b != u32::MAX {
+                forbidden[b as usize] = stamp;
+            }
+        }
+    }
+}
+
 /// Packs the selected paths into batches by greedy first-fit coloring.
 ///
 /// When `widths` is provided (one initial range width per entry of
@@ -125,7 +226,126 @@ fn mean_width_distance(width_sum: f64, count: usize, width: f64) -> f64 {
 ///
 /// Without `widths`, the classic Welsh–Powell order (conflict degree
 /// descending) is used.
+///
+/// Placement walks each path's conflict neighborhood (endpoint lists plus
+/// the stored sensitization adjacency) to stamp forbidden batches, then
+/// takes the first best feasible batch in index order — bitwise the same
+/// batches as the quadratic [`build_batches_dense`] reference.
 pub fn build_batches(
+    oracle: &ConflictOracle<'_>,
+    selected: &[usize],
+    widths: Option<&[f64]>,
+) -> Vec<Vec<usize>> {
+    let n = selected.len();
+    if let Some(w) = widths {
+        assert_eq!(w.len(), n, "one width per selected path required");
+    }
+    // Position of each benchmark path inside `selected`, also asserting
+    // the no-duplicates contract the sparse bookkeeping relies on.
+    let mut sel_pos = vec![u32::MAX; oracle.position.len()];
+    for (i, &p) in selected.iter().enumerate() {
+        assert!(sel_pos[p] == u32::MAX, "duplicate path {p} in `selected`");
+        sel_pos[p] = i as u32;
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    match widths {
+        Some(w) => {
+            order.sort_by(|&a, &b| w[b].total_cmp(&w[a]).then(selected[a].cmp(&selected[b])));
+        }
+        None => {
+            // Welsh–Powell degree: distinct conflicting partners within
+            // `selected`, counted through endpoint lists and the stored
+            // sensitization adjacency with stamp-based deduplication.
+            let mut all = EndpointIndex::default();
+            for &p in selected {
+                all.insert(oracle.bench.paths.path(PathId::new(p as u32)));
+            }
+            let mut degree = vec![0_usize; n];
+            let mut mark = vec![u32::MAX; n];
+            for (i, &p) in selected.iter().enumerate() {
+                let view = oracle.bench.paths.path(PathId::new(p as u32));
+                let stamp = i as u32;
+                let mut count = 0_usize;
+                for list in [all.by_source.get(&view.source), all.by_sink.get(&view.sink)] {
+                    for &q in list.into_iter().flatten() {
+                        let j = sel_pos[q as usize] as usize;
+                        if j != i && mark[j] != stamp {
+                            mark[j] = stamp;
+                            count += 1;
+                        }
+                    }
+                }
+                for &q in oracle.sens_neighbors(p) {
+                    let j = sel_pos[q as usize];
+                    if j != u32::MAX && j as usize != i && mark[j as usize] != stamp {
+                        mark[j as usize] = stamp;
+                        count += 1;
+                    }
+                }
+                degree[i] = count;
+            }
+            order.sort_by(|&a, &b| degree[b].cmp(&degree[a]).then(selected[a].cmp(&selected[b])));
+        }
+    }
+
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    let mut batch_widths: Vec<(f64, usize)> = Vec::new(); // (sum, count)
+    let mut batch_of = vec![u32::MAX; oracle.position.len()];
+    let mut placed = EndpointIndex::default();
+    let mut forbidden: Vec<u64> = Vec::new();
+    let mut stamp = 0_u64;
+    for &pos in &order {
+        let p = selected[pos];
+        let view = oracle.bench.paths.path(PathId::new(p as u32));
+        stamp += 1;
+        placed.stamp_forbidden(oracle, view, &batch_of, &mut forbidden, stamp);
+        let slot = match widths {
+            Some(w) => {
+                let width = w[pos];
+                // First strict minimum in batch index order — the same
+                // batch `Iterator::min_by` returns over the feasible set.
+                let mut best: Option<(usize, f64)> = None;
+                for b in 0..batches.len() {
+                    if forbidden[b] == stamp {
+                        continue;
+                    }
+                    let d = mean_width_distance(batch_widths[b].0, batch_widths[b].1, width);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((b, d));
+                    }
+                }
+                best.map(|(b, _)| b)
+            }
+            None => (0..batches.len()).find(|&b| forbidden[b] != stamp),
+        };
+        let b = match slot {
+            Some(b) => {
+                batches[b].push(p);
+                if let Some(w) = widths {
+                    batch_widths[b].0 += w[pos];
+                    batch_widths[b].1 += 1;
+                }
+                b
+            }
+            None => {
+                batches.push(vec![p]);
+                batch_widths.push((widths.map_or(0.0, |w| w[pos]), 1));
+                forbidden.push(0);
+                batches.len() - 1
+            }
+        };
+        batch_of[p] = b as u32;
+        placed.insert(view);
+    }
+    batches
+}
+
+/// The original quadratic coloring, kept as the reference oracle for the
+/// sparse [`build_batches`]: identical order keys, identical first-fit /
+/// first-min placement, but every feasibility check probes every member of
+/// every batch through [`ConflictOracle::conflicts`].
+pub fn build_batches_dense(
     oracle: &ConflictOracle<'_>,
     selected: &[usize],
     widths: Option<&[f64]>,
@@ -199,7 +419,65 @@ pub fn build_batches(
 /// the candidate's (see [`build_batches`] for why width homogeneity
 /// matters). `capacity` defaults to the largest batch size. Every
 /// candidate is used at most once.
+///
+/// Like [`build_batches`], feasibility is resolved through the sparse
+/// conflict neighborhood; [`fill_slots_dense`] is the quadratic reference.
 pub fn fill_slots(
+    oracle: &ConflictOracle<'_>,
+    batches: &mut [Vec<usize>],
+    candidates: &[(usize, f64, f64)],
+    capacity: Option<usize>,
+    widths_of_batched: &dyn Fn(usize) -> f64,
+) -> Vec<usize> {
+    let cap = capacity.unwrap_or_else(|| batches.iter().map(Vec::len).max().unwrap_or(0)).max(1);
+    let mut ranked: Vec<(usize, f64, f64)> = candidates.to_vec();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut filled = Vec::new();
+    let mut means: Vec<(f64, usize)> =
+        batches.iter().map(|b| (b.iter().map(|&p| widths_of_batched(p)).sum(), b.len())).collect();
+    let mut batch_of = vec![u32::MAX; oracle.position.len()];
+    let mut placed = EndpointIndex::default();
+    for (b, batch) in batches.iter().enumerate() {
+        for &q in batch.iter() {
+            batch_of[q] = b as u32;
+            placed.insert(oracle.bench.paths.path(PathId::new(q as u32)));
+        }
+    }
+    let mut forbidden = vec![0_u64; batches.len()];
+    let mut stamp = 0_u64;
+
+    for (p, _sigma, width) in ranked {
+        if batch_of[p] != u32::MAX {
+            continue; // already batched, or already used as a filler
+        }
+        let view = oracle.bench.paths.path(PathId::new(p as u32));
+        stamp += 1;
+        placed.stamp_forbidden(oracle, view, &batch_of, &mut forbidden, stamp);
+        let mut best: Option<(usize, f64)> = None;
+        for b in 0..batches.len() {
+            if batches[b].len() >= cap || forbidden[b] == stamp {
+                continue;
+            }
+            let d = mean_width_distance(means[b].0, means[b].1, width);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((b, d));
+            }
+        }
+        if let Some((b, _)) = best {
+            batches[b].push(p);
+            means[b].0 += width;
+            means[b].1 += 1;
+            batch_of[p] = b as u32;
+            placed.insert(view);
+            filled.push(p);
+        }
+    }
+    filled
+}
+
+/// The original quadratic slot filler, kept as the reference oracle for
+/// the sparse [`fill_slots`].
+pub fn fill_slots_dense(
     oracle: &ConflictOracle<'_>,
     batches: &mut [Vec<usize>],
     candidates: &[(usize, f64, f64)],
@@ -281,7 +559,7 @@ pub fn predicted_sigmas(
 mod tests {
     use super::*;
     use crate::select::{select_paths, SelectConfig};
-    use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+    use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark, Topology};
     use effitest_ssta::VariationConfig;
 
     /// Large enough that batches hold several paths and slot filling has
@@ -322,6 +600,73 @@ mod tests {
     }
 
     #[test]
+    fn sparse_placement_matches_dense_reference() {
+        let (bench, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let selected = crate::select::all_selected(&groups);
+        let all: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        for widths in [None, Some(widths_for(&model, &selected))] {
+            let sparse = build_batches(&oracle, &selected, widths.as_deref());
+            let dense = build_batches_dense(&oracle, &selected, widths.as_deref());
+            assert_eq!(sparse, dense, "coloring diverged (widths: {})", widths.is_some());
+        }
+
+        // Slot filling must also agree, including the capacity limit.
+        let widths = widths_for(&model, &selected);
+        let candidates: Vec<(usize, f64, f64)> = predicted_sigmas(&model, &groups)
+            .into_iter()
+            .map(|(p, s)| (p, s, 6.0 * model.path_sigma(p)))
+            .collect();
+        let width_of = |p: usize| 6.0 * model.path_sigma(p);
+        let base = build_batches(&oracle, &selected, Some(&widths));
+        let cap = base.iter().map(Vec::len).max().unwrap_or(1).max(4);
+        let mut sparse = base.clone();
+        let mut dense = base;
+        let fs = fill_slots(&oracle, &mut sparse, &candidates, Some(cap), &width_of);
+        let fd = fill_slots_dense(&oracle, &mut dense, &candidates, Some(cap), &width_of);
+        assert_eq!(fs, fd, "fill order diverged");
+        assert_eq!(sparse, dense, "filled batches diverged");
+        assert!(!fs.is_empty(), "differential exercised no fills");
+    }
+
+    #[test]
+    fn sparse_placement_matches_dense_on_every_topology() {
+        for &topology in Topology::all().iter() {
+            let spec = BenchmarkSpec::iscas89_s9234().scaled_down(6).with_topology(topology);
+            let bench = GeneratedBenchmark::generate(&spec, 1);
+            let model = TimingModel::build(&bench, &VariationConfig::paper());
+            let all: Vec<usize> = (0..model.path_count()).collect();
+            let oracle = ConflictOracle::new(&bench, &all);
+            let widths = widths_for(&model, &all);
+            for widths in [None, Some(widths.clone())] {
+                let sparse = build_batches(&oracle, &all, widths.as_deref());
+                let dense = build_batches_dense(&oracle, &all, widths.as_deref());
+                assert_eq!(sparse, dense, "coloring diverged on {}", topology.name());
+            }
+        }
+    }
+
+    #[test]
+    fn large_tier_batches_match_dense_reference() {
+        // A reduced `large` circuit: pairwise merge-gate exclusions plus
+        // hub endpoint cliques, the exact shape the sparse path targets.
+        let bench = GeneratedBenchmark::generate(&BenchmarkSpec::large(256), 7);
+        let all: Vec<usize> = (0..bench.paths.len()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        let sparse = build_batches(&oracle, &all, None);
+        let dense = build_batches_dense(&oracle, &all, None);
+        assert_eq!(sparse, dense);
+        for batch in &sparse {
+            for (i, &a) in batch.iter().enumerate() {
+                for &b in &batch[i + 1..] {
+                    assert!(!oracle.conflicts(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn endpoint_conflicts_respected() {
         let (bench, _) = fixture();
         let all: Vec<usize> = (0..bench.paths.len()).collect();
@@ -341,6 +686,24 @@ mod tests {
             }
         }
         assert!(found, "benchmark has no endpoint conflicts to test");
+    }
+
+    #[test]
+    fn sens_neighbors_agree_with_exclusions() {
+        let (bench, _) = fixture();
+        let all: Vec<usize> = (0..bench.paths.len()).collect();
+        let oracle = ConflictOracle::new(&bench, &all);
+        let mut edges = 0_usize;
+        for i in 0..all.len() {
+            let mut from_csr: Vec<usize> =
+                oracle.sens_neighbors(i).iter().map(|&q| q as usize).collect();
+            from_csr.sort_unstable();
+            let from_dense: Vec<usize> =
+                (0..all.len()).filter(|&j| j != i && oracle.exclusions.excludes(i, j)).collect();
+            assert_eq!(from_csr, from_dense, "adjacency mismatch at path {i}");
+            edges += from_csr.len();
+        }
+        assert!(edges > 0, "fixture has no sensitization exclusions to test");
     }
 
     #[test]
@@ -387,16 +750,18 @@ mod tests {
         let (bench, _) = fixture();
         let all: Vec<usize> = (0..bench.paths.len()).collect();
         let oracle = ConflictOracle::new(&bench, &all);
-        let mut batches: Vec<Vec<usize>> = vec![vec![], vec![]];
         let candidates: Vec<(usize, f64, f64)> = vec![(0, 2.0, 1.0), (1, 1.5, 1.0), (2, 1.0, 1.0)];
-        let filled = fill_slots(&oracle, &mut batches, &candidates, Some(2), &|_| 1.0);
-        assert!(!filled.is_empty(), "empty batches must be eligible fill targets");
-        let placed: usize = batches.iter().map(Vec::len).sum();
-        assert_eq!(placed, filled.len());
-        for batch in &batches {
-            for (i, &a) in batch.iter().enumerate() {
-                for &b in &batch[i + 1..] {
-                    assert!(!oracle.conflicts(a, b));
+        for fill in [fill_slots, fill_slots_dense] {
+            let mut batches: Vec<Vec<usize>> = vec![vec![], vec![]];
+            let filled = fill(&oracle, &mut batches, &candidates, Some(2), &|_| 1.0);
+            assert!(!filled.is_empty(), "empty batches must be eligible fill targets");
+            let placed: usize = batches.iter().map(Vec::len).sum();
+            assert_eq!(placed, filled.len());
+            for batch in &batches {
+                for (i, &a) in batch.iter().enumerate() {
+                    for &b in &batch[i + 1..] {
+                        assert!(!oracle.conflicts(a, b));
+                    }
                 }
             }
         }

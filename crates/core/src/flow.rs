@@ -68,6 +68,11 @@ pub struct FlowConfig {
     pub exact_alignment: bool,
     /// Fill empty batch slots with high-variance unselected paths (§3.2).
     pub slot_fill: bool,
+    /// Run the aligned test with incremental per-step timing updates
+    /// (see [`AlignedTestConfig::incremental`]); `false` selects the
+    /// full-reanalysis reference loop. Both produce bitwise-identical
+    /// outcomes.
+    pub incremental: bool,
 }
 
 impl Default for FlowConfig {
@@ -82,6 +87,7 @@ impl Default for FlowConfig {
             use_alignment: true,
             exact_alignment: false,
             slot_fill: true,
+            incremental: true,
         }
     }
 }
@@ -541,6 +547,7 @@ impl EffiTestFlow {
             exact_alignment: self.config.exact_alignment,
             exact_node_limit: effitest_solver::DEFAULT_NODE_LIMIT,
             max_iterations_per_batch: 10_000,
+            incremental: self.config.incremental,
         }
     }
 }
@@ -617,6 +624,44 @@ mod tests {
             let reused = flow.run_chip_with(&mut ws, &prepared, &chip, td).unwrap();
             let fresh = flow.run_chip(&prepared, &chip, td).unwrap();
             assert_eq!(key(&reused), key(&fresh), "workspace reuse drifted on chip {seed}");
+        }
+    }
+
+    #[test]
+    fn incremental_flow_matches_reference_on_every_topology() {
+        // The full per-chip flow — aligned test, prediction, configuration,
+        // final check — must be bitwise identical with and without the
+        // incremental aligned-test loop, on every topology in the matrix.
+        let key = |o: &ChipOutcome| {
+            (
+                o.iterations,
+                o.passes,
+                o.contradictions,
+                o.configured.clone().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+            )
+        };
+        for &topology in effitest_circuit::Topology::all().iter() {
+            let spec = BenchmarkSpec::iscas89_s9234().scaled_down(10).with_topology(topology);
+            let bench = GeneratedBenchmark::generate(&spec, 1);
+            let model = TimingModel::build(&bench, &VariationConfig::paper());
+            let inc = EffiTestFlow::new(FlowConfig::default());
+            let refr =
+                EffiTestFlow::new(FlowConfig { incremental: false, ..FlowConfig::default() });
+            let plan_inc = inc.plan(&bench, &model).unwrap();
+            let plan_ref = refr.plan(&bench, &model).unwrap();
+            let td = model.nominal_period();
+            for seed in 0..3 {
+                let chip = model.sample_chip(700 + seed);
+                let a = inc.run_chip(&plan_inc, &chip, td).unwrap();
+                let b = refr.run_chip(&plan_ref, &chip, td).unwrap();
+                assert_eq!(
+                    key(&a),
+                    key(&b),
+                    "incremental flow drifted on {} chip {seed}",
+                    topology.name()
+                );
+            }
         }
     }
 

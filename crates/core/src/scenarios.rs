@@ -380,7 +380,9 @@ fn prediction_errors(
 
 /// Serializes one report as a JSON object (stable key order, no
 /// wall-clock fields; floats use Rust's shortest round-trip formatting so
-/// equal bit patterns serialize identically).
+/// equal bit patterns serialize identically). The terse `np`/`npt` keys
+/// are mirrored by the self-describing `path_count`/`tested_path_count`
+/// aliases so scale-tier reports read standalone.
 pub fn report_to_json(r: &ScenarioReport) -> String {
     format!(
         concat!(
@@ -388,7 +390,9 @@ pub fn report_to_json(r: &ScenarioReport) -> String {
             "\"variation\": \"{variation}\", \"tuning_fraction\": {tf}, ",
             "\"chips\": {chips}, \"seed\": {seed}, ",
             "\"ns\": {ns}, \"ng\": {ng}, \"nb\": {nb}, \"np\": {np}, ",
-            "\"npt\": {npt}, \"batches\": {batches}, ",
+            "\"npt\": {npt}, ",
+            "\"path_count\": {np}, \"tested_path_count\": {npt}, ",
+            "\"batches\": {batches}, ",
             "\"designated_period\": {td}, ",
             "\"yield\": {y}, \"ideal_yield\": {yi}, \"untuned_yield\": {yu}, ",
             "\"mean_iterations\": {ta}, \"iterations_per_tested_path\": {tv}, ",
@@ -525,9 +529,14 @@ mod tests {
         axes.topologies = vec![effitest_circuit::Topology::Mesh];
         axes.variations = vec![effitest_ssta::VariationProfile::HighSigmaTail];
         let cell = &axes.cells()[0];
-        let serial = report_to_json(&run_scenario(cell, 1));
+        let report = run_scenario(cell, 1);
+        let serial = report_to_json(&report);
         let parallel = report_to_json(&run_scenario(cell, 4));
         assert_eq!(serial, parallel, "scenario reports drifted with the thread count");
+        // The self-describing aliases are part of the byte-stable schema
+        // and always mirror the terse np/npt fields.
+        assert!(serial.contains(&format!("\"path_count\": {}", report.np)));
+        assert!(serial.contains(&format!("\"tested_path_count\": {}", report.npt)));
     }
 
     #[test]

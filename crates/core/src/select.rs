@@ -11,7 +11,7 @@ use effitest_linalg::Pca;
 use effitest_ssta::TimingModel;
 
 /// One correlation group with its selected representatives.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathGroup {
     /// Member path indices (positions in the benchmark's path set).
     pub members: Vec<usize>,
@@ -39,6 +39,17 @@ pub struct SelectConfig {
     /// PCA (the Jacobi eigendecomposition is O(n^3); chunking a
     /// high-correlation group costs at most a few extra representatives).
     pub max_group_size: usize,
+    /// Criticality pre-selection: when set, only paths whose criticality
+    /// score (`mu + criticality_sigma * sigma`) reaches this fraction of
+    /// the maximum score over all paths enter correlation grouping. Cold
+    /// paths appear in no group; prediction falls back to their prior
+    /// range, which is safe because they are far from the designated
+    /// period anyway. `None` (the default) groups every path — the paper's
+    /// behavior on its benchmark sizes, and bitwise identical to the
+    /// pre-filter code.
+    pub criticality_fraction: Option<f64>,
+    /// Sigma multiplier `k` in the criticality score `mu + k * sigma`.
+    pub criticality_sigma: f64,
 }
 
 impl Default for SelectConfig {
@@ -49,25 +60,51 @@ impl Default for SelectConfig {
             threshold_floor: 0.30,
             pca_energy: 0.95,
             max_group_size: 500,
+            criticality_fraction: None,
+            criticality_sigma: 3.0,
         }
     }
 }
 
+/// Criticality score of a path: its delay mean plus `k` standard
+/// deviations — the upper tail the frequency-stepped test probes first.
+pub fn criticality_score(model: &TimingModel, path: usize, k: f64) -> f64 {
+    model.path_mean(path) + k * model.path_sigma(path)
+}
+
+/// Paths surviving the criticality cut at `fraction` of the maximum
+/// score, in path-index order. The maximum-score path always survives.
+fn critical_paths(model: &TimingModel, fraction: f64, k: f64) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "criticality_fraction must lie in [0, 1], got {fraction}"
+    );
+    let max_score = (0..model.path_count())
+        .map(|p| criticality_score(model, p, k))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cut = fraction * max_score;
+    (0..model.path_count()).filter(|&p| criticality_score(model, p, k) >= cut).collect()
+}
+
 /// Runs Procedure 1 over all required paths of a timing model.
 ///
-/// Returns the groups in extraction order; every path index appears in
-/// exactly one group, and every group has at least one selected
-/// representative.
+/// Returns the groups in extraction order; with the default configuration
+/// every path index appears in exactly one group, and every group has at
+/// least one selected representative. With `criticality_fraction` set,
+/// only the surviving paths are grouped (see [`SelectConfig`]).
 ///
 /// # Panics
 ///
 /// Panics if the model has no paths or the configuration is degenerate
-/// (non-positive threshold step).
+/// (non-positive threshold step, criticality fraction outside `[0, 1]`).
 pub fn select_paths(model: &TimingModel, config: &SelectConfig) -> Vec<PathGroup> {
     assert!(model.path_count() > 0, "no paths to select from");
     assert!(config.threshold_step > 0.0, "threshold step must be positive");
 
-    let mut remaining: Vec<usize> = (0..model.path_count()).collect();
+    let mut remaining: Vec<usize> = match config.criticality_fraction {
+        None => (0..model.path_count()).collect(),
+        Some(fraction) => critical_paths(model, fraction, config.criticality_sigma),
+    };
     let mut groups = Vec::new();
     let mut threshold = config.threshold_start;
 
@@ -240,6 +277,76 @@ mod tests {
             select_paths(&m, &SelectConfig { pca_energy: 0.999, ..SelectConfig::default() });
         let loose = select_paths(&m, &SelectConfig { pca_energy: 0.5, ..SelectConfig::default() });
         assert!(selected_count(&loose) <= selected_count(&tight));
+    }
+
+    #[test]
+    fn zero_criticality_fraction_matches_unfiltered_grouping() {
+        // `Some(0.0)` admits every path, so the result must be *identical*
+        // to the default — the filter is a pure pre-pass, not a reorder.
+        let m = model();
+        let unfiltered = select_paths(&m, &SelectConfig::default());
+        let zero = select_paths(
+            &m,
+            &SelectConfig { criticality_fraction: Some(0.0), ..SelectConfig::default() },
+        );
+        assert_eq!(unfiltered, zero);
+    }
+
+    #[test]
+    fn criticality_filter_groups_exactly_the_surviving_paths() {
+        let m = model();
+        let k = SelectConfig::default().criticality_sigma;
+        let scores: Vec<f64> = (0..m.path_count()).map(|p| criticality_score(&m, p, k)).collect();
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Cut at the median score so the filter provably drops paths.
+        let mut sorted = scores.clone();
+        sorted.sort_by(f64::total_cmp);
+        let fraction = sorted[sorted.len() / 2] / max;
+        let groups = select_paths(
+            &m,
+            &SelectConfig { criticality_fraction: Some(fraction), ..SelectConfig::default() },
+        );
+        let mut grouped: Vec<usize> =
+            groups.iter().flat_map(|g| g.members.iter().copied()).collect();
+        grouped.sort_unstable();
+        let expected: Vec<usize> =
+            (0..m.path_count()).filter(|&p| scores[p] >= fraction * max).collect();
+        assert_eq!(grouped, expected, "grouped set is not the surviving set");
+        assert!(grouped.len() < m.path_count(), "filter dropped nothing");
+        assert!(!grouped.is_empty(), "filter dropped everything");
+    }
+
+    #[test]
+    fn oversized_groups_are_chunked_with_no_member_lost() {
+        let m = model();
+        let default_groups = select_paths(&m, &SelectConfig::default());
+        let largest = default_groups.iter().map(|g| g.members.len()).max().unwrap();
+        assert!(largest > 3, "fixture has no group large enough to exercise chunking");
+        let cfg = SelectConfig { max_group_size: 3, ..SelectConfig::default() };
+        let chunked = select_paths(&m, &cfg);
+        for g in &chunked {
+            assert!(g.members.len() <= 3, "chunk cap violated: {} members", g.members.len());
+            assert!(!g.selected.is_empty());
+        }
+        // Every path still lands in exactly one group.
+        let mut seen = vec![false; m.path_count()];
+        for g in &chunked {
+            for &p in &g.members {
+                assert!(!seen[p], "path {p} in two chunks");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "chunking lost a path");
+        assert!(chunked.len() > default_groups.len(), "no group was actually split");
+    }
+
+    #[test]
+    fn chunked_selection_is_deterministic_across_reruns() {
+        let m = model();
+        let cfg = SelectConfig { max_group_size: 3, ..SelectConfig::default() };
+        let a = select_paths(&m, &cfg);
+        let b = select_paths(&m, &cfg);
+        assert_eq!(a, b);
     }
 
     #[test]

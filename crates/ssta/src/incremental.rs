@@ -1,0 +1,127 @@
+//! Stamp-based dirty tracking for incremental timing updates.
+//!
+//! The aligned test (and any other frequency-stepping consumer) refines
+//! per-path delay bounds iteratively, but a single probe only narrows a
+//! few of them. Re-deriving every derived quantity (range centers,
+//! alignment inputs) each step is wasted work at industrial path counts.
+//! [`ChangeTracker`] records *which* entries changed during the current
+//! step so consumers recompute exactly those — and nothing else.
+//!
+//! The tracker is stamp-based: advancing a step is a single counter
+//! increment, never a clear of the underlying vector, so the per-step
+//! cost is proportional to the number of changes, not the number of
+//! tracked entries.
+
+/// Tracks which of `n` entries changed during the current step.
+///
+/// A freshly [`reset`](ChangeTracker::reset) tracker reports *every*
+/// entry as changed — the first step after a reset must recompute
+/// everything, which is exactly the full-analysis baseline the
+/// incremental path degenerates to.
+#[derive(Debug, Default, Clone)]
+pub struct ChangeTracker {
+    /// Step at which each entry last changed.
+    last_changed: Vec<u64>,
+    /// The current step stamp.
+    step: u64,
+}
+
+impl ChangeTracker {
+    /// Creates an empty tracker; call [`reset`](Self::reset) before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-initializes the tracker for `n` entries, all marked changed in
+    /// the (new) current step.
+    pub fn reset(&mut self, n: usize) {
+        self.step += 1;
+        self.last_changed.clear();
+        self.last_changed.resize(n, self.step);
+    }
+
+    /// Opens a new step; nothing is marked changed in it yet.
+    pub fn advance(&mut self) {
+        self.step += 1;
+    }
+
+    /// Marks entry `i` as changed in the current step.
+    pub fn mark(&mut self, i: usize) {
+        self.last_changed[i] = self.step;
+    }
+
+    /// `true` if entry `i` changed during the current step.
+    pub fn changed_in_current_step(&self, i: usize) -> bool {
+        self.last_changed[i] == self.step
+    }
+
+    /// Number of tracked entries.
+    pub fn len(&self) -> usize {
+        self.last_changed.len()
+    }
+
+    /// `true` if the tracker tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.last_changed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_marks_everything_changed() {
+        let mut t = ChangeTracker::new();
+        t.reset(4);
+        assert_eq!(t.len(), 4);
+        assert!((0..4).all(|i| t.changed_in_current_step(i)));
+    }
+
+    #[test]
+    fn advance_clears_without_touching_the_vector() {
+        let mut t = ChangeTracker::new();
+        t.reset(3);
+        t.advance();
+        assert!((0..3).all(|i| !t.changed_in_current_step(i)));
+        t.mark(1);
+        assert!(!t.changed_in_current_step(0));
+        assert!(t.changed_in_current_step(1));
+        assert!(!t.changed_in_current_step(2));
+    }
+
+    #[test]
+    fn marks_do_not_leak_across_steps() {
+        let mut t = ChangeTracker::new();
+        t.reset(2);
+        t.advance();
+        t.mark(0);
+        t.advance();
+        assert!(!t.changed_in_current_step(0));
+        t.mark(0);
+        assert!(t.changed_in_current_step(0));
+    }
+
+    #[test]
+    fn reset_after_use_starts_clean_at_a_new_size() {
+        let mut t = ChangeTracker::new();
+        t.reset(5);
+        t.advance();
+        t.mark(4);
+        t.reset(2);
+        assert_eq!(t.len(), 2);
+        assert!(t.changed_in_current_step(0) && t.changed_in_current_step(1));
+        t.advance();
+        assert!(!t.changed_in_current_step(0));
+    }
+
+    #[test]
+    fn empty_tracker_reports_empty() {
+        let mut t = ChangeTracker::new();
+        assert!(t.is_empty());
+        t.reset(1);
+        assert!(!t.is_empty());
+        t.reset(0);
+        assert!(t.is_empty());
+    }
+}

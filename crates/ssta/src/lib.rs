@@ -45,12 +45,14 @@
 
 mod canonical;
 mod chip;
+mod incremental;
 mod model;
 mod sampler;
 mod variation;
 
 pub use canonical::CanonicalDelay;
 pub use chip::ChipInstance;
+pub use incremental::ChangeTracker;
 pub use model::TimingModel;
 pub use sampler::NormalSampler;
 pub use variation::{FactorSpace, VariationConfig, VariationProfile};

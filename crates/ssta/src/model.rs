@@ -110,7 +110,7 @@ impl TimingModel {
 
         for (idx, path) in bench.paths.iter().enumerate() {
             let sink = bench.netlist.flip_flop(path.sink).expect("valid sink");
-            let mut form = chain_form(bench, config, &factor_space, &path.gates, 1.0);
+            let mut form = chain_form(bench, config, &factor_space, path.gates, 1.0);
             form.mean += sink.setup;
             nominal_period = nominal_period.max(form.mean);
             endpoints.push((path.source, path.sink));
