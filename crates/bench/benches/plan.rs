@@ -1,0 +1,274 @@
+//! Plan-construction bench: serial reference vs threaded build.
+//!
+//! PR 8 drove every serial plan stage through the deterministic
+//! parallel-execution utility (`effitest_core::parallel`): per-path
+//! criticality scoring, the conflict oracle's inverted-index gather and
+//! CSR assembly, predicted sigmas, hold-bound sampling, and the per-group
+//! observed-block factorization behind the prediction engine. This bench
+//! records what that buys on the large H-tree tier at 10k and 100k paths:
+//! `EffiTestFlow::plan_reference` (every stage in its original serial
+//! form) against `EffiTestFlow::plan_threaded` (the production path), with
+//! the per-stage split of both.
+//!
+//! A quality guard runs **before** anything is timed: the threaded plan
+//! must be bitwise identical to the serial reference, and bitwise
+//! identical to itself across thread counts 1, 4, and 8 — groups, batches,
+//! slot fills, hold bounds, predicted sigmas, epsilon, all of it. Speed
+//! that changes the answer is a bug, not a win.
+//!
+//! Results go to `BENCH_plan.json` (override the path with
+//! `BENCH_PLAN_OUT`). CI runs this with a tiny sample budget, enforces a
+//! 2x noise-margin floor on the recorded 100k-path speedup (the local
+//! target is >= 3x), and uploads the JSON as an artifact.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark};
+use effitest_core::select::SelectConfig;
+use effitest_core::{EffiTestFlow, FlowConfig, FlowPlan, PlanStageTimes};
+use effitest_ssta::{TimingModel, VariationConfig};
+
+/// Criticality cut for the large tier (see `benches/scale.rs`).
+const CRITICALITY_FRACTION: f64 = 0.93;
+
+/// Samples per measurement; `BENCH_SAMPLES` overrides (CI smoke uses 3).
+fn sample_count() -> usize {
+    std::env::var("BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(5).max(1)
+}
+
+/// Coarsened variation model, matching the scale sweep: 4x4 grid cells
+/// keep model memory path-count-proportional at 100k paths.
+fn plan_variation() -> VariationConfig {
+    VariationConfig { grid_dim: 4, ..VariationConfig::paper() }
+}
+
+fn plan_flow_config() -> FlowConfig {
+    FlowConfig {
+        select: SelectConfig {
+            criticality_fraction: Some(CRITICALITY_FRACTION),
+            ..SelectConfig::default()
+        },
+        ..FlowConfig::default()
+    }
+}
+
+/// Worker count for the threaded side: `EFFITEST_THREADS`, defaulting to
+/// the machine's parallelism.
+fn bench_threads() -> usize {
+    effitest_core::parallel::threads::threads_from_env().expect("EFFITEST_THREADS")
+}
+
+/// Minimum-of-`samples` wall time of `f`, in nanoseconds, after one
+/// warm-up call.
+fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> u64 {
+    black_box(f());
+    let mut best = u64::MAX;
+    for _ in 0..samples {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Everything that defines a plan's observable content, in comparable
+/// form (hold bounds sorted, floats as bit patterns).
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    plan: &FlowPlan<'_>,
+) -> (
+    Vec<(Vec<usize>, Vec<usize>, u64, usize)>,
+    Vec<Vec<usize>>,
+    Vec<usize>,
+    Vec<(usize, u64)>,
+    Vec<(usize, u64)>,
+    u64,
+) {
+    let groups = plan
+        .groups
+        .iter()
+        .map(|g| (g.members.clone(), g.selected.clone(), g.threshold.to_bits(), g.n_pcs))
+        .collect();
+    let mut lambda: Vec<(usize, u64)> = plan.lambda.iter().map(|(p, l)| (p, l.to_bits())).collect();
+    lambda.sort_unstable();
+    let sigmas = plan.predicted_sigmas.iter().map(|&(p, s)| (p, s.to_bits())).collect();
+    (
+        groups,
+        plan.batches.batches.clone(),
+        plan.batches.slot_filled.clone(),
+        lambda,
+        sigmas,
+        plan.epsilon.to_bits(),
+    )
+}
+
+/// Quality guard: on a reduced `large` circuit, the threaded plan must be
+/// bitwise identical to the serial reference and bitwise independent of
+/// the thread count.
+fn assert_threaded_plan_matches_reference(np: usize) {
+    let bench = GeneratedBenchmark::generate(&BenchmarkSpec::large(np), 7);
+    let model = TimingModel::build(&bench, &plan_variation());
+    let flow = EffiTestFlow::new(plan_flow_config());
+    let reference = fingerprint(&flow.plan_reference(&bench, &model).expect("plan"));
+    for threads in [1, 4, 8] {
+        let threaded = fingerprint(&flow.plan_threaded(&bench, &model, threads).expect("plan"));
+        assert_eq!(
+            threaded, reference,
+            "threaded plan diverged from the serial reference at {threads} threads ({np} paths)"
+        );
+    }
+}
+
+fn stage_json(st: &PlanStageTimes) -> String {
+    format!(
+        concat!(
+            "{{\"select_ns\": {}, \"oracle_ns\": {}, \"batch_ns\": {}, ",
+            "\"hold_ns\": {}, \"predictor_ns\": {}}}"
+        ),
+        st.select.as_nanos(),
+        st.oracle.as_nanos(),
+        st.batch.as_nanos(),
+        st.hold.as_nanos(),
+        st.predictor.as_nanos()
+    )
+}
+
+struct SizePoint {
+    paths: usize,
+    tested: usize,
+    serial_ns: u64,
+    parallel_ns: u64,
+    serial_stages: PlanStageTimes,
+    parallel_stages: PlanStageTimes,
+}
+
+impl SizePoint {
+    fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns as f64
+    }
+}
+
+fn measure_size(np: usize, samples: usize, threads: usize) -> SizePoint {
+    let bench = GeneratedBenchmark::generate(&BenchmarkSpec::large(np), 1);
+    let model = TimingModel::build(&bench, &plan_variation());
+    let flow = EffiTestFlow::new(plan_flow_config());
+    let serial_ns = best_of(samples, || flow.plan_reference(&bench, &model).expect("plan"));
+    let serial = flow.plan_reference(&bench, &model).expect("plan");
+    let parallel_ns =
+        best_of(samples, || flow.plan_threaded(&bench, &model, threads).expect("plan"));
+    let parallel = flow.plan_threaded(&bench, &model, threads).expect("plan");
+    SizePoint {
+        paths: np,
+        tested: parallel.batches.tested_paths().len(),
+        serial_ns,
+        parallel_ns,
+        serial_stages: serial.stage_times,
+        parallel_stages: parallel.stage_times,
+    }
+}
+
+fn measure_and_record() {
+    let samples = sample_count();
+    let threads = bench_threads();
+    println!("\nPlan construction: serial reference vs threaded build ({threads} threads)");
+    println!("({samples} samples per side; min-of-samples reported)");
+    assert_threaded_plan_matches_reference(2_000);
+    println!("quality guard passed: threaded plan bitwise equals the serial reference");
+
+    let header = format!(
+        "{:>9} {:>7} {:>15} {:>15} {:>9}",
+        "paths", "tested", "serial ns", "parallel ns", "speedup"
+    );
+    println!("{header}");
+    effitest_bench::rule(&header);
+
+    let mut points = Vec::new();
+    for np in [10_000, 100_000] {
+        let p = measure_size(np, samples, threads);
+        println!(
+            "{:>9} {:>7} {:>15} {:>15} {:>8.2}x",
+            p.paths,
+            p.tested,
+            p.serial_ns,
+            p.parallel_ns,
+            p.speedup()
+        );
+        points.push(p);
+    }
+
+    let size_entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\"paths\": {}, \"tested\": {}, \"serial_ns\": {}, ",
+                    "\"parallel_ns\": {}, \"speedup\": {:.3}, ",
+                    "\"serial_stages\": {}, \"parallel_stages\": {}}}"
+                ),
+                p.paths,
+                p.tested,
+                p.serial_ns,
+                p.parallel_ns,
+                p.speedup(),
+                stage_json(&p.serial_stages),
+                stage_json(&p.parallel_stages)
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"plan_build\",\n",
+            "  \"description\": \"chip-independent plan construction on the large H-tree tier: ",
+            "every stage in its original serial form (plan_reference) vs the threaded build ",
+            "(plan_threaded) driving the deterministic parallel-execution utility; a bitwise ",
+            "quality guard (threaded == serial, thread-count-independent) runs before any ",
+            "timing\",\n",
+            "  \"samples\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"sizes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        samples,
+        threads,
+        size_entries.join(",\n")
+    );
+    // Default to the workspace-root record (cargo runs benches from the
+    // package dir, which would scatter untracked copies under crates/).
+    let path = std::env::var("BENCH_PLAN_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json").into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nrecorded -> {path}\n"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),
+    }
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan/build");
+    let np = 2_000;
+    let bench = GeneratedBenchmark::generate(&BenchmarkSpec::large(np), 1);
+    let model = TimingModel::build(&bench, &plan_variation());
+    let flow = EffiTestFlow::new(plan_flow_config());
+    let threads = bench_threads();
+    group.bench_with_input(BenchmarkId::new("serial", np), &np, |b, _| {
+        b.iter(|| black_box(flow.plan_reference(&bench, &model).expect("plan")))
+    });
+    group.bench_with_input(BenchmarkId::new("threaded", np), &np, |b, _| {
+        b.iter(|| black_box(flow.plan_threaded(&bench, &model, threads).expect("plan")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_plan
+}
+
+fn main() {
+    measure_and_record();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

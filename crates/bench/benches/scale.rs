@@ -144,6 +144,9 @@ struct SizePoint {
     model_ns: u64,
     plan_ns: u64,
     chip_ns: u64,
+    /// Plan sub-stage split (select / oracle / batch / hold / predictor),
+    /// from one representative threaded plan build.
+    plan_stage_ns: [u64; 5],
 }
 
 impl SizePoint {
@@ -172,6 +175,7 @@ fn measure_size(np: usize, samples: usize) -> SizePoint {
     let chip_ns =
         best_of(samples, || flow.run_chip_with(&mut ws, &plan, &chip, period).expect("chip"));
     let survivors: usize = plan.groups.iter().map(|g| g.members.len()).sum();
+    let st = plan.stage_times;
     SizePoint {
         paths: np,
         survivors,
@@ -181,6 +185,13 @@ fn measure_size(np: usize, samples: usize) -> SizePoint {
         model_ns,
         plan_ns,
         chip_ns,
+        plan_stage_ns: [
+            st.select.as_nanos() as u64,
+            st.oracle.as_nanos() as u64,
+            st.batch.as_nanos() as u64,
+            st.hold.as_nanos() as u64,
+            st.predictor.as_nanos() as u64,
+        ],
     }
 }
 
@@ -216,6 +227,11 @@ fn measure_and_record() {
             p.chip_ns,
             p.ns_per_path()
         );
+        let [sel, ora, bat, hol, pre] = p.plan_stage_ns;
+        println!(
+            "          plan split: select {sel} | oracle {ora} | batch {bat} | hold {hol} | \
+             predictor {pre}"
+        );
         points.push(p);
     }
 
@@ -242,7 +258,9 @@ fn measure_and_record() {
                 concat!(
                     "    {{\"paths\": {}, \"survivors\": {}, \"tested\": {}, \"batches\": {}, ",
                     "\"generate_ns\": {}, \"model_ns\": {}, \"plan_ns\": {}, \"chip_ns\": {}, ",
-                    "\"total_ns\": {}, \"ns_per_path\": {:.2}}}"
+                    "\"total_ns\": {}, \"ns_per_path\": {:.2}, \"plan_stages\": ",
+                    "{{\"select_ns\": {}, \"oracle_ns\": {}, \"batch_ns\": {}, ",
+                    "\"hold_ns\": {}, \"predictor_ns\": {}}}}}"
                 ),
                 p.paths,
                 p.survivors,
@@ -253,7 +271,12 @@ fn measure_and_record() {
                 p.plan_ns,
                 p.chip_ns,
                 p.total_ns(),
-                p.ns_per_path()
+                p.ns_per_path(),
+                p.plan_stage_ns[0],
+                p.plan_stage_ns[1],
+                p.plan_stage_ns[2],
+                p.plan_stage_ns[3],
+                p.plan_stage_ns[4]
             )
         })
         .collect();

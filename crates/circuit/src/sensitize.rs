@@ -35,8 +35,17 @@
 //! `O(n + edges)` instead of `O(n²)`. The pairwise loop survives as
 //! [`MutualExclusions::build_dense`], the reference oracle the differential
 //! tests pin the sparse build against.
+//!
+//! [`MutualExclusions::build_threaded`] is the production entry point for
+//! large path sets: the same exclusion rules over counting-sort CSR
+//! adjacency (gate and flip-flop ids are dense, so the hash maps above are
+//! pure overhead) with the per-path requirement computation and the
+//! conflict gather fanned out over worker threads. Its output is pinned
+//! bitwise to [`MutualExclusions::build`] at every thread count.
 
 use std::collections::HashMap;
+
+use effitest_parallel::{default_chunk, par_map_scratch};
 
 use crate::{FlipFlopId, GateId, Netlist, PathView, Result, Signal};
 
@@ -315,6 +324,92 @@ impl MutualExclusions {
         Ok(MutualExclusions { excluded })
     }
 
+    /// The threaded production build: same rules as [`build`](Self::build),
+    /// with the per-path requirement computation and the conflict gather
+    /// distributed over `threads` workers and the hash-map inverted indexes
+    /// replaced by counting-sort CSR lists over the netlist's dense id
+    /// spaces.
+    ///
+    /// Output is bitwise identical to [`build`](Self::build) for every
+    /// `threads` value (the differential tests pin this); `threads <= 1`
+    /// runs inline with no thread machinery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates requirement-computation errors.
+    pub fn build_threaded(
+        netlist: &Netlist,
+        paths: &[PathView<'_>],
+        threads: usize,
+    ) -> Result<Self> {
+        let n = paths.len();
+        let reqs: Vec<PathRequirements> =
+            par_map_scratch(threads, default_chunk(n, threads), n, Vec::new, |items, i| {
+                compute_requirements_fast(netlist, paths[i], items)
+            })
+            .into_iter()
+            .collect::<Result<_>>()?;
+
+        let ix = DenseIndexes::build(netlist, paths, &reqs);
+        let ff_count = netlist.flip_flop_count();
+
+        // Same gather as `build`, parallel over paths: each worker keeps a
+        // `mark` stamp vector as scratch (stamps are the path index, unique
+        // per path, so stale stamps from other paths never collide) and the
+        // per-path result is committed back in index order.
+        let excluded = par_map_scratch(
+            threads,
+            default_chunk(n, threads),
+            n,
+            || vec![u32::MAX; n],
+            |mark, i| {
+                let req = &reqs[i];
+                let mut list: Vec<usize> = Vec::new();
+                let mark: &mut [u32] = mark;
+                let mut gather = |cands: &[u32]| {
+                    for &j in cands {
+                        if j as usize > i && mark[j as usize] != i as u32 {
+                            mark[j as usize] = i as u32;
+                            list.push(j as usize);
+                        }
+                    }
+                };
+                for &g in &req.through {
+                    // Rule 3: another path through the same gate.
+                    gather(ix.by_through.list(g.index()));
+                    // Rule 1 (mirrored): another path needs this gate stable.
+                    gather(ix.stable_gate.list(g.index()));
+                }
+                for &(sig, val) in &req.stable {
+                    match sig {
+                        // Rule 1: this path needs a gate stable that another
+                        // path toggles.
+                        Signal::Gate(g) => gather(ix.by_through.list(g.index())),
+                        // Source rule: this path needs a flip-flop stable
+                        // that another path launches from.
+                        Signal::Ff(f) => gather(ix.by_source.list(f.index())),
+                    }
+                    // Rule 2: same signal pinned to the opposite value.
+                    match val {
+                        StableValue::Zero => {
+                            gather(ix.stable_one.list(dense_signal(sig, ff_count)))
+                        }
+                        StableValue::One => {
+                            gather(ix.stable_zero.list(dense_signal(sig, ff_count)))
+                        }
+                        StableValue::Any => {}
+                    }
+                }
+                // Source rule (mirrored): another path needs our source
+                // stable.
+                gather(ix.stable_ff.list(paths[i].source.index()));
+                list.sort_unstable();
+                list
+            },
+        );
+        Ok(MutualExclusions { excluded })
+    }
+
     /// The original all-pairs construction, kept as the reference oracle
     /// for differential tests of the sparse [`build`](Self::build).
     ///
@@ -360,6 +455,169 @@ impl MutualExclusions {
 
 fn stable_blocks_source(reqs: &PathRequirements, source: FlipFlopId) -> bool {
     reqs.stable.iter().any(|&(sig, _)| sig == Signal::Ff(source))
+}
+
+/// Allocation-light equivalent of [`PathRequirements::compute`]: collects
+/// the raw side-input requirements into the caller's scratch vector and
+/// merges per signal with a stable sort instead of a hash map. Produces a
+/// value bitwise equal to `compute` (pinned by a differential test) —
+/// `merge_requirement`'s rule is "first non-`Any` requirement wins", which
+/// a stable sort by signal preserves as "first non-`Any` within the
+/// signal's run".
+fn compute_requirements_fast(
+    netlist: &Netlist,
+    path: PathView<'_>,
+    items: &mut Vec<(Signal, StableValue)>,
+) -> Result<PathRequirements> {
+    let mut through = path.gates.to_vec();
+    through.sort_unstable();
+    items.clear();
+    for (pos, &gid) in path.gates.iter().enumerate() {
+        let gate = netlist.gate(gid)?;
+        let on_path =
+            if pos == 0 { Signal::Ff(path.source) } else { Signal::Gate(path.gates[pos - 1]) };
+        for &input in &gate.inputs {
+            if input == on_path {
+                continue;
+            }
+            let req = match gate.kind.non_controlling_value() {
+                Some(v) => StableValue::from_bool(v),
+                None => StableValue::Any,
+            };
+            items.push((input, req));
+        }
+    }
+    items.sort_by_key(|&(sig, _)| signal_key(sig));
+    let mut stable: Vec<(Signal, StableValue)> = Vec::new();
+    let mut k = 0;
+    while k < items.len() {
+        let (sig, mut val) = items[k];
+        let mut j = k + 1;
+        while j < items.len() && items[j].0 == sig {
+            if val == StableValue::Any {
+                val = items[j].1;
+            }
+            j += 1;
+        }
+        k = j;
+        let keep = match sig {
+            Signal::Gate(g) => through.binary_search(&g).is_err(),
+            Signal::Ff(f) => f != path.source,
+        };
+        if keep {
+            stable.push((sig, val));
+        }
+    }
+    Ok(PathRequirements { through, stable })
+}
+
+/// Maps a signal into the dense key space `[0, ff_count + gate_count)`:
+/// flip-flops first, gates after.
+fn dense_signal(sig: Signal, ff_count: usize) -> usize {
+    match sig {
+        Signal::Ff(f) => f.index(),
+        Signal::Gate(g) => ff_count + g.index(),
+    }
+}
+
+/// One counting-sort CSR adjacency table: `list(k)` is every path index
+/// filed under dense key `k`, in ascending path order (the same order the
+/// hash-map indexes push in).
+struct CsrLists {
+    offsets: Vec<u32>,
+    entries: Vec<u32>,
+}
+
+impl CsrLists {
+    fn from_counts(counts: &[u32]) -> (Self, Vec<u32>) {
+        let mut offsets = vec![0_u32; counts.len() + 1];
+        for (k, &c) in counts.iter().enumerate() {
+            offsets[k + 1] = offsets[k] + c;
+        }
+        let entries = vec![0_u32; *offsets.last().unwrap_or(&0) as usize];
+        let cursor = offsets[..counts.len()].to_vec();
+        (CsrLists { offsets, entries }, cursor)
+    }
+
+    fn list(&self, key: usize) -> &[u32] {
+        &self.entries[self.offsets[key] as usize..self.offsets[key + 1] as usize]
+    }
+}
+
+/// The dense counterpart of `InvertedIndexes`: six CSR tables over the
+/// netlist's dense id spaces, built by one counting pass and one fill pass
+/// (no hashing, no per-list allocation).
+struct DenseIndexes {
+    by_through: CsrLists,
+    stable_gate: CsrLists,
+    stable_zero: CsrLists,
+    stable_one: CsrLists,
+    by_source: CsrLists,
+    stable_ff: CsrLists,
+}
+
+impl DenseIndexes {
+    fn build(netlist: &Netlist, paths: &[PathView<'_>], reqs: &[PathRequirements]) -> Self {
+        let ff_count = netlist.flip_flop_count();
+        let gate_count = netlist.gate_count();
+        let sig_count = ff_count + gate_count;
+        let mut c_through = vec![0_u32; gate_count];
+        let mut c_stable_gate = vec![0_u32; gate_count];
+        let mut c_zero = vec![0_u32; sig_count];
+        let mut c_one = vec![0_u32; sig_count];
+        let mut c_source = vec![0_u32; ff_count];
+        let mut c_stable_ff = vec![0_u32; ff_count];
+        for (req, path) in reqs.iter().zip(paths) {
+            for &g in &req.through {
+                c_through[g.index()] += 1;
+            }
+            for &(sig, val) in &req.stable {
+                match sig {
+                    Signal::Gate(g) => c_stable_gate[g.index()] += 1,
+                    Signal::Ff(f) => c_stable_ff[f.index()] += 1,
+                }
+                match val {
+                    StableValue::Zero => c_zero[dense_signal(sig, ff_count)] += 1,
+                    StableValue::One => c_one[dense_signal(sig, ff_count)] += 1,
+                    StableValue::Any => {}
+                }
+            }
+            c_source[path.source.index()] += 1;
+        }
+        let (mut by_through, mut cur_through) = CsrLists::from_counts(&c_through);
+        let (mut stable_gate, mut cur_stable_gate) = CsrLists::from_counts(&c_stable_gate);
+        let (mut stable_zero, mut cur_zero) = CsrLists::from_counts(&c_zero);
+        let (mut stable_one, mut cur_one) = CsrLists::from_counts(&c_one);
+        let (mut by_source, mut cur_source) = CsrLists::from_counts(&c_source);
+        let (mut stable_ff, mut cur_stable_ff) = CsrLists::from_counts(&c_stable_ff);
+        let push = |csr: &mut CsrLists, cur: &mut [u32], key: usize, i: u32| {
+            csr.entries[cur[key] as usize] = i;
+            cur[key] += 1;
+        };
+        for (i, (req, path)) in reqs.iter().zip(paths).enumerate() {
+            let i = i as u32;
+            for &g in &req.through {
+                push(&mut by_through, &mut cur_through, g.index(), i);
+            }
+            for &(sig, val) in &req.stable {
+                match sig {
+                    Signal::Gate(g) => push(&mut stable_gate, &mut cur_stable_gate, g.index(), i),
+                    Signal::Ff(f) => push(&mut stable_ff, &mut cur_stable_ff, f.index(), i),
+                }
+                match val {
+                    StableValue::Zero => {
+                        push(&mut stable_zero, &mut cur_zero, dense_signal(sig, ff_count), i);
+                    }
+                    StableValue::One => {
+                        push(&mut stable_one, &mut cur_one, dense_signal(sig, ff_count), i);
+                    }
+                    StableValue::Any => {}
+                }
+            }
+            push(&mut by_source, &mut cur_source, path.source.index(), i);
+        }
+        DenseIndexes { by_through, stable_gate, stable_zero, stable_one, by_source, stable_ff }
+    }
 }
 
 #[cfg(test)]
@@ -521,6 +779,57 @@ mod tests {
             let sparse = MutualExclusions::build(&bench.netlist, &refs).unwrap();
             let dense = MutualExclusions::build_dense(&bench.netlist, &refs).unwrap();
             assert_eq!(sparse.excluded, dense.excluded, "topology {}", topology.name());
+        }
+    }
+
+    #[test]
+    fn fast_requirements_match_reference_on_every_topology() {
+        use crate::generate::{BenchmarkSpec, GeneratedBenchmark};
+        use crate::topology::Topology;
+        let base = BenchmarkSpec::iscas89_s9234().scaled_down(10);
+        let mut scratch = Vec::new();
+        for topology in Topology::all() {
+            let spec = base.clone().with_topology(topology);
+            let bench = GeneratedBenchmark::generate(&spec, 1);
+            for path in bench.paths.iter() {
+                let reference = PathRequirements::compute(&bench.netlist, path).unwrap();
+                let fast = compute_requirements_fast(&bench.netlist, path, &mut scratch).unwrap();
+                assert_eq!(fast, reference, "topology {}", topology.name());
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_build_matches_serial_on_every_topology() {
+        use crate::generate::{BenchmarkSpec, GeneratedBenchmark};
+        use crate::topology::Topology;
+        let base = BenchmarkSpec::iscas89_s9234().scaled_down(10);
+        for topology in Topology::all() {
+            let spec = base.clone().with_topology(topology);
+            let bench = GeneratedBenchmark::generate(&spec, 1);
+            let refs: Vec<PathView<'_>> = bench.paths.iter().collect();
+            let serial = MutualExclusions::build(&bench.netlist, &refs).unwrap();
+            for threads in [1, 4, 8] {
+                let threaded =
+                    MutualExclusions::build_threaded(&bench.netlist, &refs, threads).unwrap();
+                assert_eq!(
+                    threaded.excluded,
+                    serial.excluded,
+                    "topology {} threads {threads}",
+                    topology.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_build_matches_dense_on_fixture() {
+        let (n, paths) = fixture();
+        let refs: Vec<PathView<'_>> = paths.iter().collect();
+        let dense = MutualExclusions::build_dense(&n, &refs).unwrap();
+        for threads in [1, 3, 16] {
+            let threaded = MutualExclusions::build_threaded(&n, &refs, threads).unwrap();
+            assert_eq!(threaded.excluded, dense.excluded, "threads {threads}");
         }
     }
 }

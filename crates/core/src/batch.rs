@@ -123,6 +123,72 @@ impl<'a> ConflictOracle<'a> {
         ConflictOracle { bench, exclusions, position, paths: paths.to_vec(), sens_off, sens_adj }
     }
 
+    /// [`new`](Self::new) with an explicit worker-thread count: the
+    /// mutual-exclusion build runs on the threaded counting-sort path and
+    /// the symmetrized CSR rows are assembled in parallel (each row `k` is
+    /// its ascending predecessors followed by its own `excluded_after`
+    /// list — exactly the order the serial cursor loop writes). Pinned
+    /// bitwise to [`new`](Self::new) by the differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn new_threaded(bench: &'a GeneratedBenchmark, paths: &[usize], threads: usize) -> Self {
+        let views: Vec<PathView<'_>> =
+            paths.iter().map(|&p| bench.paths.path(PathId::new(p as u32))).collect();
+        let exclusions = MutualExclusions::build_threaded(&bench.netlist, &views, threads)
+            .expect("generated paths are valid");
+        let mut position = vec![usize::MAX; bench.paths.len()];
+        for (pos, &p) in paths.iter().enumerate() {
+            assert!(position[p] == usize::MAX, "path {p} registered twice with the oracle");
+            position[p] = pos;
+        }
+        let n = paths.len();
+        // Predecessor CSR: pred(k) = the positions i < k whose
+        // `excluded_after` contains k, ascending (one counting pass + one
+        // ascending fill, mirroring the serial loop's first-half writes).
+        let mut pred_deg = vec![0_u32; n];
+        for i in 0..n {
+            for &j in exclusions.excluded_after(i) {
+                pred_deg[j] += 1;
+            }
+        }
+        let mut pred_off = vec![0_u32; n + 1];
+        for k in 0..n {
+            pred_off[k + 1] = pred_off[k] + pred_deg[k];
+        }
+        let mut pred_adj = vec![0_u32; *pred_off.last().unwrap_or(&0) as usize];
+        let mut pred_cur: Vec<u32> = pred_off[..n].to_vec();
+        for i in 0..n {
+            for &j in exclusions.excluded_after(i) {
+                pred_adj[pred_cur[j] as usize] = i as u32;
+                pred_cur[j] += 1;
+            }
+        }
+        // Row offsets of the symmetrized adjacency.
+        let mut sens_off = Vec::with_capacity(n + 1);
+        sens_off.push(0_u32);
+        for k in 0..n {
+            let d = pred_deg[k] + exclusions.excluded_after(k).len() as u32;
+            sens_off.push(sens_off[k] + d);
+        }
+        // Each row is independent: predecessors (ascending) then the own
+        // list, both mapped to benchmark path indices.
+        let rows = effitest_parallel::par_map(threads, n, |k| {
+            let own = exclusions.excluded_after(k);
+            let preds = &pred_adj[pred_off[k] as usize..pred_off[k + 1] as usize];
+            let mut row: Vec<u32> = Vec::with_capacity(preds.len() + own.len());
+            row.extend(preds.iter().map(|&i| paths[i as usize] as u32));
+            row.extend(own.iter().map(|&j| paths[j] as u32));
+            row
+        });
+        let mut sens_adj = Vec::with_capacity(*sens_off.last().expect("non-empty") as usize);
+        for row in rows {
+            sens_adj.extend_from_slice(&row);
+        }
+        ConflictOracle { bench, exclusions, position, paths: paths.to_vec(), sens_off, sens_adj }
+    }
+
     /// Oracle position of path `p`, panicking on unregistered paths.
     fn pos(&self, p: usize) -> usize {
         let pos = self.position[p];
@@ -555,6 +621,40 @@ pub fn predicted_sigmas(
     out
 }
 
+/// [`predicted_sigmas`] with an explicit worker-thread count: groups are
+/// independent, so each group's conditioning runs on its own work item and
+/// the per-group result vectors are concatenated in group order — bitwise
+/// identical to the serial loop at every thread count.
+pub fn predicted_sigmas_threaded(
+    model: &TimingModel,
+    groups: &[crate::select::PathGroup],
+    threads: usize,
+) -> Vec<(usize, f64)> {
+    let per_group = effitest_parallel::par_map(threads, groups.len(), |gi| {
+        let g = &groups[gi];
+        if g.members.len() == g.selected.len() {
+            return Vec::new(); // everything measured, nothing predicted
+        }
+        let gauss = model.gaussian(&g.members);
+        let sel_pos: Vec<usize> = g
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| g.selected.contains(p))
+            .map(|(pos, _)| pos)
+            .collect();
+        let values: Vec<f64> = sel_pos.iter().map(|&pos| gauss.mean()[pos]).collect();
+        let cond = gauss.condition(&sel_pos, &values).expect("group covariance is PSD");
+        let remaining = gauss.remaining_indices(&sel_pos);
+        remaining
+            .iter()
+            .enumerate()
+            .map(|(cpos, &mpos)| (g.members[mpos], cond.covariance()[(cpos, cpos)].max(0.0).sqrt()))
+            .collect()
+    });
+    per_group.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -663,6 +763,44 @@ mod tests {
                     assert!(!oracle.conflicts(a, b));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn threaded_oracle_matches_serial_at_every_thread_count() {
+        let (bench, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let all: Vec<usize> = (0..bench.paths.len()).collect();
+        let serial = ConflictOracle::new(&bench, &all);
+        let serial_sigmas = predicted_sigmas(&model, &groups);
+        for threads in [1, 4, 8] {
+            let threaded = ConflictOracle::new_threaded(&bench, &all, threads);
+            assert_eq!(threaded.position, serial.position, "positions diverged ({threads})");
+            assert_eq!(threaded.paths, serial.paths, "paths diverged ({threads})");
+            assert_eq!(threaded.sens_off, serial.sens_off, "CSR offsets diverged ({threads})");
+            assert_eq!(threaded.sens_adj, serial.sens_adj, "CSR adjacency diverged ({threads})");
+            for i in 0..all.len() {
+                assert_eq!(
+                    threaded.exclusions.excluded_after(i),
+                    serial.exclusions.excluded_after(i),
+                    "exclusion list diverged at path {i} ({threads} threads)"
+                );
+            }
+            let sigmas = predicted_sigmas_threaded(&model, &groups, threads);
+            assert_eq!(sigmas, serial_sigmas, "predicted sigmas diverged ({threads})");
+        }
+        assert!(!serial_sigmas.is_empty(), "differential exercised no predictions");
+    }
+
+    #[test]
+    fn threaded_oracle_matches_serial_on_large_tier() {
+        let bench = GeneratedBenchmark::generate(&BenchmarkSpec::large(256), 7);
+        let all: Vec<usize> = (0..bench.paths.len()).collect();
+        let serial = ConflictOracle::new(&bench, &all);
+        for threads in [1, 4] {
+            let threaded = ConflictOracle::new_threaded(&bench, &all, threads);
+            assert_eq!(threaded.sens_off, serial.sens_off);
+            assert_eq!(threaded.sens_adj, serial.sens_adj);
         }
     }
 

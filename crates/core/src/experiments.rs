@@ -19,10 +19,8 @@ use effitest_linalg::stats::empirical_quantile;
 use effitest_ssta::{TimingModel, VariationConfig};
 
 use crate::configure::{ideal_configure_and_check, untuned_check};
-use crate::population::{
-    default_threads, env_count, run_population, run_population_scratch, threads_from_env,
-    PopulationConfig,
-};
+use crate::parallel::threads::{default_threads, env_count, threads_from_env};
+use crate::population::{run_population, run_population_scratch, PopulationConfig};
 use crate::{EffiTestFlow, FlowConfig, FlowWorkspace};
 
 /// Name of the environment variable overriding the chip count.

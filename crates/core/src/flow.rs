@@ -10,11 +10,13 @@ use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
 use crate::aligned_test::{
     run_aligned_test_with, AlignedTestConfig, AlignedTestResult, AlignedTestWorkspace,
 };
-use crate::batch::{build_batches, fill_slots, predicted_sigmas, Batches, ConflictOracle};
+use crate::batch::{
+    build_batches, fill_slots, predicted_sigmas, predicted_sigmas_threaded, Batches, ConflictOracle,
+};
 use crate::configure::{build_config_problem, configure, shifts_for, BufferIndex};
-use crate::hold::{compute_hold_bounds, HoldBounds, HoldConfig};
+use crate::hold::{compute_hold_bounds, compute_hold_bounds_threaded, HoldBounds, HoldConfig};
 use crate::predict::{predict_ranges, PredictWorkspace, PredictedRanges, Predictor};
-use crate::select::{all_selected, select_paths, PathGroup, SelectConfig};
+use crate::select::{all_selected, select_paths, select_paths_threaded, PathGroup, SelectConfig};
 
 /// Errors surfaced by the flow API.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +30,10 @@ pub enum FlowError {
         /// Paths in the model.
         model_paths: usize,
     },
+    /// An environment override (`EFFITEST_THREADS`) is set but invalid.
+    /// Surfaced instead of silently falling back to a default — the same
+    /// hard-error contract every other reader of the variable follows.
+    Environment(String),
 }
 
 impl fmt::Display for FlowError {
@@ -37,6 +43,7 @@ impl fmt::Display for FlowError {
             FlowError::ModelMismatch { bench_paths, model_paths } => {
                 write!(f, "benchmark has {bench_paths} paths but the model has {model_paths}")
             }
+            FlowError::Environment(msg) => write!(f, "invalid environment override: {msg}"),
         }
     }
 }
@@ -92,6 +99,25 @@ impl Default for FlowConfig {
     }
 }
 
+/// Wall-clock breakdown of one plan construction, stage by stage — the
+/// numbers behind `BENCH_plan.json`'s and `BENCH_scale.json`'s plan
+/// sub-stage splits. Every field is measured around the same code region
+/// in the serial and the threaded build, so the two are directly
+/// comparable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanStageTimes {
+    /// Procedure 1: correlation grouping + representative selection.
+    pub select: Duration,
+    /// Conflict-oracle construction (ATPG exclusions + endpoint CSR).
+    pub oracle: Duration,
+    /// Batch building: Welsh–Powell coloring, predicted sigmas, slot fill.
+    pub batch: Duration,
+    /// Hold-bound Monte-Carlo sampling + greedy discard.
+    pub hold: Duration,
+    /// Prediction-engine build (per-group observed-block factorization).
+    pub predictor: Duration,
+}
+
 /// The chip-independent **flow plan**: everything computed *offline*, once
 /// per `(benchmark, model, config)` triple (the paper's `T_p`).
 ///
@@ -133,6 +159,8 @@ pub struct FlowPlan<'a> {
     pub epsilon: f64,
     /// Wall-clock time spent preparing (the paper's `T_p`).
     pub prep_time: Duration,
+    /// Per-stage breakdown of `prep_time` (see [`PlanStageTimes`]).
+    pub stage_times: PlanStageTimes,
 }
 
 impl FlowPlan<'_> {
@@ -235,11 +263,130 @@ impl EffiTestFlow {
     /// whole chip population — every per-chip entry point borrows the plan
     /// immutably.
     ///
+    /// Plan construction runs on the threaded stage implementations with
+    /// the worker count from `EFFITEST_THREADS` (default: the machine's
+    /// parallelism); results are bitwise identical at every thread count
+    /// and to the serial reference ([`plan_reference`](Self::plan_reference)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::EmptyPaths`] / [`FlowError::ModelMismatch`] on
+    /// malformed inputs, and [`FlowError::Environment`] when
+    /// `EFFITEST_THREADS` is set but invalid.
+    pub fn plan<'a>(
+        &self,
+        bench: &'a GeneratedBenchmark,
+        model: &'a TimingModel,
+    ) -> Result<FlowPlan<'a>, FlowError> {
+        let threads =
+            effitest_parallel::threads::threads_from_env().map_err(FlowError::Environment)?;
+        self.plan_threaded(bench, model, threads)
+    }
+
+    /// [`plan`](Self::plan) with an explicit worker-thread count: every
+    /// stage runs its threaded implementation (per-path criticality
+    /// scoring, the conflict oracle's inverted-index gather and CSR
+    /// assembly, predicted sigmas, hold-bound sampling, and the per-group
+    /// conditioning-gain factorization), with results committed in index
+    /// order so the plan is **bitwise independent of the thread count**
+    /// and bitwise identical to [`plan_reference`](Self::plan_reference).
+    ///
     /// # Errors
     ///
     /// Returns [`FlowError::EmptyPaths`] / [`FlowError::ModelMismatch`] on
     /// malformed inputs.
-    pub fn plan<'a>(
+    pub fn plan_threaded<'a>(
+        &self,
+        bench: &'a GeneratedBenchmark,
+        model: &'a TimingModel,
+        threads: usize,
+    ) -> Result<FlowPlan<'a>, FlowError> {
+        if bench.paths.is_empty() {
+            return Err(FlowError::EmptyPaths);
+        }
+        if bench.paths.len() != model.path_count() {
+            return Err(FlowError::ModelMismatch {
+                bench_paths: bench.paths.len(),
+                model_paths: model.path_count(),
+            });
+        }
+        let started = Instant::now();
+        let mut stage_times = PlanStageTimes::default();
+        let stage = Instant::now();
+        let groups = select_paths_threaded(model, &self.config.select, threads);
+        let selected = all_selected(&groups);
+        stage_times.select = stage.elapsed();
+
+        let stage = Instant::now();
+        let all_paths: Vec<usize> = (0..model.path_count()).collect();
+        let oracle = ConflictOracle::new_threaded(bench, &all_paths, threads);
+        stage_times.oracle = stage.elapsed();
+
+        let stage = Instant::now();
+        let width_of = |p: usize| 2.0 * self.config.bound_sigma * model.path_sigma(p);
+        let widths: Vec<f64> = selected.iter().map(|&p| width_of(p)).collect();
+        let mut raw_batches = build_batches(&oracle, &selected, Some(&widths));
+        let buffers = BufferIndex::new(model);
+        let sigmas = predicted_sigmas_threaded(model, &groups, threads);
+        let slot_filled = if self.config.slot_fill {
+            let candidates: Vec<(usize, f64, f64)> =
+                sigmas.iter().map(|&(p, sigma)| (p, sigma, width_of(p))).collect();
+            // A series batch holds at most one source and one sink per
+            // buffered flip-flop, so 2 * nb is the structural slot count
+            // for buffer-incident paths (which required paths all are).
+            let capacity =
+                (2 * buffers.len()).max(raw_batches.iter().map(Vec::len).max().unwrap_or(1));
+            fill_slots(&oracle, &mut raw_batches, &candidates, Some(capacity), &width_of)
+        } else {
+            Vec::new()
+        };
+        let batches = Batches { batches: raw_batches, slot_filled };
+        stage_times.batch = stage.elapsed();
+
+        let stage = Instant::now();
+        let lambda = compute_hold_bounds_threaded(model, &self.config.hold, threads);
+        stage_times.hold = stage.elapsed();
+        let epsilon = self.epsilon_for(model);
+        let stage = Instant::now();
+        let predictor = Predictor::new_threaded(
+            model,
+            &groups,
+            &batches.tested_paths(),
+            self.config.bound_sigma,
+            threads,
+        );
+        stage_times.predictor = stage.elapsed();
+
+        Ok(FlowPlan {
+            bench,
+            model,
+            groups,
+            batches,
+            lambda,
+            buffers,
+            oracle,
+            predicted_sigmas: sigmas,
+            predictor,
+            epsilon,
+            prep_time: started.elapsed(),
+            stage_times,
+        })
+    }
+
+    /// The **reference** plan construction: every stage in its original
+    /// serial form (from-scratch grouping, `HashMap` inverted indexes in
+    /// the oracle, the serial hold-sampling and factorization loops).
+    ///
+    /// Kept so the threaded build can be differentially tested and
+    /// benchmarked against it — the two are bitwise identical
+    /// (`tests/parallel_plan.rs` pins it on every topology); use
+    /// [`plan`](Self::plan) everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::EmptyPaths`] / [`FlowError::ModelMismatch`] on
+    /// malformed inputs.
+    pub fn plan_reference<'a>(
         &self,
         bench: &'a GeneratedBenchmark,
         model: &'a TimingModel,
@@ -254,11 +401,18 @@ impl EffiTestFlow {
             });
         }
         let started = Instant::now();
+        let mut stage_times = PlanStageTimes::default();
+        let stage = Instant::now();
         let groups = select_paths(model, &self.config.select);
         let selected = all_selected(&groups);
+        stage_times.select = stage.elapsed();
 
+        let stage = Instant::now();
         let all_paths: Vec<usize> = (0..model.path_count()).collect();
         let oracle = ConflictOracle::new(bench, &all_paths);
+        stage_times.oracle = stage.elapsed();
+
+        let stage = Instant::now();
         let width_of = |p: usize| 2.0 * self.config.bound_sigma * model.path_sigma(p);
         let widths: Vec<f64> = selected.iter().map(|&p| width_of(p)).collect();
         let mut raw_batches = build_batches(&oracle, &selected, Some(&widths));
@@ -277,11 +431,16 @@ impl EffiTestFlow {
             Vec::new()
         };
         let batches = Batches { batches: raw_batches, slot_filled };
+        stage_times.batch = stage.elapsed();
 
+        let stage = Instant::now();
         let lambda = compute_hold_bounds(model, &self.config.hold);
+        stage_times.hold = stage.elapsed();
         let epsilon = self.epsilon_for(model);
+        let stage = Instant::now();
         let predictor =
             Predictor::new(model, &groups, &batches.tested_paths(), self.config.bound_sigma);
+        stage_times.predictor = stage.elapsed();
 
         Ok(FlowPlan {
             bench,
@@ -295,6 +454,7 @@ impl EffiTestFlow {
             predictor,
             epsilon,
             prep_time: started.elapsed(),
+            stage_times,
         })
     }
 
@@ -603,6 +763,56 @@ mod tests {
     }
 
     #[test]
+    fn threaded_plan_matches_serial_reference_at_every_thread_count() {
+        let (bench, model) = fixture();
+        let flow = EffiTestFlow::new(FlowConfig::default());
+        let reference = flow.plan_reference(&bench, &model).unwrap();
+        let lambda_key = |l: &HoldBounds| {
+            let mut v: Vec<(usize, u64)> = l.iter().map(|(p, x)| (p, x.to_bits())).collect();
+            v.sort_unstable();
+            v
+        };
+        for threads in [1, 4, 8] {
+            let threaded = flow.plan_threaded(&bench, &model, threads).unwrap();
+            assert_eq!(threaded.groups, reference.groups, "groups diverged ({threads})");
+            assert_eq!(
+                threaded.batches.batches, reference.batches.batches,
+                "batches diverged ({threads})"
+            );
+            assert_eq!(
+                threaded.batches.slot_filled, reference.batches.slot_filled,
+                "slot fill diverged ({threads})"
+            );
+            assert_eq!(
+                lambda_key(&threaded.lambda),
+                lambda_key(&reference.lambda),
+                "hold bounds diverged ({threads})"
+            );
+            assert_eq!(
+                threaded.predicted_sigmas, reference.predicted_sigmas,
+                "predicted sigmas diverged ({threads})"
+            );
+            assert_eq!(threaded.epsilon, reference.epsilon);
+            // The predictors must behave identically on silicon.
+            let chip = model.sample_chip(123);
+            let td = model.nominal_period();
+            let key = |o: &ChipOutcome| {
+                (
+                    o.iterations,
+                    o.passes,
+                    o.ranges
+                        .iter()
+                        .map(|b| (b.lower.to_bits(), b.upper.to_bits()))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            let a = flow.run_chip(&threaded, &chip, td).unwrap();
+            let b = flow.run_chip(&reference, &chip, td).unwrap();
+            assert_eq!(key(&a), key(&b), "chip outcome diverged at {threads} threads");
+        }
+    }
+
+    #[test]
     fn reused_workspace_matches_fresh_workspace_bitwise() {
         // One workspace across chips must give the same outcomes as a
         // fresh workspace per chip: workspaces are scratch, not state.
@@ -614,7 +824,7 @@ mod tests {
             (
                 o.iterations,
                 o.passes,
-                o.configured.clone().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                o.configured.as_ref().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
                 o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
             )
         };
@@ -637,7 +847,7 @@ mod tests {
                 o.iterations,
                 o.passes,
                 o.contradictions,
-                o.configured.clone().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                o.configured.as_ref().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
                 o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
             )
         };
@@ -783,5 +993,7 @@ mod tests {
         assert!(!FlowError::EmptyPaths.to_string().is_empty());
         let e = FlowError::ModelMismatch { bench_paths: 1, model_paths: 2 };
         assert!(e.to_string().contains('1'));
+        let e = FlowError::Environment("EFFITEST_THREADS must be a positive integer".into());
+        assert!(e.to_string().contains("EFFITEST_THREADS"));
     }
 }

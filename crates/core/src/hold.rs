@@ -107,6 +107,52 @@ pub fn compute_hold_bounds(model: &TimingModel, config: &HoldConfig) -> HoldBoun
     HoldBounds { lambda }
 }
 
+/// [`compute_hold_bounds`] with an explicit worker-thread count: the `M`
+/// Monte-Carlo chip samples are independent (chip `k` is seeded with
+/// `seed + k`), so each runs on its own work item producing a per-chip
+/// column of hold bounds; the columns are transposed serially in `k`
+/// order, after which the greedy discard proceeds exactly as the serial
+/// form — bitwise identical at every thread count.
+pub fn compute_hold_bounds_threaded(
+    model: &TimingModel,
+    config: &HoldConfig,
+    threads: usize,
+) -> HoldBounds {
+    let hold_paths: Vec<usize> =
+        (0..model.path_count()).filter(|&i| model.hold_form(i).is_some()).collect();
+    if hold_paths.is_empty() || config.samples == 0 {
+        return HoldBounds::default();
+    }
+    let m = config.samples;
+    let columns = effitest_parallel::par_map(threads, m, |k| {
+        let chip = model.sample_chip(config.seed.wrapping_add(k as u64));
+        hold_paths
+            .iter()
+            .map(|&p| chip.hold_bound(p).expect("hold form exists"))
+            .collect::<Vec<f64>>()
+    });
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(m); hold_paths.len()];
+    for column in &columns {
+        for (pi, &v) in column.iter().enumerate() {
+            samples[pi].push(v);
+        }
+    }
+    let discards = allowed_discards(config.yield_target, m);
+    let kept = greedy_discard(&samples, discards);
+
+    let mut lambda = HashMap::new();
+    for (pi, &p) in hold_paths.iter().enumerate() {
+        let lam = samples[pi]
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| kept[*k])
+            .map(|(_, &v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        lambda.insert(p, lam);
+    }
+    HoldBounds { lambda }
+}
+
 /// Number of samples the yield target permits discarding:
 /// `floor((1 - Y) M)`, clamped so at least one sample is always kept.
 ///
@@ -298,6 +344,23 @@ mod tests {
         // The greedy is a heuristic; it should hit the optimum on the
         // clear majority of random tiny instances.
         assert!(worse <= 5, "greedy missed exhaustive optimum {worse}/20 times");
+    }
+
+    #[test]
+    fn threaded_bounds_match_serial_at_every_thread_count() {
+        let m = model();
+        let config = HoldConfig { yield_target: 0.95, samples: 96, seed: 3 };
+        let serial = compute_hold_bounds(&m, &config);
+        let mut expect: Vec<(usize, u64)> = serial.iter().map(|(p, l)| (p, l.to_bits())).collect();
+        expect.sort_unstable();
+        assert!(!expect.is_empty(), "differential exercised no bounds");
+        for threads in [1, 4, 8] {
+            let threaded = compute_hold_bounds_threaded(&m, &config, threads);
+            let mut got: Vec<(usize, u64)> =
+                threaded.iter().map(|(p, l)| (p, l.to_bits())).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "hold bounds diverged at {threads} threads");
+        }
     }
 
     #[test]

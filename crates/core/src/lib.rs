@@ -68,7 +68,15 @@ pub mod predict;
 pub mod scenarios;
 pub mod select;
 
-pub use flow::{ChipOutcome, EffiTestFlow, FlowConfig, FlowError, FlowPlan, FlowWorkspace};
+/// The deterministic parallel-execution utility every threaded plan stage
+/// runs on (re-exported from `effitest-parallel`): ordered chunked
+/// parallel-for/parallel-map over scoped threads, plus the shared
+/// `EFFITEST_THREADS` plumbing in [`parallel::threads`].
+pub use effitest_parallel as parallel;
+
+pub use flow::{
+    ChipOutcome, EffiTestFlow, FlowConfig, FlowError, FlowPlan, FlowWorkspace, PlanStageTimes,
+};
 pub use predict::{
     BatchPredictWorkspace, BatchPredictedRanges, ChipMatrix, PredictWorkspace, PredictedRanges,
     Predictor,

@@ -244,6 +244,95 @@ impl Predictor {
         }
     }
 
+    /// [`new`](Self::new) with an explicit worker-thread count: the
+    /// per-group observed-block Cholesky + conditioning-gain factorization
+    /// — the plan's single most expensive stage — runs one group per work
+    /// item, and the factored groups are committed (and fallbacks counted)
+    /// serially in group order, so the result is bitwise identical to
+    /// [`new`](Self::new) at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn new_threaded(
+        model: &TimingModel,
+        groups: &[PathGroup],
+        tested: &[usize],
+        sigma_k: f64,
+        threads: usize,
+    ) -> Self {
+        let n = model.path_count();
+        let mut is_tested = vec![false; n];
+        for &p in tested {
+            is_tested[p] = true;
+        }
+        let priors: Vec<DelayBounds> = (0..n)
+            .map(|p| DelayBounds::from_gaussian(model.path_mean(p), model.path_sigma(p), sigma_k))
+            .collect();
+
+        /// One group's plan-time outcome, carried from the worker back to
+        /// the serial commit loop.
+        enum GroupOutcome {
+            /// Nothing to condition (all or none of the members tested).
+            Skip,
+            /// Factored successfully (boxed: the conditioner dwarfs the
+            /// other variants).
+            Conditioned(Box<GroupPredictor>),
+            /// Degenerate observed block — downgraded to the prior.
+            Fallback,
+        }
+
+        let is_tested = &is_tested;
+        let outcomes = effitest_parallel::par_map(threads, groups.len(), |gi| {
+            let group = &groups[gi];
+            let observed: Vec<usize> =
+                group.members.iter().copied().filter(|&p| is_tested[p]).collect();
+            if observed.is_empty() || observed.len() == group.members.len() {
+                return GroupOutcome::Skip;
+            }
+            let gauss = model.gaussian(&group.members);
+            let obs_pos: Vec<usize> = group
+                .members
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| is_tested[p])
+                .map(|(pos, _)| pos)
+                .collect();
+            match gauss.conditioner(&obs_pos) {
+                Ok(conditioner) => {
+                    let predicted: Vec<usize> = conditioner
+                        .remaining_indices()
+                        .iter()
+                        .map(|&pos| group.members[pos])
+                        .collect();
+                    GroupOutcome::Conditioned(Box::new(GroupPredictor {
+                        observed,
+                        predicted,
+                        conditioner,
+                    }))
+                }
+                Err(_) => GroupOutcome::Fallback,
+            }
+        });
+        let mut group_predictors = Vec::new();
+        let mut fallbacks = 0_u64;
+        for outcome in outcomes {
+            match outcome {
+                GroupOutcome::Skip => {}
+                GroupOutcome::Conditioned(gp) => group_predictors.push(*gp),
+                GroupOutcome::Fallback => fallbacks += 1,
+            }
+        }
+        Predictor {
+            n_paths: n,
+            planned: (0..n).filter(|&p| is_tested[p]).collect(),
+            sigma_k,
+            priors,
+            groups: group_predictors,
+            fallbacks,
+        }
+    }
+
     /// Paths in the underlying model.
     pub fn path_count(&self) -> usize {
         self.n_paths
@@ -1057,6 +1146,32 @@ mod tests {
             assert_eq!(range_bits(&engine), range_bits(&reference), "chip {seed} drifted");
             assert_eq!(engine.measured, reference.measured);
             assert_eq!(engine.fallbacks, reference.fallbacks);
+        }
+    }
+
+    #[test]
+    fn threaded_predictor_matches_serial_at_every_thread_count() {
+        let (_, model, groups) = fixture();
+        let selected = crate::select::all_selected(&groups);
+        let serial = Predictor::new(&model, &groups, &selected, 3.0);
+        let chips: Vec<_> = (0..4).map(|s| model.sample_chip(6_000 + s)).collect();
+        for threads in [1, 4, 8] {
+            let threaded = Predictor::new_threaded(&model, &groups, &selected, 3.0, threads);
+            assert_eq!(threaded.planned, serial.planned, "planned set diverged ({threads})");
+            assert_eq!(threaded.fallbacks, serial.fallbacks, "fallbacks diverged ({threads})");
+            assert_eq!(threaded.groups.len(), serial.groups.len());
+            for (t, s) in threaded.groups.iter().zip(&serial.groups) {
+                assert_eq!(t.observed, s.observed, "observed members diverged ({threads})");
+                assert_eq!(t.predicted, s.predicted, "predicted members diverged ({threads})");
+            }
+            for chip in &chips {
+                let tested = measure(chip, &selected, 0.5);
+                assert_eq!(
+                    range_bits(&threaded.predict(&tested)),
+                    range_bits(&serial.predict(&tested)),
+                    "predictions diverged at {threads} threads"
+                );
+            }
         }
     }
 

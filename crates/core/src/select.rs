@@ -74,6 +74,11 @@ pub fn criticality_score(model: &TimingModel, path: usize, k: f64) -> f64 {
 
 /// Paths surviving the criticality cut at `fraction` of the maximum
 /// score, in path-index order. The maximum-score path always survives.
+///
+/// This serial form scores every path twice (once for the max fold, once
+/// for the filter); it is retained as the differential reference for
+/// [`critical_paths_threaded`], which scores each path exactly once, in
+/// parallel.
 fn critical_paths(model: &TimingModel, fraction: f64, k: f64) -> Vec<usize> {
     assert!(
         (0.0..=1.0).contains(&fraction),
@@ -84,6 +89,27 @@ fn critical_paths(model: &TimingModel, fraction: f64, k: f64) -> Vec<usize> {
         .fold(f64::NEG_INFINITY, f64::max);
     let cut = fraction * max_score;
     (0..model.path_count()).filter(|&p| criticality_score(model, p, k) >= cut).collect()
+}
+
+/// Threaded [`critical_paths`]: each path's score is computed once, on
+/// whichever worker claims it, and committed in path order. Scores are
+/// pure per path, so the surviving set is bitwise identical to the serial
+/// reference at every thread count.
+fn critical_paths_threaded(
+    model: &TimingModel,
+    fraction: f64,
+    k: f64,
+    threads: usize,
+) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "criticality_fraction must lie in [0, 1], got {fraction}"
+    );
+    let scores =
+        effitest_parallel::par_map(threads, model.path_count(), |p| criticality_score(model, p, k));
+    let max_score = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let cut = fraction * max_score;
+    (0..model.path_count()).filter(|&p| scores[p] >= cut).collect()
 }
 
 /// Runs Procedure 1 over all required paths of a timing model.
@@ -101,10 +127,46 @@ pub fn select_paths(model: &TimingModel, config: &SelectConfig) -> Vec<PathGroup
     assert!(model.path_count() > 0, "no paths to select from");
     assert!(config.threshold_step > 0.0, "threshold step must be positive");
 
-    let mut remaining: Vec<usize> = match config.criticality_fraction {
+    let remaining: Vec<usize> = match config.criticality_fraction {
         None => (0..model.path_count()).collect(),
         Some(fraction) => critical_paths(model, fraction, config.criticality_sigma),
     };
+    group_paths(model, config, remaining)
+}
+
+/// [`select_paths`] with an explicit worker-thread count: the per-path
+/// criticality scoring fans out over `threads` workers (and each score is
+/// computed exactly once instead of twice). The correlation-grouping loop
+/// itself is shared with the serial entry point, so the groups are bitwise
+/// identical to [`select_paths`] at every thread count.
+///
+/// # Panics
+///
+/// Same as [`select_paths`].
+pub fn select_paths_threaded(
+    model: &TimingModel,
+    config: &SelectConfig,
+    threads: usize,
+) -> Vec<PathGroup> {
+    assert!(model.path_count() > 0, "no paths to select from");
+    assert!(config.threshold_step > 0.0, "threshold step must be positive");
+
+    let remaining: Vec<usize> = match config.criticality_fraction {
+        None => (0..model.path_count()).collect(),
+        Some(fraction) => {
+            critical_paths_threaded(model, fraction, config.criticality_sigma, threads)
+        }
+    };
+    group_paths(model, config, remaining)
+}
+
+/// The correlation-grouping loop shared by the serial and threaded entry
+/// points (Procedure 1's threshold descent).
+fn group_paths(
+    model: &TimingModel,
+    config: &SelectConfig,
+    mut remaining: Vec<usize>,
+) -> Vec<PathGroup> {
     let mut groups = Vec::new();
     let mut threshold = config.threshold_start;
 
@@ -347,6 +409,21 @@ mod tests {
         let a = select_paths(&m, &cfg);
         let b = select_paths(&m, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_selection_matches_serial_at_every_thread_count() {
+        let m = model();
+        for cfg in [
+            SelectConfig::default(),
+            SelectConfig { criticality_fraction: Some(0.9), ..SelectConfig::default() },
+        ] {
+            let serial = select_paths(&m, &cfg);
+            for threads in [1, 4, 8] {
+                let threaded = select_paths_threaded(&m, &cfg, threads);
+                assert_eq!(threaded, serial, "threads {threads}");
+            }
+        }
     }
 
     #[test]

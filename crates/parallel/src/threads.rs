@@ -1,0 +1,84 @@
+//! Worker-thread-count plumbing shared by every threaded stage.
+//!
+//! One env variable — `EFFITEST_THREADS` — governs the worker count of the
+//! whole pipeline: the chip-independent plan construction (selection,
+//! conflict analysis, hold sampling, prediction gains, plus the upstream
+//! circuit generation and SSTA model build) and the per-chip population
+//! engine. Every reader goes through this module, so the validation and
+//! the hard-error message exist exactly once.
+//!
+//! An unparseable override is a **hard error**, never a silent fallback: a
+//! typo'd `EFFITEST_THREADS=1O` must abort the run, not quietly use the
+//! default worker count (the same contract `EFFITEST_CHIPS` follows
+//! through [`env_count`]).
+
+/// Name of the environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "EFFITEST_THREADS";
+
+/// The default worker count: the machine's available parallelism (1 if it
+/// cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses a positive integer override such as `EFFITEST_CHIPS` or
+/// `EFFITEST_THREADS`.
+///
+/// # Errors
+///
+/// Returns a descriptive message when `raw` is not a positive integer —
+/// callers must treat this as a hard error (a typo'd override silently
+/// falling back to a default has burned us before).
+pub fn parse_env_count(name: &str, raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!("{name} must be a positive integer, got 0")),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!("{name} must be a positive integer, got {raw:?}: {e}")),
+    }
+}
+
+/// Reads an optional positive-integer environment override: `Ok(None)`
+/// when `name` is unset, `Ok(Some(n))` when it parses.
+///
+/// # Errors
+///
+/// Returns an error when the variable is set but not a positive integer
+/// (or not valid UTF-8). Invalid input is never silently ignored.
+pub fn env_count(name: &str) -> Result<Option<usize>, String> {
+    match std::env::var(name) {
+        Ok(raw) => parse_env_count(name, &raw).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(v)) => Err(format!("{name} is not valid UTF-8: {v:?}")),
+    }
+}
+
+/// Reads the worker-thread count from `EFFITEST_THREADS`, defaulting to
+/// [`default_threads`] when the variable is unset.
+///
+/// # Errors
+///
+/// Same as [`env_count`].
+pub fn threads_from_env() -> Result<usize, String> {
+    Ok(env_count(THREADS_ENV)?.unwrap_or_else(default_threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_env_count_accepts_positive_integers_only() {
+        assert_eq!(parse_env_count("X", "12"), Ok(12));
+        assert_eq!(parse_env_count("X", "  3 "), Ok(3));
+        assert!(parse_env_count("X", "0").unwrap_err().contains("got 0"));
+        assert!(parse_env_count("X", "ten").unwrap_err().contains("positive integer"));
+        assert!(parse_env_count("X", "-4").unwrap_err().contains("X"));
+        assert!(parse_env_count("X", "3.5").unwrap_err().contains("3.5"));
+        assert!(parse_env_count("X", "").unwrap_err().contains("positive integer"));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Thread-count determinism of the parallel plan pipeline (PR 8).
+//!
+//! Every serial plan stage now has a threaded form driven by the
+//! deterministic parallel-execution utility (`effitest::flow::parallel`):
+//! circuit generation on the large tier, the SSTA model build, per-path
+//! criticality scoring, the conflict oracle, predicted sigmas, hold-bound
+//! sampling, and the prediction engine's per-group factorization. The
+//! contract is **bitwise**: results are independent of the worker-thread
+//! count and identical to the retained serial references.
+//!
+//! This test pins that contract end to end — the full plan fingerprint
+//! (groups, batches, slot fills, hold bounds, predicted sigmas, epsilon)
+//! at threads 1, 4, and 8 against the serial `plan_reference`, across all
+//! six paper topologies and a reduced large-tier circuit, plus the
+//! upstream generate/model stages on their own references.
+
+use effitest::circuit::{BenchmarkSpec, GeneratedBenchmark, Topology};
+use effitest::flow::select::SelectConfig;
+use effitest::prelude::*;
+use effitest::ssta::TimingModel;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Everything that defines a plan's observable content, in comparable
+/// form (hold bounds sorted, floats as bit patterns).
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    plan: &FlowPlan<'_>,
+) -> (
+    Vec<(Vec<usize>, Vec<usize>, u64, usize)>,
+    Vec<Vec<usize>>,
+    Vec<usize>,
+    Vec<(usize, u64)>,
+    Vec<(usize, u64)>,
+    u64,
+) {
+    let groups = plan
+        .groups
+        .iter()
+        .map(|g| (g.members.clone(), g.selected.clone(), g.threshold.to_bits(), g.n_pcs))
+        .collect();
+    let mut lambda: Vec<(usize, u64)> = plan.lambda.iter().map(|(p, l)| (p, l.to_bits())).collect();
+    lambda.sort_unstable();
+    let sigmas = plan.predicted_sigmas.iter().map(|&(p, s)| (p, s.to_bits())).collect();
+    (
+        groups,
+        plan.batches.batches.clone(),
+        plan.batches.slot_filled.clone(),
+        lambda,
+        sigmas,
+        plan.epsilon.to_bits(),
+    )
+}
+
+#[test]
+fn plan_is_bitwise_thread_count_independent_on_every_paper_topology() {
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    for &topology in Topology::all().iter() {
+        let spec = BenchmarkSpec::iscas89_s9234().scaled_down(10).with_topology(topology);
+        let bench = GeneratedBenchmark::generate(&spec, 1);
+        let model = TimingModel::build(&bench, &VariationConfig::paper());
+        let reference = fingerprint(&flow.plan_reference(&bench, &model).expect("plan"));
+        for threads in THREAD_COUNTS {
+            let threaded = fingerprint(&flow.plan_threaded(&bench, &model, threads).expect("plan"));
+            assert_eq!(
+                threaded,
+                reference,
+                "plan diverged from the serial reference on {} at {threads} threads",
+                topology.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_is_bitwise_thread_count_independent_on_the_large_tier() {
+    let spec = BenchmarkSpec::large(256);
+    let flow = EffiTestFlow::new(FlowConfig {
+        select: SelectConfig { criticality_fraction: Some(0.93), ..SelectConfig::default() },
+        ..FlowConfig::default()
+    });
+    // The upstream stages have their own serial references: pin them at
+    // every thread count before planning on their output.
+    let bench = GeneratedBenchmark::generate_large_reference(&spec, 1);
+    for threads in THREAD_COUNTS {
+        let threaded = GeneratedBenchmark::generate_threaded(&spec, 1, threads);
+        assert_eq!(threaded.netlist, bench.netlist, "generation diverged at {threads} threads");
+        assert_eq!(threaded.paths, bench.paths, "generated paths diverged at {threads} threads");
+        assert_eq!(threaded.short_paths, bench.short_paths);
+    }
+    let variation = VariationConfig { grid_dim: 4, ..VariationConfig::paper() };
+    let model = TimingModel::build_with_buffer_range_reference(&bench, &variation, 0.07, 8);
+    for threads in THREAD_COUNTS {
+        let threaded =
+            TimingModel::build_with_buffer_range_threaded(&bench, &variation, 0.07, 8, threads);
+        assert_eq!(threaded, model, "timing model diverged at {threads} threads");
+    }
+    let reference = fingerprint(&flow.plan_reference(&bench, &model).expect("plan"));
+    for threads in THREAD_COUNTS {
+        let threaded = fingerprint(&flow.plan_threaded(&bench, &model, threads).expect("plan"));
+        assert_eq!(
+            threaded, reference,
+            "large-tier plan diverged from the serial reference at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn threaded_plan_drives_identical_chip_outcomes() {
+    // The plan feeds silicon: identical fingerprints must also mean
+    // identical per-chip behavior through the full flow.
+    let bench = GeneratedBenchmark::generate(&BenchmarkSpec::iscas89_s9234().scaled_down(10), 1);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    let flow = EffiTestFlow::new(FlowConfig::default());
+    let reference = flow.plan_reference(&bench, &model).expect("plan");
+    let td = model.nominal_period();
+    let key = |o: &ChipOutcome| {
+        (
+            o.iterations,
+            o.passes,
+            o.configured.as_ref().map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+            o.ranges.iter().map(|b| (b.lower.to_bits(), b.upper.to_bits())).collect::<Vec<_>>(),
+        )
+    };
+    for threads in THREAD_COUNTS {
+        let plan = flow.plan_threaded(&bench, &model, threads).expect("plan");
+        for seed in 0..3 {
+            let chip = model.sample_chip(800 + seed);
+            let a = flow.run_chip(&plan, &chip, td).expect("chip");
+            let b = flow.run_chip(&reference, &chip, td).expect("chip");
+            assert_eq!(key(&a), key(&b), "chip {seed} diverged at {threads} threads");
+        }
+    }
+}
