@@ -1,0 +1,95 @@
+//! Hostile-silicon bench: flow cost and yield under tester noise and
+//! aging drift.
+//!
+//! Prints one row per hostile cell of a reduced matrix — the t0 yield,
+//! the aged yields (kept configuration / adaptive re-tuning / full
+//! re-test) and the tester-iteration costs of the two recovery paths —
+//! and records the full JSON report to `BENCH_hostile.json` (override
+//! with `BENCH_HOSTILE_OUT`), then runs Criterion measurements of the
+//! whole-cell runtime for the noisiest legs. `EFFITEST_CHIPS` raises the
+//! per-cell population (bench default: 8).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use effitest_core::hostile::{hostile_matrix_to_json, run_hostile_scenario, HostileAxes};
+
+fn reduced_axes() -> HostileAxes {
+    let config = effitest_bench::bench_config(8);
+    let mut axes = HostileAxes::smoke(10);
+    axes.scenario.chip_counts = vec![config.n_chips];
+    axes.scenario.flow = config.flow;
+    axes
+}
+
+fn print_and_record() {
+    let axes = reduced_axes();
+    let threads = effitest_core::population::threads_from_env().unwrap_or_else(|e| panic!("{e}"));
+    let cells = axes.cells();
+    println!(
+        "\nHostile matrix ({} cells, {} chips each):",
+        cells.len(),
+        axes.scenario.chip_counts[0]
+    );
+    let header = format!(
+        "{:<44} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>6}",
+        "cell", "y_t0", "y_kept", "y_adpt", "y_rtst", "it_adpt", "it_rtst", "widen"
+    );
+    println!("{header}");
+    effitest_bench::rule(&header);
+
+    let mut reports = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let r = run_hostile_scenario(cell, threads);
+        println!(
+            "{:<44} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>8.1} {:>8.1} {:>6}",
+            r.id,
+            r.yield_t0 * 100.0,
+            r.yield_aged_kept * 100.0,
+            r.yield_aged_adaptive * 100.0,
+            r.yield_aged_retest * 100.0,
+            r.mean_iterations_adaptive,
+            r.mean_iterations_retest,
+            r.widenings,
+        );
+        reports.push(r);
+    }
+
+    let json = hostile_matrix_to_json(&axes.scenario.base.name, &reports);
+    // Default to the workspace-root record (cargo runs benches from the
+    // package dir, which would scatter untracked copies under crates/).
+    let path = std::env::var("BENCH_HOSTILE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hostile.json").into()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nrecorded -> {path}\n"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}\n"),
+    }
+}
+
+fn bench_hostile(c: &mut Criterion) {
+    let axes = reduced_axes();
+    let mut group = c.benchmark_group("hostile/cell");
+    // The noisy + drifted leg per topology: tuning flow, aging, kept
+    // check, adaptive re-tuning, and full re-test per iteration.
+    for cell in axes.cells().iter().filter(|cell| cell.noise_rel > 0.0 && !cell.drift.is_none()) {
+        group.bench_with_input(
+            BenchmarkId::new("run", cell.cell.topology.name()),
+            cell,
+            |b, cell| b.iter(|| black_box(run_hostile_scenario(cell, 1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hostile
+}
+
+fn main() {
+    print_and_record();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -585,74 +585,123 @@ pub fn fill_slots_dense(
     filled
 }
 
+/// One group's predicted sigmas (paper eq. 5), plus whether the group
+/// fell back to the prior. Shared verbatim by the serial and the threaded
+/// driver so the two stay bitwise identical.
+///
+/// A group whose selected-member covariance block cannot be factorized
+/// even after regularization is *downgraded to the prior*: its unselected
+/// members keep their prior `sigma_p` as the slot-filling priority and the
+/// downgrade is counted — never a panic. These are the same fallback
+/// semantics the prediction engine applies
+/// ([`crate::predict::Predictor::fallback_count`]).
+fn group_predicted_sigmas(
+    model: &TimingModel,
+    g: &crate::select::PathGroup,
+) -> (Vec<(usize, f64)>, u64) {
+    if g.members.len() == g.selected.len() {
+        return (Vec::new(), 0); // everything measured, nothing predicted
+    }
+    let gauss = model.gaussian(&g.members);
+    group_sigmas_conditioned(&gauss, &g.members, &g.selected, |p| model.path_sigma(p))
+}
+
+/// The conditioning core of [`group_predicted_sigmas`], taking the group
+/// gaussian as an argument so the downgrade branch is testable with a
+/// doctored (indefinite) covariance that a [`TimingModel`] can never
+/// produce through its public API.
+fn group_sigmas_conditioned(
+    gauss: &effitest_linalg::MultivariateGaussian,
+    members: &[usize],
+    selected: &[usize],
+    prior_sigma: impl Fn(usize) -> f64,
+) -> (Vec<(usize, f64)>, u64) {
+    let sel_pos: Vec<usize> = members
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| selected.contains(p))
+        .map(|(pos, _)| pos)
+        .collect();
+    // Observed values do not matter for the variance (eq. 5); condition
+    // at the mean.
+    let values: Vec<f64> = sel_pos.iter().map(|&pos| gauss.mean()[pos]).collect();
+    let Ok(cond) = gauss.condition(&sel_pos, &values) else {
+        let priors: Vec<(usize, f64)> = members
+            .iter()
+            .filter(|p| !selected.contains(p))
+            .map(|&p| (p, prior_sigma(p)))
+            .collect();
+        return (priors, 1);
+    };
+    let remaining = gauss.remaining_indices(&sel_pos);
+    let sigmas = remaining
+        .iter()
+        .enumerate()
+        .map(|(cpos, &mpos)| (members[mpos], cond.covariance()[(cpos, cpos)].max(0.0).sqrt()))
+        .collect();
+    (sigmas, 0)
+}
+
 /// Predicted standard deviation of every unselected path after the
-/// selected set is measured (paper eq. 5) — the slot-filling priority.
+/// selected set is measured (paper eq. 5) — the slot-filling priority —
+/// plus the number of groups downgraded to their prior sigmas because the
+/// observed covariance block could not be factorized (see
+/// [`group_predicted_sigmas`]'s fallback semantics).
 ///
 /// Computed group-locally: conditioning path `k` on the selected members
 /// of its own group (cross-group correlations are below the group's
 /// extraction threshold and contribute little).
+pub fn predicted_sigmas_counted(
+    model: &TimingModel,
+    groups: &[crate::select::PathGroup],
+) -> (Vec<(usize, f64)>, u64) {
+    let mut out = Vec::new();
+    let mut fallbacks = 0_u64;
+    for g in groups {
+        let (sigmas, fell_back) = group_predicted_sigmas(model, g);
+        out.extend(sigmas);
+        fallbacks += fell_back;
+    }
+    (out, fallbacks)
+}
+
+/// [`predicted_sigmas_counted`] without the fallback count, kept for
+/// callers that only need the priorities.
 pub fn predicted_sigmas(
     model: &TimingModel,
     groups: &[crate::select::PathGroup],
 ) -> Vec<(usize, f64)> {
-    let mut out = Vec::new();
-    for g in groups {
-        if g.members.len() == g.selected.len() {
-            continue; // everything measured, nothing predicted
-        }
-        let gauss = model.gaussian(&g.members);
-        let sel_pos: Vec<usize> = g
-            .members
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| g.selected.contains(p))
-            .map(|(pos, _)| pos)
-            .collect();
-        // Observed values do not matter for the variance (eq. 5); condition
-        // at the mean.
-        let values: Vec<f64> = sel_pos.iter().map(|&pos| gauss.mean()[pos]).collect();
-        let cond = gauss.condition(&sel_pos, &values).expect("group covariance is PSD");
-        let remaining = gauss.remaining_indices(&sel_pos);
-        for (cpos, &mpos) in remaining.iter().enumerate() {
-            let sigma = cond.covariance()[(cpos, cpos)].max(0.0).sqrt();
-            out.push((g.members[mpos], sigma));
-        }
-    }
-    out
+    predicted_sigmas_counted(model, groups).0
 }
 
-/// [`predicted_sigmas`] with an explicit worker-thread count: groups are
-/// independent, so each group's conditioning runs on its own work item and
-/// the per-group result vectors are concatenated in group order — bitwise
-/// identical to the serial loop at every thread count.
+/// [`predicted_sigmas_counted`] with an explicit worker-thread count:
+/// groups are independent, so each group's conditioning runs on its own
+/// work item and the per-group result vectors are concatenated in group
+/// order — bitwise identical to the serial loop at every thread count.
+pub fn predicted_sigmas_counted_threaded(
+    model: &TimingModel,
+    groups: &[crate::select::PathGroup],
+    threads: usize,
+) -> (Vec<(usize, f64)>, u64) {
+    let per_group = effitest_parallel::par_map(threads, groups.len(), |gi| {
+        group_predicted_sigmas(model, &groups[gi])
+    });
+    let mut out = Vec::new();
+    let mut fallbacks = 0_u64;
+    for (sigmas, fell_back) in per_group {
+        out.extend(sigmas);
+        fallbacks += fell_back;
+    }
+    (out, fallbacks)
+}
+
+/// [`predicted_sigmas_counted_threaded`] without the fallback count.
 pub fn predicted_sigmas_threaded(
     model: &TimingModel,
     groups: &[crate::select::PathGroup],
     threads: usize,
 ) -> Vec<(usize, f64)> {
-    let per_group = effitest_parallel::par_map(threads, groups.len(), |gi| {
-        let g = &groups[gi];
-        if g.members.len() == g.selected.len() {
-            return Vec::new(); // everything measured, nothing predicted
-        }
-        let gauss = model.gaussian(&g.members);
-        let sel_pos: Vec<usize> = g
-            .members
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| g.selected.contains(p))
-            .map(|(pos, _)| pos)
-            .collect();
-        let values: Vec<f64> = sel_pos.iter().map(|&pos| gauss.mean()[pos]).collect();
-        let cond = gauss.condition(&sel_pos, &values).expect("group covariance is PSD");
-        let remaining = gauss.remaining_indices(&sel_pos);
-        remaining
-            .iter()
-            .enumerate()
-            .map(|(cpos, &mpos)| (g.members[mpos], cond.covariance()[(cpos, cpos)].max(0.0).sqrt()))
-            .collect()
-    });
-    per_group.into_iter().flatten().collect()
+    predicted_sigmas_counted_threaded(model, groups, threads).0
 }
 
 #[cfg(test)]
@@ -973,5 +1022,51 @@ mod tests {
         assert_eq!(b.tested_paths(), vec![1, 2, 3]);
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn rank_deficient_group_downgrades_to_prior_sigmas_instead_of_panicking() {
+        use effitest_linalg::{Matrix, MultivariateGaussian};
+        // An indefinite "covariance" passes the gaussian's symmetry check
+        // but its observed block (members 0 and 1) cannot be factorized
+        // even with regularization — the shape of a numerically broken
+        // correlation group. Conditioning must not panic; the unselected
+        // member falls back to its prior sigma and the downgrade is
+        // counted.
+        let cov =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[2.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let gauss = MultivariateGaussian::new(vec![10.0, 11.0, 12.0], cov).unwrap();
+        let members = [7_usize, 8, 9];
+        let selected = [7_usize, 8];
+        let (sigmas, fallbacks) =
+            super::group_sigmas_conditioned(&gauss, &members, &selected, |p| p as f64 * 0.5);
+        assert_eq!(fallbacks, 1);
+        assert_eq!(sigmas, vec![(9, 4.5)]);
+
+        // A healthy group conditions normally and counts nothing.
+        let ok =
+            Matrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.5, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let gauss = MultivariateGaussian::new(vec![0.0; 3], ok).unwrap();
+        let (sigmas, fallbacks) =
+            super::group_sigmas_conditioned(&gauss, &members, &selected, |_| f64::NAN);
+        assert_eq!(fallbacks, 0);
+        assert_eq!(sigmas.len(), 1);
+        assert!(sigmas.iter().all(|&(p, s)| p == 9 && s.is_finite() && s > 0.0 && s <= 1.0));
+    }
+
+    #[test]
+    fn counted_sigma_variants_agree_with_the_uncounted_ones() {
+        let (_bench, model) = fixture();
+        let groups = select_paths(&model, &SelectConfig::default());
+        let (counted, fallbacks) = predicted_sigmas_counted(&model, &groups);
+        assert_eq!(fallbacks, 0, "real timing-model groups are PSD");
+        assert_eq!(counted, predicted_sigmas(&model, &groups));
+        for threads in [1, 2, 4] {
+            let (threaded, tf) = predicted_sigmas_counted_threaded(&model, &groups, threads);
+            assert_eq!(tf, fallbacks);
+            let bits =
+                |v: &[(usize, f64)]| v.iter().map(|&(p, s)| (p, s.to_bits())).collect::<Vec<_>>();
+            assert_eq!(bits(&threaded), bits(&counted), "drift at {threads} threads");
+        }
     }
 }

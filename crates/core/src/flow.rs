@@ -5,13 +5,14 @@ use std::time::{Duration, Instant};
 
 use effitest_circuit::GeneratedBenchmark;
 use effitest_ssta::{ChipInstance, TimingModel};
-use effitest_tester::{chip_passes, DelayBounds, VirtualTester};
+use effitest_tester::{chip_passes, DelayBounds, TesterModel, VirtualTester};
 
 use crate::aligned_test::{
     run_aligned_test_with, AlignedTestConfig, AlignedTestResult, AlignedTestWorkspace,
 };
 use crate::batch::{
-    build_batches, fill_slots, predicted_sigmas, predicted_sigmas_threaded, Batches, ConflictOracle,
+    build_batches, fill_slots, predicted_sigmas_counted, predicted_sigmas_counted_threaded,
+    Batches, ConflictOracle,
 };
 use crate::configure::{build_config_problem, configure, shifts_for, BufferIndex};
 use crate::hold::{compute_hold_bounds, compute_hold_bounds_threaded, HoldBounds, HoldConfig};
@@ -80,6 +81,15 @@ pub struct FlowConfig {
     /// full-reanalysis reference loop. Both produce bitwise-identical
     /// outcomes.
     pub incremental: bool,
+    /// Measurement-error model of the tester the chips are mounted on.
+    /// The default ([`TesterModel::ideal`]) reproduces the historical
+    /// noise-free tester bit for bit; any non-ideal model automatically
+    /// runs bounds updates under the widening contradiction policy (see
+    /// [`AlignedTestConfig::tolerate_contradictions`]).
+    pub tester: TesterModel,
+    /// Opt the widening contradiction policy in even for an ideal tester
+    /// (hostile chips probed through an otherwise clean flow).
+    pub tolerate_contradictions: bool,
 }
 
 impl Default for FlowConfig {
@@ -95,6 +105,8 @@ impl Default for FlowConfig {
             exact_alignment: false,
             slot_fill: true,
             incremental: true,
+            tester: TesterModel::ideal(),
+            tolerate_contradictions: false,
         }
     }
 }
@@ -149,6 +161,11 @@ pub struct FlowPlan<'a> {
     /// Predicted standard deviation per unselected path (paper eq. 5),
     /// the slot-filling priority.
     pub predicted_sigmas: Vec<(usize, f64)>,
+    /// Groups whose predicted-sigma conditioning fell back to the prior
+    /// sigmas because the observed covariance block could not be
+    /// factorized (counted, never a panic — the same downgrade semantics
+    /// as [`Predictor::fallback_count`]).
+    pub sigma_fallbacks: u64,
     /// The statistical prediction engine (paper eqs. 4–5): per-group
     /// conditioning gains factored once here at plan time, applied per
     /// chip through a [`PredictWorkspace`]. Degenerate groups are
@@ -188,6 +205,10 @@ pub struct ChipOutcome {
     /// assumed initial window (see
     /// [`AlignedTestResult::contradictions`](crate::aligned_test::AlignedTestResult::contradictions)).
     pub contradictions: u64,
+    /// Observations that contradicted a *proven* bound and were absorbed
+    /// by conservative widening (noisy testers only; see
+    /// [`AlignedTestResult::widenings`](crate::aligned_test::AlignedTestResult::widenings)).
+    pub widenings: u64,
     /// Final delay ranges for every path (measured or predicted).
     pub ranges: Vec<DelayBounds>,
     /// Which ranges came from silicon measurement.
@@ -327,7 +348,7 @@ impl EffiTestFlow {
         let widths: Vec<f64> = selected.iter().map(|&p| width_of(p)).collect();
         let mut raw_batches = build_batches(&oracle, &selected, Some(&widths));
         let buffers = BufferIndex::new(model);
-        let sigmas = predicted_sigmas_threaded(model, &groups, threads);
+        let (sigmas, sigma_fallbacks) = predicted_sigmas_counted_threaded(model, &groups, threads);
         let slot_filled = if self.config.slot_fill {
             let candidates: Vec<(usize, f64, f64)> =
                 sigmas.iter().map(|&(p, sigma)| (p, sigma, width_of(p))).collect();
@@ -366,6 +387,7 @@ impl EffiTestFlow {
             buffers,
             oracle,
             predicted_sigmas: sigmas,
+            sigma_fallbacks,
             predictor,
             epsilon,
             prep_time: started.elapsed(),
@@ -417,7 +439,7 @@ impl EffiTestFlow {
         let widths: Vec<f64> = selected.iter().map(|&p| width_of(p)).collect();
         let mut raw_batches = build_batches(&oracle, &selected, Some(&widths));
         let buffers = BufferIndex::new(model);
-        let sigmas = predicted_sigmas(model, &groups);
+        let (sigmas, sigma_fallbacks) = predicted_sigmas_counted(model, &groups);
         let slot_filled = if self.config.slot_fill {
             let candidates: Vec<(usize, f64, f64)> =
                 sigmas.iter().map(|&(p, sigma)| (p, sigma, width_of(p))).collect();
@@ -451,6 +473,7 @@ impl EffiTestFlow {
             buffers,
             oracle,
             predicted_sigmas: sigmas,
+            sigma_fallbacks,
             predictor,
             epsilon,
             prep_time: started.elapsed(),
@@ -533,7 +556,7 @@ impl EffiTestFlow {
         prepared: &FlowPlan<'_>,
         chip: &ChipInstance,
     ) -> AlignedTestResult {
-        let mut tester = VirtualTester::new(chip);
+        let mut tester = VirtualTester::with_model(chip, self.config.tester);
         run_aligned_test_with(
             &mut ws.aligned,
             prepared.model,
@@ -618,6 +641,7 @@ impl EffiTestFlow {
             configured,
             passes,
             contradictions: aligned.contradictions,
+            widenings: aligned.widenings,
             ranges: predicted.ranges,
             measured: predicted.measured,
         })
@@ -632,7 +656,7 @@ impl EffiTestFlow {
         chip: &ChipInstance,
     ) -> PathWiseOutcome {
         let model = prepared.model;
-        let mut tester = VirtualTester::new(chip);
+        let mut tester = VirtualTester::with_model(chip, self.config.tester);
         let mut bounds = Vec::with_capacity(model.path_count());
         for p in 0..model.path_count() {
             let mut b = DelayBounds::from_gaussian(
@@ -683,7 +707,7 @@ impl EffiTestFlow {
             .map(|&p| 2.0 * self.config.bound_sigma * prepared.model.path_sigma(p))
             .collect();
         let batches = build_batches(&prepared.oracle, paths, Some(&widths));
-        let mut tester = VirtualTester::new(chip);
+        let mut tester = VirtualTester::with_model(chip, self.config.tester);
         let mut config = self.aligned_config(prepared.epsilon);
         config.use_alignment = use_alignment;
         let result = run_aligned_test_with(
@@ -708,6 +732,7 @@ impl EffiTestFlow {
             exact_node_limit: effitest_solver::DEFAULT_NODE_LIMIT,
             max_iterations_per_batch: 10_000,
             incremental: self.config.incremental,
+            tolerate_contradictions: self.config.tolerate_contradictions,
         }
     }
 }

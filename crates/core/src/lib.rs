@@ -32,7 +32,9 @@
 //! that regenerate every table and figure of the paper's evaluation on
 //! top of the population engine; [`scenarios`] sweeps the flow over a
 //! (topology x variation x tuning-range x chip-count) matrix of generated
-//! workloads far beyond the paper's eight look-alike circuits.
+//! workloads far beyond the paper's eight look-alike circuits; [`hostile`]
+//! stresses those cells further with noisy/quantized testers, aging
+//! drift, and adaptive re-tuning from sparse in-field re-measurements.
 //!
 //! # Example
 //!
@@ -63,6 +65,7 @@ pub mod configure;
 pub mod experiments;
 mod flow;
 pub mod hold;
+pub mod hostile;
 pub mod population;
 pub mod predict;
 pub mod scenarios;

@@ -295,6 +295,7 @@ pub fn run_flow_population_batched(
                 configured,
                 passes,
                 contradictions: a.contradictions,
+                widenings: a.widenings,
                 ranges,
                 measured: batch.measured().to_vec(),
             }

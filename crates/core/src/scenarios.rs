@@ -211,10 +211,20 @@ pub struct ScenarioReport {
     /// Total contradictory observations over the population (chips
     /// outside their assumed `mu ± 3 sigma` windows).
     pub contradictions: u64,
+    /// Total proven-bound widenings over the population: probes that
+    /// contradicted an already-proven bound (noisy or drifted silicon)
+    /// and re-opened it under the widening contradiction policy instead
+    /// of panicking. Always 0 with an ideal tester under the default
+    /// strict policy.
+    pub widenings: u64,
     /// Correlation groups whose observed covariance block could not be
     /// factorized, downgraded to prior ranges at plan time (a plan
     /// property: the same groups fall back on every chip of the cell).
     pub prediction_fallbacks: u64,
+    /// Groups whose slot-filling sigma conditioning was downgraded to the
+    /// prior sigmas at plan time (the batching-side counterpart of
+    /// `prediction_fallbacks`).
+    pub sigma_fallbacks: u64,
     /// Mean `|predicted center - true delay| / sigma` over all
     /// *unmeasured* paths and chips (0 when every path is measured).
     pub prediction_mean_abs_err_sigma: f64,
@@ -272,6 +282,7 @@ pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
             ideal: ideal_configure_and_check(&model, &plan.buffers, chip, td),
             untuned: untuned_check(chip, td),
             contradictions: outcome.contradictions,
+            widenings: outcome.widenings,
             pred,
         }
     });
@@ -316,7 +327,9 @@ pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
         mean_iterations,
         iterations_per_tested_path: mean_iterations / plan.tested_path_count().max(1) as f64,
         contradictions: per_chip.iter().map(|m| m.contradictions).sum(),
+        widenings: per_chip.iter().map(|m| m.widenings).sum(),
         prediction_fallbacks: plan.predictor.fallback_count(),
+        sigma_fallbacks: plan.sigma_fallbacks,
         prediction_mean_abs_err_sigma: if err_count == 0 {
             0.0
         } else {
@@ -342,6 +355,7 @@ struct ChipMetrics {
     ideal: bool,
     untuned: bool,
     contradictions: u64,
+    widenings: u64,
     pred: PredictionErrors,
 }
 
@@ -397,7 +411,9 @@ pub fn report_to_json(r: &ScenarioReport) -> String {
             "\"yield\": {y}, \"ideal_yield\": {yi}, \"untuned_yield\": {yu}, ",
             "\"mean_iterations\": {ta}, \"iterations_per_tested_path\": {tv}, ",
             "\"contradictions\": {contra}, ",
+            "\"widenings\": {widen}, ",
             "\"prediction_fallbacks\": {fallbacks}, ",
+            "\"sigma_fallbacks\": {sfall}, ",
             "\"prediction_mean_abs_err_sigma\": {pe}, ",
             "\"prediction_max_abs_err_sigma\": {pm}, ",
             "\"prediction_coverage\": {pc}}}"
@@ -421,7 +437,9 @@ pub fn report_to_json(r: &ScenarioReport) -> String {
         ta = json_f64(r.mean_iterations),
         tv = json_f64(r.iterations_per_tested_path),
         contra = r.contradictions,
+        widen = r.widenings,
         fallbacks = r.prediction_fallbacks,
+        sfall = r.sigma_fallbacks,
         pe = json_f64(r.prediction_mean_abs_err_sigma),
         pm = json_f64(r.prediction_max_abs_err_sigma),
         pc = json_f64(r.prediction_coverage),
@@ -447,7 +465,7 @@ pub fn matrix_to_json(base_name: &str, reports: &[ScenarioReport]) -> String {
 
 /// Formats a finite float for JSON via Rust's shortest round-trip
 /// representation, forcing a decimal point so integers stay doubles.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     assert!(x.is_finite(), "scenario reports never contain non-finite metrics");
     let s = format!("{x}");
     if s.contains('.') || s.contains('e') {
@@ -459,7 +477,7 @@ fn json_f64(x: f64) -> String {
 
 /// Minimal JSON string escaping (names and ids are ASCII by
 /// construction; this keeps arbitrary base names safe anyway).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -521,6 +539,9 @@ mod tests {
         assert!(r.prediction_max_abs_err_sigma >= r.prediction_mean_abs_err_sigma);
         // Model-built covariances are PSD: real cells never downgrade.
         assert_eq!(r.prediction_fallbacks, 0, "unexpected prediction fallback");
+        assert_eq!(r.sigma_fallbacks, 0, "unexpected sigma fallback");
+        // The smoke flow runs an ideal tester under the strict policy.
+        assert_eq!(r.widenings, 0, "ideal tester must never widen");
     }
 
     #[test]
@@ -556,6 +577,7 @@ mod tests {
             assert_eq!(r.mean_iterations, 0.0);
             assert_eq!(r.iterations_per_tested_path, 0.0);
             assert_eq!(r.contradictions, 0);
+            assert_eq!(r.widenings, 0);
             assert_eq!(r.prediction_mean_abs_err_sigma, 0.0);
             assert_eq!(r.prediction_coverage, 1.0);
             assert!(r.designated_period > 0.0, "period must fall back to nominal");

@@ -1,0 +1,143 @@
+//! Aging drift: time-indexed delay shifts for deployed chips.
+//!
+//! The paper's flow tunes a chip once, at test time, against frozen
+//! delays. Real silicon ages: NBTI/HCI degradation slows transistors over
+//! deployment, so a configuration that passed at `t = 0` may fail at
+//! `t = T`. The group's aging-aware follow-up work treats this drift as a
+//! first-class input; the hostile-silicon scenarios here use
+//! [`DriftModel`] to re-evaluate a tuned chip after a deterministic,
+//! per-path aging shift.
+
+use crate::chip::ChipInstance;
+use crate::sampler::{hash_normal, mix_stream};
+
+/// A deterministic aging model: every setup delay grows multiplicatively
+/// with deployment time.
+///
+/// Path `p` of the chip with die id `s` ages at the fractional rate
+/// `rate * max(0, 1 + variability * g)` per unit time, where `g` is a
+/// standard-normal draw hashed from `(seed, s, p)` — stateless, so the
+/// aged chip is bitwise identical no matter which thread ages it or how
+/// many chips aged before it. The `max(0, ..)` clamp keeps aging monotone:
+/// silicon only gets slower.
+///
+/// Hold bounds are left untouched: aging slows the short paths too, which
+/// only *relaxes* the realized hold bound `h_j - d_min`; keeping the
+/// `t = 0` bound is therefore conservative for the pass/fail verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Mean fractional delay increase per unit deployment time (e.g.
+    /// `0.02` = 2% slower per year if `t` is in years).
+    pub rate: f64,
+    /// Relative per-path spread of the rate (sigma of the multiplicative
+    /// factor `1 + variability * g`).
+    pub variability: f64,
+    /// Seed of the per-path rate draws.
+    pub seed: u64,
+}
+
+impl DriftModel {
+    /// No aging: every chip is returned unchanged.
+    pub fn none() -> Self {
+        DriftModel { rate: 0.0, variability: 0.0, seed: 0 }
+    }
+
+    /// `true` when this model never changes a chip.
+    pub fn is_none(&self) -> bool {
+        self.rate == 0.0
+    }
+
+    /// The chip as it looks after `time` units of deployment.
+    ///
+    /// `aged(chip, 0.0)` and `DriftModel::none().aged(chip, t)` return the
+    /// chip bit-for-bit unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative (silicon does not un-age).
+    pub fn aged(&self, chip: &ChipInstance, time: f64) -> ChipInstance {
+        assert!(time >= 0.0, "deployment time must be non-negative");
+        if self.is_none() || time == 0.0 {
+            return chip.clone();
+        }
+        let per_chip = mix_stream(self.seed, chip.seed());
+        let setup = chip
+            .setup_delays()
+            .iter()
+            .enumerate()
+            .map(|(p, &d)| {
+                let g = hash_normal(mix_stream(per_chip, p as u64));
+                let path_rate = self.rate * (1.0 + self.variability * g).max(0.0);
+                d * (1.0 + path_rate * time)
+            })
+            .collect();
+        ChipInstance::new(chip.seed(), setup, chip.hold_bounds().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> ChipInstance {
+        ChipInstance::new(7, vec![5.0, 8.0, 3.5], vec![Some(-1.0), None, Some(0.25)])
+    }
+
+    #[test]
+    fn none_and_zero_time_are_identity() {
+        let c = chip();
+        assert_eq!(DriftModel::none().aged(&c, 10.0), c);
+        let m = DriftModel { rate: 0.05, variability: 0.3, seed: 1 };
+        assert_eq!(m.aged(&c, 0.0), c);
+        assert!(DriftModel::none().is_none());
+        assert!(!m.is_none());
+    }
+
+    #[test]
+    fn aging_is_monotone_and_deterministic() {
+        let c = chip();
+        let m = DriftModel { rate: 0.05, variability: 0.5, seed: 42 };
+        let aged = m.aged(&c, 2.0);
+        let again = m.aged(&c, 2.0);
+        assert_eq!(aged, again);
+        for p in 0..c.path_count() {
+            // Slower, never faster — the rate clamp guarantees it.
+            assert!(aged.setup_delay(p) >= c.setup_delay(p), "path {p} sped up");
+            assert_eq!(aged.hold_bound(p), c.hold_bound(p));
+        }
+        // More time, more drift.
+        let later = m.aged(&c, 4.0);
+        for p in 0..c.path_count() {
+            assert!(later.setup_delay(p) >= aged.setup_delay(p));
+        }
+    }
+
+    #[test]
+    fn variability_spreads_rates_across_paths() {
+        let c = ChipInstance::new(3, vec![1.0; 32], vec![None; 32]);
+        let m = DriftModel { rate: 0.1, variability: 0.5, seed: 9 };
+        let aged = m.aged(&c, 1.0);
+        let rates: Vec<f64> = (0..32).map(|p| aged.setup_delay(p) - 1.0).collect();
+        let distinct = rates.windows(2).any(|w| w[0] != w[1]);
+        assert!(distinct, "per-path rates should differ under variability");
+        // Mean realized rate stays near the nominal rate.
+        let mean = rates.iter().sum::<f64>() / 32.0;
+        assert!((mean - 0.1).abs() < 0.05, "mean rate {mean}");
+    }
+
+    #[test]
+    fn zero_variability_ages_uniformly() {
+        let c = chip();
+        let m = DriftModel { rate: 0.1, variability: 0.0, seed: 0 };
+        let aged = m.aged(&c, 1.0);
+        for p in 0..c.path_count() {
+            assert!((aged.setup_delay(p) - c.setup_delay(p) * 1.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_is_rejected() {
+        DriftModel::none().aged(&chip(), -1.0);
+    }
+}

@@ -21,7 +21,12 @@
 //!   covariance/correlation matrices, and samples [`ChipInstance`]s.
 //! * [`ChipInstance`] — one manufactured chip: frozen max/min delays for
 //!   every path; the virtual tester measures these.
-//! * [`NormalSampler`] — Box–Muller standard-normal sampling over `rand`.
+//! * [`NormalSampler`] — Box–Muller standard-normal sampling over `rand`;
+//!   [`hash_normal`]/[`mix_stream`] are the stateless counterpart used for
+//!   order-independent injected randomness.
+//! * [`DriftModel`] — deterministic aging: time-indexed multiplicative
+//!   delay shifts applied to a [`ChipInstance`] for hostile-silicon
+//!   re-evaluation of tuned chips.
 //!
 //! # Example
 //!
@@ -45,6 +50,7 @@
 
 mod canonical;
 mod chip;
+mod drift;
 mod incremental;
 mod model;
 mod sampler;
@@ -52,7 +58,8 @@ mod variation;
 
 pub use canonical::CanonicalDelay;
 pub use chip::ChipInstance;
+pub use drift::DriftModel;
 pub use incremental::ChangeTracker;
 pub use model::TimingModel;
-pub use sampler::NormalSampler;
+pub use sampler::{hash_normal, mix_stream, NormalSampler};
 pub use variation::{FactorSpace, VariationConfig, VariationProfile};

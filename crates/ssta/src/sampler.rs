@@ -1,6 +1,52 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// The SplitMix64 output function: a high-quality 64-bit mixer.
+///
+/// Used to build *stateless* deterministic random streams: hash a tuple of
+/// identifying integers into a stream id with [`mix_stream`], then map it
+/// to a standard-normal draw with [`hash_normal`]. Unlike
+/// [`NormalSampler`], no sequential state is involved, so a draw depends
+/// only on the identifiers — independent of evaluation order, thread
+/// count, or how many other draws happened first. The tester's injected
+/// measurement noise and the aging [`DriftModel`](crate::DriftModel) both
+/// rely on this for their bitwise-reproducibility contract.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds one identifier into a stream id (SplitMix64 over the running
+/// hash XOR the new word). Chain calls to combine several identifiers:
+///
+/// ```
+/// use effitest_ssta::{hash_normal, mix_stream};
+///
+/// let stream = mix_stream(mix_stream(42, 7), 3); // (seed, chip, path)
+/// let g = hash_normal(stream);
+/// assert_eq!(g, hash_normal(mix_stream(mix_stream(42, 7), 3)));
+/// ```
+pub fn mix_stream(state: u64, word: u64) -> u64 {
+    splitmix64(state ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Maps a stream id to one standard-normal draw, statelessly.
+///
+/// Two SplitMix64 evaluations give two uniforms, combined by Box–Muller.
+/// The first uniform is kept in `(0, 1)` by construction (never exactly
+/// zero), so the result is always finite. Same stream id, same draw — on
+/// any thread, in any order.
+pub fn hash_normal(stream: u64) -> f64 {
+    let a = splitmix64(stream);
+    let b = splitmix64(a);
+    // 53 high bits -> uniform; +0.5 keeps u1 strictly inside (0, 1).
+    let u1 = ((a >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    let u2 = (b >> 11) as f64 / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
 /// Deterministic standard-normal sampler (Box–Muller over `StdRng`).
 ///
 /// Hand-rolled rather than pulling in `rand_distr`: the reproduction brief
@@ -110,6 +156,36 @@ mod tests {
         s.fill(&mut v);
         // Statistically impossible for any entry to remain exactly 0.
         assert!(v.iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn hash_normal_is_stateless_and_finite() {
+        // Same stream, same draw — independent of evaluation order.
+        let a = hash_normal(mix_stream(mix_stream(1, 2), 3));
+        let b = hash_normal(mix_stream(mix_stream(1, 2), 3));
+        assert_eq!(a, b);
+        // Distinct streams decorrelate.
+        assert_ne!(a, hash_normal(mix_stream(mix_stream(1, 2), 4)));
+        // Always finite, including the all-zeros stream.
+        for s in [0_u64, 1, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            assert!(hash_normal(s).is_finite());
+        }
+    }
+
+    #[test]
+    fn hash_normal_moments_are_standard_normal() {
+        let n = 200_000_u64;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for k in 0..n {
+            let x = hash_normal(mix_stream(99, k));
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
     }
 
     #[test]

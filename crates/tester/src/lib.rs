@@ -17,6 +17,12 @@
 //! * [`path_wise_binary_search`] — the baseline the paper compares against
 //!   (refs. [2, 6, 8, 9] therein): per-path frequency stepping, one path
 //!   at a time, buffers untouched.
+//! * [`TesterModel`] — hostile-silicon measurement error: deterministic
+//!   quantization plus seeded Gaussian noise, hashed per
+//!   `(chip, path, probe)` so every noisy measurement is bitwise
+//!   reproducible at any thread count. [`ContradictionPolicy::Widen`]
+//!   lets bounds updates absorb the contradictions noise produces instead
+//!   of asserting.
 //! * [`chip_passes`] — the final pass/fail test after buffer configuration
 //!   (setup at the designated period plus hold).
 //!
@@ -41,7 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use effitest_ssta::ChipInstance;
+use effitest_ssta::{hash_normal, mix_stream, ChipInstance};
 
 /// What one frequency-stepping observation did to a [`DelayBounds`]
 /// interval.
@@ -56,6 +62,36 @@ pub enum Observation {
     /// `lower` or a fail above `upper`. The interval saturates to zero
     /// width at the contradicted endpoint (see [`DelayBounds::update`]).
     Contradictory,
+    /// Under [`ContradictionPolicy::Widen`] only: the observation
+    /// contradicted a *proven* bound, which a noisy tester can legitimately
+    /// produce, and the interval was conservatively re-opened to cover the
+    /// measured value (see
+    /// [`DelayBounds::update_with_policy`]).
+    Widened,
+}
+
+/// How [`DelayBounds::update_with_policy`] treats an observation that
+/// contradicts a bound *proven* by an earlier observation.
+///
+/// With an ideal tester such a contradiction is physically impossible for
+/// frozen silicon — it indicates a caller bug, so [`Strict`](Self::Strict)
+/// (the [`DelayBounds::update`] behavior) fires a debug assertion. A noisy
+/// or quantizing [`TesterModel`] produces them legitimately;
+/// [`Widen`](Self::Widen) absorbs them conservatively instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContradictionPolicy {
+    /// Contradicting a proven bound fires a debug assertion (and saturates
+    /// in release builds). The historical and default behavior.
+    #[default]
+    Strict,
+    /// Contradicting a proven bound conservatively **re-opens** the
+    /// interval to cover the measured value: the contradicted bound moves
+    /// to the measurement and loses its proven status. A pass below a
+    /// proven `lower` drops `lower`; a fail above a proven `upper` raises
+    /// `upper`. Either way the interval still contains every delay any
+    /// observation so far is consistent with, and the setup-critical
+    /// `upper` never silently shrinks.
+    Widen,
 }
 
 /// A delay interval `[lower, upper]` being narrowed by frequency stepping.
@@ -149,6 +185,28 @@ impl DelayBounds {
     #[must_use = "check for Observation::Contradictory — in release builds a contradiction \
                   saturates the interval silently otherwise"]
     pub fn update(&mut self, period: f64, shift: f64, passed: bool) -> Observation {
+        self.update_with_policy(period, shift, passed, ContradictionPolicy::Strict)
+    }
+
+    /// [`update`](Self::update) with an explicit [`ContradictionPolicy`]
+    /// for observations that contradict a *proven* bound.
+    ///
+    /// `Strict` is exactly [`update`](Self::update). `Widen` never
+    /// asserts: a contradiction of a proven bound re-opens the interval to
+    /// cover the measurement (the contradicted bound moves to the measured
+    /// value and loses its proven status) and returns
+    /// [`Observation::Widened`]. Contradictions of *assumed* bounds
+    /// saturate identically under both policies — that is the paper's
+    /// accepted out-of-model behavior, and keeping it bounds convergence.
+    #[must_use = "check for Observation::Contradictory / Observation::Widened — callers must \
+                  count hostile observations"]
+    pub fn update_with_policy(
+        &mut self,
+        period: f64,
+        shift: f64,
+        passed: bool,
+        policy: ContradictionPolicy,
+    ) -> Observation {
         // Tolerance against a *proven* bound only (never for the interval
         // arithmetic itself): rounding noise between the tester's
         // `D + shift <= period` and our `period - shift` stays many orders
@@ -160,6 +218,14 @@ impl DelayBounds {
                 if self.lower_proven && measured > self.lower - slack {
                     // Rounding noise against a proven bound: no information.
                     return Observation::Uninformative;
+                }
+                if self.lower_proven && policy == ContradictionPolicy::Widen {
+                    // Noisy pass below a proven lower bound: re-open the
+                    // bottom of the interval to cover the measurement. The
+                    // setup-critical upper bound is untouched.
+                    self.lower = measured;
+                    self.lower_proven = false;
+                    return Observation::Widened;
                 }
                 debug_assert!(
                     !self.lower_proven,
@@ -180,6 +246,14 @@ impl DelayBounds {
             if self.upper_proven && measured < self.upper + slack {
                 return Observation::Uninformative;
             }
+            if self.upper_proven && policy == ContradictionPolicy::Widen {
+                // Noisy fail above a proven upper bound: raise the upper
+                // bound to the measurement. Conservative for setup — the
+                // delay estimate only grows.
+                self.upper = measured;
+                self.upper_proven = false;
+                return Observation::Widened;
+            }
             debug_assert!(
                 !self.upper_proven,
                 "contradictory fail: proves delay > {measured}, but an earlier pass \
@@ -198,6 +272,93 @@ impl DelayBounds {
     }
 }
 
+/// A deterministic model of tester imperfection: quantization plus seeded
+/// Gaussian measurement noise.
+///
+/// An ideal tester compares the chip's frozen delay directly:
+/// `D + shift <= period`. A real tester observes `D` through a noisy,
+/// quantized measurement chain. This model perturbs the *observed* delay
+/// per probe:
+///
+/// 1. add `noise_sigma * g`, where `g` is a standard-normal draw hashed
+///    statelessly from `(noise_seed, chip die id, path, probe index)`;
+/// 2. round the result to the nearest multiple of `quantization_lsb`.
+///
+/// The probe index is the count of noisy probes this tester has applied to
+/// that path on that chip, so repeated probes see fresh noise — but the
+/// whole stream is a pure function of the identifying tuple, making every
+/// noisy measurement **bitwise reproducible at any thread count** (the
+/// same per-chip/per-path sequence no matter which worker runs the chip or
+/// in which order chips are tested). Both perturbations are skipped
+/// entirely when their parameter is zero; [`TesterModel::ideal`] is
+/// guaranteed bit-identical to the historical noise-free tester.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TesterModel {
+    /// Standard deviation of the additive Gaussian measurement noise, in
+    /// delay units. Zero disables noise.
+    pub noise_sigma: f64,
+    /// Least significant bit of the measurement chain: observed delays are
+    /// rounded to the nearest multiple. Zero disables quantization.
+    pub quantization_lsb: f64,
+    /// Seed of the noise stream (combined with chip die id, path and probe
+    /// index).
+    pub noise_seed: u64,
+}
+
+impl Default for TesterModel {
+    fn default() -> Self {
+        TesterModel::ideal()
+    }
+}
+
+impl TesterModel {
+    /// The perfect tester: no noise, no quantization.
+    pub fn ideal() -> Self {
+        TesterModel { noise_sigma: 0.0, quantization_lsb: 0.0, noise_seed: 0 }
+    }
+
+    /// `true` when this model never perturbs a measurement.
+    pub fn is_ideal(&self) -> bool {
+        self.noise_sigma == 0.0 && self.quantization_lsb == 0.0
+    }
+
+    /// The contradiction policy a bounds-update loop should use with this
+    /// tester: [`Widen`](ContradictionPolicy::Widen) as soon as any
+    /// perturbation is enabled, [`Strict`](ContradictionPolicy::Strict)
+    /// otherwise.
+    pub fn policy(&self) -> ContradictionPolicy {
+        if self.is_ideal() {
+            ContradictionPolicy::Strict
+        } else {
+            ContradictionPolicy::Widen
+        }
+    }
+
+    /// The delay the tester *observes* for probe number `probe_index` of
+    /// `path` on the chip with die id `chip_seed`, given the frozen true
+    /// delay.
+    pub fn observed_delay(
+        &self,
+        chip_seed: u64,
+        path: usize,
+        probe_index: u64,
+        true_delay: f64,
+    ) -> f64 {
+        let mut d = true_delay;
+        if self.noise_sigma > 0.0 {
+            let stream = mix_stream(
+                mix_stream(mix_stream(self.noise_seed, chip_seed), path as u64),
+                probe_index,
+            );
+            d += self.noise_sigma * hash_normal(stream);
+        }
+        if self.quantization_lsb > 0.0 {
+            d = (d / self.quantization_lsb).round() * self.quantization_lsb;
+        }
+        d
+    }
+}
+
 /// The virtual automatic test equipment.
 ///
 /// Holds a chip under test and counts every frequency-stepping iteration
@@ -207,19 +368,34 @@ impl DelayBounds {
 #[derive(Debug)]
 pub struct VirtualTester<'a> {
     chip: &'a ChipInstance,
+    model: TesterModel,
+    /// Per-path count of noisy probes applied so far (empty for an ideal
+    /// model — the noise stream needs it, the ideal fast path does not).
+    probe_counts: Vec<u64>,
     iterations: u64,
     scan_loads: u64,
 }
 
 impl<'a> VirtualTester<'a> {
-    /// Mounts a chip on the tester.
+    /// Mounts a chip on an ideal tester.
     pub fn new(chip: &'a ChipInstance) -> Self {
-        VirtualTester { chip, iterations: 0, scan_loads: 0 }
+        VirtualTester::with_model(chip, TesterModel::ideal())
+    }
+
+    /// Mounts a chip on a tester with the given measurement-error model.
+    pub fn with_model(chip: &'a ChipInstance, model: TesterModel) -> Self {
+        let probe_counts = if model.is_ideal() { Vec::new() } else { vec![0; chip.path_count()] };
+        VirtualTester { chip, model, probe_counts, iterations: 0, scan_loads: 0 }
     }
 
     /// The chip under test.
     pub fn chip(&self) -> &ChipInstance {
         self.chip
+    }
+
+    /// The tester's measurement-error model.
+    pub fn model(&self) -> TesterModel {
+        self.model
     }
 
     /// Applies one clock period to a batch of paths, each with its buffer
@@ -259,9 +435,21 @@ impl<'a> VirtualTester<'a> {
         self.iterations += 1;
         self.scan_loads += 1;
         results.clear();
-        results.extend(
-            probes.iter().map(|&(idx, shift)| self.chip.setup_delay(idx) + shift <= period),
-        );
+        if self.model.is_ideal() {
+            // Bit-identical to the historical noise-free tester: no extra
+            // arithmetic on this path.
+            results.extend(
+                probes.iter().map(|&(idx, shift)| self.chip.setup_delay(idx) + shift <= period),
+            );
+            return;
+        }
+        for &(idx, shift) in probes {
+            let k = self.probe_counts[idx];
+            self.probe_counts[idx] += 1;
+            let observed =
+                self.model.observed_delay(self.chip.seed(), idx, k, self.chip.setup_delay(idx));
+            results.push(observed + shift <= period);
+        }
     }
 
     /// Applies one clock period to a single path (the path-wise baseline).
@@ -283,7 +471,9 @@ impl<'a> VirtualTester<'a> {
         self.scan_loads
     }
 
-    /// Resets the counters (e.g. between experiment phases).
+    /// Resets the cost counters (e.g. between experiment phases). The
+    /// noise stream's probe counts are **not** reset: they identify
+    /// physical probes, not accounting periods.
     pub fn reset_counters(&mut self) {
         self.iterations = 0;
         self.scan_loads = 0;
@@ -313,17 +503,39 @@ pub struct ChipBank {
     n_chips: usize,
     /// Setup delays, path-major (`n_paths x n_chips`, row-major).
     delays: Vec<f64>,
+    /// Die ids, bank order (noise-stream identity per chip).
+    seeds: Vec<u64>,
+    /// Measurement-error model shared by the bank's probes.
+    model: TesterModel,
+    /// Per-(path, chip) noisy-probe counts, same layout as `delays`
+    /// (empty for an ideal model).
+    probe_counts: Vec<u64>,
     iterations: u64,
     scan_loads: u64,
 }
 
 impl ChipBank {
-    /// Gathers a population of chips into the SoA layout.
+    /// Gathers a population of chips into the SoA layout, measured by an
+    /// ideal tester.
     ///
     /// # Panics
     ///
     /// Panics if the chips disagree on their path count.
     pub fn gather(chips: &[ChipInstance]) -> Self {
+        ChipBank::gather_with_model(chips, TesterModel::ideal())
+    }
+
+    /// Gathers a population of chips, measured through the given
+    /// measurement-error model. Each chip's noise stream is keyed by its
+    /// die id and a per-(path, chip) probe count, so chip `c`'s column of
+    /// every result stays bitwise equal to what that chip's own
+    /// [`VirtualTester::with_model`] would report for the same probe
+    /// sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chips disagree on their path count.
+    pub fn gather_with_model(chips: &[ChipInstance], model: TesterModel) -> Self {
         let n_chips = chips.len();
         let n_paths = chips.first().map_or(0, ChipInstance::path_count);
         let mut delays = vec![0.0; n_paths * n_chips];
@@ -333,7 +545,23 @@ impl ChipBank {
                 delays[p * n_chips + c] = chip.setup_delay(p);
             }
         }
-        ChipBank { n_paths, n_chips, delays, iterations: 0, scan_loads: 0 }
+        let seeds = chips.iter().map(ChipInstance::seed).collect();
+        let probe_counts = if model.is_ideal() { Vec::new() } else { vec![0; n_paths * n_chips] };
+        ChipBank {
+            n_paths,
+            n_chips,
+            delays,
+            seeds,
+            model,
+            probe_counts,
+            iterations: 0,
+            scan_loads: 0,
+        }
+    }
+
+    /// The bank's measurement-error model.
+    pub fn model(&self) -> TesterModel {
+        self.model
     }
 
     /// Chips in the bank.
@@ -371,7 +599,17 @@ impl ChipBank {
         for &(idx, shift) in probes {
             assert!(idx < self.n_paths, "path index {idx} out of range ({} paths)", self.n_paths);
             let row = &self.delays[idx * self.n_chips..(idx + 1) * self.n_chips];
-            results.extend(row.iter().map(|&d| d + shift <= period));
+            if self.model.is_ideal() {
+                results.extend(row.iter().map(|&d| d + shift <= period));
+                continue;
+            }
+            for (c, &d) in row.iter().enumerate() {
+                let slot = idx * self.n_chips + c;
+                let k = self.probe_counts[slot];
+                self.probe_counts[slot] += 1;
+                let observed = self.model.observed_delay(self.seeds[c], idx, k, d);
+                results.push(observed + shift <= period);
+            }
         }
     }
 
@@ -405,26 +643,61 @@ impl ChipBank {
     }
 }
 
+/// Consecutive non-shrinking probes a binary search tolerates before
+/// giving up on a path (noisy testers can widen or stall; an ideal tester
+/// can stall only on a floating-point-degenerate interval).
+const MAX_STALLED_PROBES: u32 = 32;
+
+/// Total probe budget per path for the binary search: a hard backstop
+/// against tighten/widen oscillation under adversarial noise. Halving
+/// across the entire f64 exponent range takes ~2100 probes, so the clean
+/// path never comes close.
+const MAX_PROBES_PER_PATH: u64 = 8192;
+
 /// The baseline: narrow one path's bounds by binary search on the clock
 /// period with all buffers at zero. Returns the iterations consumed.
 ///
 /// This is the per-path frequency stepping of the paper's comparison
 /// methods [2, 6, 8, 9]: `t'_v = ceil(log2(width / epsilon))` iterations
 /// per path.
+///
+/// With an ideal tester every interior probe tightens and the count is
+/// exact. With a noisy [`TesterModel`] the loop runs under
+/// [`ContradictionPolicy::Widen`]: contradictory observations re-open the
+/// interval instead of asserting, and the search gives up — leaving the
+/// current (conservative) interval in place — after
+/// [`MAX_STALLED_PROBES`] consecutive probes without a width reduction or
+/// [`MAX_PROBES_PER_PATH`] probes in total.
 pub fn path_wise_binary_search(
     tester: &mut VirtualTester<'_>,
     path: usize,
     bounds: &mut DelayBounds,
     epsilon: f64,
 ) -> u64 {
+    let policy = tester.model().policy();
     let start = tester.iterations();
+    let mut stalled = 0_u32;
     while !bounds.converged(epsilon) {
+        if tester.iterations() - start >= MAX_PROBES_PER_PATH {
+            break;
+        }
         let period = bounds.center();
         let passed = tester.apply_single(period, path, 0.0);
-        let obs = bounds.update(period, 0.0, passed);
-        // The probe sits strictly inside the interval, so it can only
-        // tighten the side the pass/fail selects.
-        debug_assert_eq!(obs, Observation::Tightened);
+        let before = bounds.width();
+        let obs = bounds.update_with_policy(period, 0.0, passed, policy);
+        if obs == Observation::Tightened && bounds.width() < before {
+            stalled = 0;
+        } else {
+            // An interior probe that failed to shrink the interval: a
+            // widening or saturating contradiction under noise, or an
+            // uninformative probe on an interval too narrow for its center
+            // to be strictly interior. None make progress, so budget them
+            // to guarantee termination.
+            stalled += 1;
+            if stalled >= MAX_STALLED_PROBES {
+                break;
+            }
+        }
     }
     tester.iterations() - start
 }
@@ -584,6 +857,198 @@ mod tests {
         assert_eq!(b.update(5.0, 0.0, false), Observation::Tightened);
         // ... so a pass at 3 (delay <= 3) is impossible for a frozen chip.
         let _ = b.update(3.0, 0.0, true);
+    }
+
+    #[test]
+    fn widen_policy_reopens_a_proven_lower_bound() {
+        let mut b = DelayBounds::new(0.0, 10.0);
+        // A fail at 5 proves delay > 5.
+        assert_eq!(b.update(5.0, 0.0, false), Observation::Tightened);
+        assert!(b.lower_proven());
+        // A noisy pass at 3 contradicts it; Widen drops the lower bound to
+        // the measurement and revokes its proven status.
+        assert_eq!(
+            b.update_with_policy(3.0, 0.0, true, ContradictionPolicy::Widen),
+            Observation::Widened
+        );
+        assert_eq!((b.lower, b.upper), (3.0, 10.0));
+        assert!(!b.lower_proven());
+        // The re-opened side can be proven again afterwards.
+        assert_eq!(b.update(4.0, 0.0, false), Observation::Tightened);
+        assert!(b.lower_proven());
+    }
+
+    #[test]
+    fn widen_policy_reopens_a_proven_upper_bound() {
+        let mut b = DelayBounds::new(0.0, 10.0);
+        // A pass at 6 proves delay <= 6.
+        assert_eq!(b.update(6.0, 0.0, true), Observation::Tightened);
+        assert!(b.upper_proven());
+        // A noisy fail at 8 contradicts it; Widen raises the upper bound —
+        // the delay estimate only ever grows, which is setup-conservative.
+        assert_eq!(
+            b.update_with_policy(8.0, 0.0, false, ContradictionPolicy::Widen),
+            Observation::Widened
+        );
+        assert_eq!((b.lower, b.upper), (0.0, 8.0));
+        assert!(!b.upper_proven());
+        assert!(b.lower <= b.upper);
+    }
+
+    #[test]
+    fn widen_policy_still_saturates_assumed_bounds() {
+        // Contradictions of *assumed* bounds are the paper's out-of-model
+        // case and must behave identically under both policies.
+        let mut strict = DelayBounds::new(4.0, 6.0);
+        let mut widen = DelayBounds::new(4.0, 6.0);
+        assert_eq!(strict.update(100.0, 0.0, false), Observation::Contradictory);
+        assert_eq!(
+            widen.update_with_policy(100.0, 0.0, false, ContradictionPolicy::Widen),
+            Observation::Contradictory
+        );
+        assert_eq!((strict.lower, strict.upper), (widen.lower, widen.upper));
+        assert_eq!(widen.width(), 0.0);
+    }
+
+    // The `#[should_panic]` twins above cover debug builds; this is the
+    // `cfg(not(debug_assertions))`-safe counterpart pinning the *release*
+    // behavior of `update` on a proven-bound contradiction: silent
+    // saturation to zero width at the contradicted endpoint, reported
+    // `Contradictory`.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn proven_bound_contradiction_saturates_in_release() {
+        let mut b = DelayBounds::new(0.0, 10.0);
+        assert_eq!(b.update(6.0, 0.0, true), Observation::Tightened);
+        // Fail at 8 contradicts the proven upper bound: saturate [6, 6].
+        assert_eq!(b.update(8.0, 0.0, false), Observation::Contradictory);
+        assert_eq!((b.lower, b.upper), (6.0, 6.0));
+        assert_eq!(b.width(), 0.0);
+        let mut b2 = DelayBounds::new(0.0, 10.0);
+        assert_eq!(b2.update(5.0, 0.0, false), Observation::Tightened);
+        // Pass at 3 contradicts the proven lower bound: saturate [5, 5].
+        assert_eq!(b2.update(3.0, 0.0, true), Observation::Contradictory);
+        assert_eq!((b2.lower, b2.upper), (5.0, 5.0));
+        assert!(b2.converged(0.0));
+    }
+
+    #[test]
+    fn tester_model_noise_is_reproducible_and_per_probe() {
+        let m = TesterModel { noise_sigma: 0.1, quantization_lsb: 0.0, noise_seed: 7 };
+        let a = m.observed_delay(3, 5, 0, 10.0);
+        assert_eq!(a, m.observed_delay(3, 5, 0, 10.0));
+        // Fresh noise per probe index, per path, per chip, per seed.
+        assert_ne!(a, m.observed_delay(3, 5, 1, 10.0));
+        assert_ne!(a, m.observed_delay(3, 6, 0, 10.0));
+        assert_ne!(a, m.observed_delay(4, 5, 0, 10.0));
+        let m2 = TesterModel { noise_seed: 8, ..m };
+        assert_ne!(a, m2.observed_delay(3, 5, 0, 10.0));
+    }
+
+    #[test]
+    fn tester_model_quantizes_to_the_lsb() {
+        let m = TesterModel { noise_sigma: 0.0, quantization_lsb: 0.25, noise_seed: 0 };
+        assert_eq!(m.observed_delay(0, 0, 0, 10.06), 10.0);
+        assert_eq!(m.observed_delay(0, 0, 0, 10.13), 10.25);
+        assert!(!m.is_ideal());
+        assert_eq!(m.policy(), ContradictionPolicy::Widen);
+        assert!(TesterModel::ideal().is_ideal());
+        assert_eq!(TesterModel::ideal().policy(), ContradictionPolicy::Strict);
+        assert_eq!(TesterModel::default(), TesterModel::ideal());
+    }
+
+    #[test]
+    fn ideal_model_tester_matches_plain_tester_bitwise() {
+        let c = chip(&[5.0, 7.0, 9.0]);
+        let mut plain = VirtualTester::new(&c);
+        let mut modeled = VirtualTester::with_model(&c, TesterModel::ideal());
+        for period in [4.0, 6.5, 8.0, 10.0] {
+            let probes = [(0, 0.5), (1, -0.25), (2, 0.0)];
+            assert_eq!(plain.apply_batch(period, &probes), modeled.apply_batch(period, &probes));
+        }
+    }
+
+    #[test]
+    fn noisy_probes_redraw_noise_per_repeat() {
+        // A delay sitting right at the period flips pass/fail under fresh
+        // noise; with sigma far larger than the margin, 64 identical
+        // probes virtually surely disagree at least once.
+        let c = chip(&[5.0]);
+        let m = TesterModel { noise_sigma: 1.0, quantization_lsb: 0.0, noise_seed: 3 };
+        let mut t = VirtualTester::with_model(&c, m);
+        let results: Vec<bool> = (0..64).map(|_| t.apply_single(5.0, 0, 0.0)).collect();
+        assert!(results.iter().any(|&r| r) && results.iter().any(|&r| !r));
+        // And the whole sequence is reproducible from scratch.
+        let mut t2 = VirtualTester::with_model(&c, m);
+        let again: Vec<bool> = (0..64).map(|_| t2.apply_single(5.0, 0, 0.0)).collect();
+        assert_eq!(results, again);
+    }
+
+    #[test]
+    fn noisy_bank_columns_match_per_chip_noisy_testers() {
+        let n_paths = 6;
+        let chips: Vec<ChipInstance> = (0..5)
+            .map(|c| {
+                let d = lcg_delays(2000 + c, n_paths);
+                ChipInstance::new(c, d, vec![None; n_paths])
+            })
+            .collect();
+        let m = TesterModel { noise_sigma: 0.2, quantization_lsb: 0.05, noise_seed: 11 };
+        let mut bank = ChipBank::gather_with_model(&chips, m);
+        assert_eq!(bank.model(), m);
+        let mut testers: Vec<VirtualTester<'_>> =
+            chips.iter().map(|c| VirtualTester::with_model(c, m)).collect();
+        // Repeat paths inside and across batches: probe counts must stay
+        // in lockstep between the bank and the solo testers.
+        let batches =
+            [vec![(0, 0.0), (3, 0.5), (0, 0.0)], vec![(3, -0.25), (5, 0.0)], vec![(0, 1.0)]];
+        let mut bank_results = Vec::new();
+        for (step, probes) in batches.iter().enumerate() {
+            let period = 5.0 + step as f64;
+            bank.apply_batch_into(period, probes, &mut bank_results);
+            for (c, tester) in testers.iter_mut().enumerate() {
+                let solo = tester.apply_batch(period, probes);
+                for (i, &expect) in solo.iter().enumerate() {
+                    assert_eq!(
+                        bank_results[i * chips.len() + c],
+                        expect,
+                        "probe {i} chip {c} step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_binary_search_terminates_with_a_valid_interval() {
+        let true_delay = 7.37;
+        let c = chip(&[true_delay]);
+        let m = TesterModel { noise_sigma: 0.5, quantization_lsb: 0.01, noise_seed: 21 };
+        let mut t = VirtualTester::with_model(&c, m);
+        let mut b = DelayBounds::new(0.0, 16.0);
+        let iters = path_wise_binary_search(&mut t, 0, &mut b, 0.01);
+        assert!(iters <= MAX_PROBES_PER_PATH);
+        assert!(b.lower <= b.upper, "interval inverted: [{}, {}]", b.lower, b.upper);
+        assert!(b.lower.is_finite() && b.upper.is_finite());
+        // Deterministic rerun, bit for bit.
+        let mut t2 = VirtualTester::with_model(&c, m);
+        let mut b2 = DelayBounds::new(0.0, 16.0);
+        let iters2 = path_wise_binary_search(&mut t2, 0, &mut b2, 0.01);
+        assert_eq!((iters, b.lower, b.upper), (iters2, b2.lower, b2.upper));
+    }
+
+    #[test]
+    fn degenerate_zero_epsilon_search_terminates() {
+        // eps = 0 on an ideal tester: the interval narrows until its
+        // center collides with an endpoint in floating point; the stall
+        // guard must end the loop rather than hang.
+        let c = chip(&[5.0]);
+        let mut t = VirtualTester::new(&c);
+        let mut b = DelayBounds::new(4.0, 6.0);
+        let iters = path_wise_binary_search(&mut t, 0, &mut b, 0.0);
+        assert!(iters < MAX_PROBES_PER_PATH);
+        assert!(b.lower <= b.upper);
+        assert!(b.width() <= 1e-12);
     }
 
     #[test]

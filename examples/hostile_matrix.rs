@@ -1,0 +1,87 @@
+//! Hostile-silicon driver: sweep the EffiTest flow over scenario cells
+//! crossed with tester-noise levels and aging-drift models, and write the
+//! JSON report.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example hostile_matrix [scale] [chips] [seeds]
+//! ```
+//!
+//! * `scale` — `scaled_down` factor for the base circuit statistics
+//!   (default 20; smaller means bigger circuits).
+//! * `chips` — Monte-Carlo population per cell (default 8).
+//! * `seeds` — benchmark-generation seeds per cell (default 1).
+//!
+//! Worker threads come from `EFFITEST_THREADS` (default: available
+//! parallelism); the report lands at `EFFITEST_HOSTILE_OUT` (default
+//! `HOSTILE.json` in the working directory). Reports are bitwise
+//! identical across reruns and thread counts — the CI `hostile-smoke`
+//! job runs this driver in a *debug* build (so every `debug_assert` is
+//! armed) and diffs the JSON byte-for-byte between thread counts.
+
+use effitest::flow::hostile::{hostile_matrix_to_json, run_hostile_scenario, HostileAxes};
+use effitest::flow::population::{parse_env_count, threads_from_env};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    // Same hard-error rule as the EFFITEST_* variables: a typo'd count
+    // must abort, not silently run the default matrix.
+    let scale: usize = match args.get(1) {
+        Some(raw) => parse_env_count("scale", raw)?,
+        None => 20,
+    };
+    let chips: usize = match args.get(2) {
+        Some(raw) => parse_env_count("chips", raw)?,
+        None => 8,
+    };
+    let n_seeds: u64 = match args.get(3) {
+        Some(raw) => parse_env_count("seeds", raw)? as u64,
+        None => 1,
+    };
+    let threads = threads_from_env()?;
+
+    let mut axes = HostileAxes::smoke(scale);
+    axes.scenario.chip_counts = vec![chips];
+    axes.scenario.seeds = (1..=n_seeds).collect();
+    let cells = axes.cells();
+    println!(
+        "=== Hostile matrix: {} cells ({} scenario cells x {} noise levels x {} drifts), \
+         {chips} chips each, {threads} threads ===\n",
+        cells.len(),
+        axes.scenario.cells().len(),
+        axes.noise_rel.len(),
+        axes.drifts.len(),
+    );
+
+    let header = format!(
+        "{:<44} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>6} {:>6}",
+        "cell", "y_t0", "y_kept", "y_adpt", "y_rtst", "it_adpt", "it_rtst", "contra", "widen"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let mut reports = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let r = run_hostile_scenario(cell, threads);
+        println!(
+            "{:<44} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>8.1} {:>8.1} {:>6} {:>6}",
+            r.id,
+            r.yield_t0 * 100.0,
+            r.yield_aged_kept * 100.0,
+            r.yield_aged_adaptive * 100.0,
+            r.yield_aged_retest * 100.0,
+            r.mean_iterations_adaptive,
+            r.mean_iterations_retest,
+            r.contradictions,
+            r.widenings,
+        );
+        reports.push(r);
+    }
+
+    let json = hostile_matrix_to_json(&axes.scenario.base.name, &reports);
+    let path = std::env::var("EFFITEST_HOSTILE_OUT").unwrap_or_else(|_| "HOSTILE.json".to_owned());
+    std::fs::write(&path, &json)?;
+    println!("\nrecorded {} cells -> {path}", reports.len());
+    Ok(())
+}

@@ -55,6 +55,7 @@ pub mod prelude {
         TuningBufferSpec,
     };
     pub use effitest_core::experiments::ExperimentConfig;
+    pub use effitest_core::hostile::{HostileAxes, HostileReport, HostileSpec};
     pub use effitest_core::population::{
         run_flow_population, run_flow_population_batched, run_population, run_population_scratch,
         PopulationConfig,
@@ -64,6 +65,10 @@ pub mod prelude {
         BatchPredictWorkspace, BatchPredictedRanges, ChipMatrix, ChipOutcome, EffiTestFlow,
         FlowConfig, FlowPlan, FlowWorkspace, PredictWorkspace, Predictor,
     };
-    pub use effitest_ssta::{ChipInstance, TimingModel, VariationConfig, VariationProfile};
-    pub use effitest_tester::{chip_passes, ChipBank, DelayBounds, VirtualTester};
+    pub use effitest_ssta::{
+        ChipInstance, DriftModel, TimingModel, VariationConfig, VariationProfile,
+    };
+    pub use effitest_tester::{
+        chip_passes, ChipBank, ContradictionPolicy, DelayBounds, TesterModel, VirtualTester,
+    };
 }

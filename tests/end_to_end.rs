@@ -158,3 +158,39 @@ fn population_engine_runs_the_flow_at_env_threads() {
         assert_eq!(a.configured, b.configured, "configuration drifted on chip {k}");
     }
 }
+
+#[test]
+fn extreme_criticality_preselection_survives_sparse_topologies() {
+    // `criticality_fraction` near (and at) 1.0 leaves only the thinnest
+    // critical tail — on the sparse-outlier topology sometimes a lone
+    // path — so every downstream stage (grouping, batching, slot filling,
+    // aligned test, prediction, configuration) must cope with a nearly
+    // empty selection instead of panicking on an empty reduction.
+    use effitest::flow::select::SelectConfig;
+    let spec =
+        BenchmarkSpec::iscas89_s9234().scaled_down(20).with_topology(Topology::SparseOutliers);
+    let bench = GeneratedBenchmark::generate(&spec, 11);
+    let model = TimingModel::build(&bench, &VariationConfig::paper());
+    for fraction in [0.9, 0.99, 1.0] {
+        let config = FlowConfig {
+            select: SelectConfig {
+                criticality_fraction: Some(fraction),
+                ..SelectConfig::default()
+            },
+            ..FlowConfig::default()
+        };
+        let flow = EffiTestFlow::new(config);
+        let plan = flow.plan(&bench, &model).expect("plan under extreme pre-selection");
+        let chip = model.sample_chip(77);
+        let outcome = flow.run_chip(&plan, &chip, model.nominal_period()).expect("run");
+        // At fraction 1.0 at least the argmax path survives pre-selection.
+        assert!(!plan.groups.is_empty(), "fraction {fraction} lost every group");
+        assert!(outcome.iterations > 0, "fraction {fraction} probed nothing");
+        for (p, b) in outcome.ranges.iter().enumerate() {
+            assert!(
+                b.lower.is_finite() && b.upper.is_finite() && b.lower <= b.upper,
+                "fraction {fraction}: invalid range on path {p}"
+            );
+        }
+    }
+}
