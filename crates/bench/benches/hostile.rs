@@ -40,7 +40,7 @@ fn print_and_record() {
 
     let mut reports = Vec::with_capacity(cells.len());
     for cell in &cells {
-        let r = run_hostile_scenario(cell, threads);
+        let r = run_hostile_scenario(cell, threads).expect("bench cells are feasible");
         println!(
             "{:<44} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>8.1} {:>8.1} {:>6}",
             r.id,

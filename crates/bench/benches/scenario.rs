@@ -35,7 +35,7 @@ fn print_and_record() {
 
     let mut reports = Vec::with_capacity(cells.len());
     for cell in &cells {
-        let r = run_scenario(cell, threads);
+        let r = run_scenario(cell, threads).expect("bench cells are feasible");
         println!(
             "{:<36} {:>4} {:>4} {:>8.1} {:>6.1}% {:>8.3}",
             r.id,

@@ -61,6 +61,12 @@ pub enum CircuitError {
         /// Description of the problem.
         message: String,
     },
+    /// Externally supplied structural data (deserialized exclusion lists,
+    /// reassembled indexes) violated an invariant.
+    Invalid {
+        /// Description of the violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -86,6 +92,7 @@ impl fmt::Display for CircuitError {
             CircuitError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            CircuitError::Invalid { what } => write!(f, "invalid structural data: {what}"),
         }
     }
 }

@@ -1,0 +1,386 @@
+//! Content fingerprints for cache keying.
+//!
+//! A persistent plan store must key its blobs by *what the plan was built
+//! from*: the benchmark spec, the generated netlist itself, and the flow's
+//! configuration. This module provides the circuit-side half of that key —
+//! an order-stable FNV-1a 64 hasher with typed `write_*` helpers, a
+//! canonical [`BenchmarkSpec`] fingerprint, and a whole-benchmark content
+//! fingerprint walking every netlist, path, and hold-path field through
+//! the word-folding [`Mix64`] (so two benchmarks that differ anywhere in
+//! their content key differently, even if their specs collide — fast
+//! enough that computing the key never rivals the build it short-cuts).
+//!
+//! Fingerprints are **stable across runs and platforms** (FNV over
+//! little-endian byte images, floats hashed by IEEE bit pattern) but are
+//! *not* cryptographic: they defend against stale and mismatched cache
+//! entries, not adversaries.
+
+use crate::generate::{BenchmarkSpec, GeneratedBenchmark};
+use crate::topology::Topology;
+
+/// Incremental FNV-1a 64-bit hasher with typed field helpers.
+///
+/// Every `write_*` helper folds a fixed-width little-endian image, so the
+/// digest is a pure function of the value sequence — no alignment padding,
+/// no platform-dependent `usize` width (always folded as `u64`).
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: Self::OFFSET }
+    }
+
+    /// Folds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Folds a `usize` widened to `u64` (platform-width independent).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Folds an `f64` by IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Folds a string as its length followed by its UTF-8 bytes (the
+    /// length prefix keeps concatenated fields unambiguous).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// One-shot [`Mix64`] over a byte slice: little-endian 8-byte words, a
+/// zero-padded tail, and the length folded last (so `"a"` and `"a\0"`
+/// digest differently). The megabyte-scale checksum counterpart of
+/// [`fnv64`] — use it where the input is large and the byte loop would
+/// show up in a latency budget.
+pub fn mix64(bytes: &[u8]) -> u64 {
+    let mut h = Mix64::new();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h.write_u64(u64::from_le_bytes(c.try_into().expect("exact chunk")));
+    }
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 8];
+    tail[..rem.len()].copy_from_slice(rem);
+    h.write_u64(u64::from_le_bytes(tail));
+    h.write_usize(bytes.len());
+    h.finish()
+}
+
+impl Topology {
+    /// Canonical fingerprint: the variant name plus any shape parameters.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(self.name());
+        if let Topology::Large { depth, critical_per_1024 } = self {
+            h.write_u64(*depth as u64).write_u64(*critical_per_1024 as u64);
+        }
+        h.finish()
+    }
+}
+
+impl BenchmarkSpec {
+    /// Canonical fingerprint over every field of the spec. Two specs with
+    /// the same fingerprint generate the same benchmark for a given seed;
+    /// any field change — including float fields, compared by bit
+    /// pattern — changes the digest.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(&self.name)
+            .write_usize(self.ns)
+            .write_usize(self.ng)
+            .write_usize(self.nb)
+            .write_usize(self.np)
+            .write_usize(self.clusters)
+            .write_f64(self.die_size)
+            .write_usize(self.min_path_len)
+            .write_usize(self.max_path_len)
+            .write_f64(self.outlier_fraction)
+            .write_u64(self.topology.fingerprint());
+        h.finish()
+    }
+}
+
+/// Word-folding structural hasher for bulk content (netlists at 100k+
+/// paths). One rotate-xor-multiply per 64-bit word — memory-bandwidth
+/// bound where the byte-at-a-time [`Fnv64`] loop would dominate a plan
+/// cache hit — finished through a splitmix64-style avalanche so every
+/// input bit reaches every digest bit. Same stability contract as
+/// [`Fnv64`]: pure function of the word sequence, platform-independent
+/// (`usize` widened, floats by IEEE bit pattern), non-cryptographic.
+#[derive(Debug, Clone)]
+pub struct Mix64 {
+    state: u64,
+}
+
+impl Default for Mix64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mix64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Mix64 { state: 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Folds one word.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(Self::K);
+        self
+    }
+
+    /// Folds a `usize` widened to `u64`.
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Folds an `f64` by IEEE-754 bit pattern.
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// The avalanched digest.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn fold_signal(h: &mut Mix64, s: crate::Signal) {
+    match s {
+        crate::Signal::Ff(id) => h.write_u64(1).write_usize(id.index()),
+        crate::Signal::Gate(id) => h.write_u64(2).write_usize(id.index()),
+    };
+}
+
+fn fold_ff(h: &mut Mix64, ff: &crate::FlipFlop) {
+    h.write_u64(fnv64(ff.name.as_bytes()))
+        .write_f64(ff.location.x)
+        .write_f64(ff.location.y)
+        .write_f64(ff.setup)
+        .write_f64(ff.hold);
+    match ff.buffer {
+        Some(b) => {
+            h.write_u64(1).write_f64(b.min()).write_f64(b.width()).write_u64(u64::from(b.steps()))
+        }
+        None => h.write_u64(0),
+    };
+    match ff.data_input {
+        Some(s) => fold_signal(h.write_u64(1), s),
+        None => {
+            h.write_u64(0);
+        }
+    }
+}
+
+fn fold_gate(h: &mut Mix64, gate: &crate::Gate) {
+    h.write_u64(gate.kind as u64).write_f64(gate.location.x).write_f64(gate.location.y);
+    h.write_usize(gate.inputs.len());
+    for &input in &gate.inputs {
+        fold_signal(h, input);
+    }
+}
+
+fn fold_path(
+    h: &mut Mix64,
+    source: crate::FlipFlopId,
+    sink: crate::FlipFlopId,
+    kind: crate::PathKind,
+    gates: &[crate::GateId],
+) {
+    h.write_usize(source.index()).write_usize(sink.index());
+    h.write_u64(match kind {
+        crate::PathKind::Max => 1,
+        crate::PathKind::Min => 2,
+    });
+    h.write_usize(gates.len());
+    for g in gates {
+        h.write_usize(g.index());
+    }
+}
+
+impl GeneratedBenchmark {
+    /// Content fingerprint of the *generated* benchmark: the spec
+    /// fingerprint folded with a structural walk over every field of the
+    /// netlist, the required paths, and the hold (short) paths. This is
+    /// the cache-key anchor — a plan built from this benchmark is only
+    /// ever reused for a benchmark whose content is identical field for
+    /// field (floats by bit pattern), regardless of how the benchmark was
+    /// produced (generator, file, or hand construction).
+    ///
+    /// The walk hashes raw words through [`Mix64`] instead of serializing
+    /// to text, and fans out over the worker count from
+    /// `EFFITEST_THREADS` (see
+    /// [`content_fingerprint_threaded`](Self::content_fingerprint_threaded)):
+    /// on the 100k-path tier this is the difference between a cache *hit*
+    /// costing milliseconds and costing as much as the build it was meant
+    /// to avoid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `EFFITEST_THREADS` is set but malformed (same rule as
+    /// [`GeneratedBenchmark::generate`]).
+    pub fn content_fingerprint(&self) -> u64 {
+        let threads = match effitest_parallel::threads::threads_from_env() {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        };
+        self.content_fingerprint_threaded(threads)
+    }
+
+    /// [`content_fingerprint`](Self::content_fingerprint) with an explicit
+    /// worker-thread count. The walk is split into a fixed shard grid
+    /// (independent of `threads`) and shard digests are folded in shard
+    /// order, so the digest is bitwise identical for every `threads`
+    /// value.
+    pub fn content_fingerprint_threaded(&self, threads: usize) -> u64 {
+        const SHARDS: usize = 64;
+        let mut h = Mix64::new();
+        h.write_u64(self.spec.fingerprint());
+        h.write_u64(fnv64(self.netlist.name().as_bytes()));
+        let die = self.netlist.die();
+        h.write_f64(die.x0).write_f64(die.y0).write_f64(die.x1).write_f64(die.y1);
+        let nf = self.netlist.flip_flop_count();
+        let ng = self.netlist.gate_count();
+        let np = self.paths.len();
+        let nsp = self.short_paths.len();
+        h.write_usize(nf).write_usize(ng).write_usize(np).write_usize(nsp);
+        let range = |n: usize, s: usize| (s * n / SHARDS)..((s + 1) * n / SHARDS);
+        let digests = effitest_parallel::par_map(threads, SHARDS, |s| {
+            let mut h = Mix64::new();
+            for i in range(nf, s) {
+                fold_ff(
+                    &mut h,
+                    self.netlist.flip_flop(crate::FlipFlopId::new(i as u32)).expect("dense id"),
+                );
+            }
+            for i in range(ng, s) {
+                fold_gate(
+                    &mut h,
+                    self.netlist.gate(crate::GateId::new(i as u32)).expect("dense id"),
+                );
+            }
+            for i in range(np, s) {
+                let p = self.paths.path(crate::PathId::new(i as u32));
+                fold_path(&mut h, p.source, p.sink, p.kind, p.gates);
+            }
+            for i in range(nsp, s) {
+                match &self.short_paths[i] {
+                    Some(p) => fold_path(h.write_u64(1), p.source, p.sink, p.kind, &p.gates),
+                    None => {
+                        h.write_u64(0);
+                    }
+                }
+            }
+            h.finish()
+        });
+        for d in digests {
+            h.write_u64(d);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn spec_fingerprint_is_field_sensitive() {
+        let base = BenchmarkSpec::iscas89_s9234().scaled_down(20);
+        let fp = base.fingerprint();
+        assert_eq!(fp, base.clone().fingerprint(), "fingerprint must be deterministic");
+        let mut other = base.clone();
+        other.np += 1;
+        assert_ne!(fp, other.fingerprint());
+        let mut other = base.clone();
+        other.outlier_fraction += 1e-9;
+        assert_ne!(fp, other.fingerprint(), "float fields compare by bit pattern");
+        let mut other = base.clone();
+        other.topology = Topology::Mesh;
+        assert_ne!(fp, other.fingerprint());
+    }
+
+    #[test]
+    fn topology_fingerprint_separates_large_shapes() {
+        let a = Topology::Large { depth: 2, critical_per_1024: 64 };
+        let b = Topology::Large { depth: 3, critical_per_1024: 64 };
+        let c = Topology::Large { depth: 2, critical_per_1024: 65 };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            Topology::Large { depth: 2, critical_per_1024: 64 }.fingerprint()
+        );
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_netlist_content() {
+        let spec = BenchmarkSpec::iscas89_s9234().scaled_down(20);
+        let a = GeneratedBenchmark::generate(&spec, 7);
+        let b = GeneratedBenchmark::generate(&spec, 7);
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        let c = GeneratedBenchmark::generate(&spec, 8);
+        assert_ne!(
+            a.content_fingerprint(),
+            c.content_fingerprint(),
+            "different seed, different netlist"
+        );
+    }
+}

@@ -38,6 +38,7 @@
 
 mod buffer;
 mod error;
+pub mod fingerprint;
 pub mod format;
 mod gate;
 mod generate;

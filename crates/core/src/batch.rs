@@ -59,6 +59,36 @@ impl Batches {
     pub fn is_empty(&self) -> bool {
         self.batches.is_empty()
     }
+
+    /// Serializes the schedule for the plan codec.
+    pub(crate) fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_usize(self.batches.len());
+        for b in &self.batches {
+            w.put_usize_slice(b);
+        }
+        w.put_usize_slice(&self.slot_filled);
+    }
+
+    /// Inverse of [`encode`](Self::encode); `n_paths` bounds every index.
+    pub(crate) fn decode(
+        r: &mut crate::codec::Reader<'_>,
+        n_paths: usize,
+    ) -> Result<Self, crate::codec::CodecError> {
+        let n_batches = r.get_usize()?;
+        let mut batches = Vec::with_capacity(n_batches.min(1 << 20));
+        for _ in 0..n_batches {
+            let b = r.get_usize_vec()?;
+            if b.iter().any(|&p| p >= n_paths) {
+                return Err(crate::codec::CodecError::Invalid("batch path index out of range"));
+            }
+            batches.push(b);
+        }
+        let slot_filled = r.get_usize_vec()?;
+        if slot_filled.iter().any(|&p| p >= n_paths) {
+            return Err(crate::codec::CodecError::Invalid("slot-filled path index out of range"));
+        }
+        Ok(Batches { batches, slot_filled })
+    }
 }
 
 /// Builds the conflict relation for a set of paths: shared endpoint
@@ -224,6 +254,64 @@ impl<'a> ConflictOracle<'a> {
     /// The paths this oracle knows about.
     pub fn paths(&self) -> &[usize] {
         &self.paths
+    }
+
+    /// Serializes the oracle's derived structure — registered paths, the
+    /// symmetrized sensitization CSR, and the raw exclusion lists. The
+    /// `position` index is *not* written; it is a pure function of `paths`
+    /// and is rebuilt by [`decode`](Self::decode).
+    pub(crate) fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_usize_slice(&self.paths);
+        w.put_u32_slice(&self.sens_off);
+        w.put_u32_slice(&self.sens_adj);
+        let lists = self.exclusions.lists();
+        w.put_usize(lists.len());
+        for list in lists {
+            w.put_usize_slice(list);
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode), reattached to `bench`. Every
+    /// structural invariant the constructors guarantee is re-checked, so a
+    /// corrupt blob cannot smuggle an oracle that later panics.
+    pub(crate) fn decode(
+        bench: &'a GeneratedBenchmark,
+        r: &mut crate::codec::Reader<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let paths = r.get_usize_vec()?;
+        let sens_off = r.get_u32_vec()?;
+        let sens_adj = r.get_u32_vec()?;
+        let n_lists = r.get_usize()?;
+        let mut lists = Vec::with_capacity(n_lists.min(1 << 20));
+        for _ in 0..n_lists {
+            lists.push(r.get_usize_vec()?);
+        }
+        let exclusions = MutualExclusions::from_lists(lists)
+            .map_err(|_| CodecError::Invalid("exclusion lists rejected"))?;
+        let n = paths.len();
+        if exclusions.lists().len() != n {
+            return Err(CodecError::Invalid("exclusion list count disagrees with oracle paths"));
+        }
+        if sens_off.len() != n + 1
+            || sens_off[0] != 0
+            || sens_off.windows(2).any(|w| w[0] > w[1])
+            || *sens_off.last().unwrap_or(&0) as usize != sens_adj.len()
+        {
+            return Err(CodecError::Invalid("sensitization CSR offsets inconsistent"));
+        }
+        let n_bench = bench.paths.len();
+        if sens_adj.iter().any(|&p| p as usize >= n_bench) {
+            return Err(CodecError::Invalid("sensitization neighbor out of range"));
+        }
+        let mut position = vec![usize::MAX; n_bench];
+        for (pos, &p) in paths.iter().enumerate() {
+            if p >= n_bench || position[p] != usize::MAX {
+                return Err(CodecError::Invalid("oracle path out of range or duplicated"));
+            }
+            position[p] = pos;
+        }
+        Ok(ConflictOracle { bench, exclusions, position, paths, sens_off, sens_adj })
     }
 }
 

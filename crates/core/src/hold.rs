@@ -68,6 +68,35 @@ impl HoldBounds {
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
         self.lambda.iter().map(|(&p, &l)| (p, l))
     }
+
+    /// Serializes the bounds as a canonical (path-sorted) pair list — the
+    /// sort makes the byte image independent of hash-map iteration order,
+    /// which the plan fingerprint relies on.
+    pub(crate) fn encode(&self, w: &mut crate::codec::Writer) {
+        let mut pairs: Vec<(usize, f64)> = self.iter().collect();
+        pairs.sort_unstable_by_key(|&(p, _)| p);
+        w.put_usize(pairs.len());
+        for (p, l) in pairs {
+            w.put_usize(p);
+            w.put_f64(l);
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    pub(crate) fn decode(
+        r: &mut crate::codec::Reader<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        let n = r.get_usize()?;
+        let mut lambda = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let p = r.get_usize()?;
+            let l = r.get_f64()?;
+            if lambda.insert(p, l).is_some() {
+                return Err(crate::codec::CodecError::Invalid("duplicate hold-bound path"));
+            }
+        }
+        Ok(HoldBounds { lambda })
+    }
 }
 
 /// Computes hold bounds by sampling and greedy discard.

@@ -48,9 +48,10 @@
 //! axes.scenario.topologies.truncate(1);
 //! axes.noise_rel.truncate(1);
 //! axes.drifts.truncate(1);
-//! let reports = run_hostile_matrix(&axes, 1);
-//! assert_eq!(reports.len(), 1);
-//! assert!(reports.iter().all(|r| r.yield_t0 >= 0.0));
+//! let run = run_hostile_matrix(&axes, 1);
+//! assert_eq!(run.reports.len(), 1);
+//! assert!(run.failures.is_empty());
+//! assert!(run.reports.iter().all(|r| r.yield_t0 >= 0.0));
 //! ```
 
 use std::collections::HashMap;
@@ -65,8 +66,8 @@ use effitest_tester::{
 use crate::configure::shifts_for;
 use crate::population::{run_population, run_population_scratch, PopulationConfig};
 use crate::predict::predict_ranges;
-use crate::scenarios::{json_escape, json_f64, ScenarioAxes, ScenarioSpec};
-use crate::{EffiTestFlow, FlowWorkspace};
+use crate::scenarios::{json_escape, json_f64, MatrixRun, ScenarioAxes, ScenarioSpec};
+use crate::{EffiTestFlow, FlowError, FlowWorkspace};
 
 /// The axes of a hostile-silicon matrix: scenario cells crossed with
 /// tester-noise levels and drift models.
@@ -256,11 +257,15 @@ struct HostileChip {
 /// noisy) tester, age every chip, then evaluate the kept configuration,
 /// the adaptive re-tuning, and the full re-test on the aged silicon.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the cell's spec is infeasible for the generator (the specs
-/// produced by [`HostileAxes`] are always feasible).
-pub fn run_hostile_scenario(spec: &HostileSpec, threads: usize) -> HostileReport {
+/// A degenerate cell (e.g. a spec with zero required paths) surfaces its
+/// [`FlowError`] instead of panicking, so matrix drivers can skip and
+/// count it.
+pub fn run_hostile_scenario(
+    spec: &HostileSpec,
+    threads: usize,
+) -> Result<HostileReport, FlowError> {
     let cell = &spec.cell;
     let bench = GeneratedBenchmark::generate(&cell.spec, cell.seed);
     let model = TimingModel::build_with_buffer_range(
@@ -286,7 +291,7 @@ pub fn run_hostile_scenario(spec: &HostileSpec, threads: usize) -> HostileReport
     let mut flow_config = cell.flow.clone();
     flow_config.tester = tester;
     let flow = EffiTestFlow::new(flow_config);
-    let plan = flow.plan(&bench, &model).expect("generated benchmarks have paths");
+    let plan = flow.plan(&bench, &model)?;
 
     let pop = PopulationConfig {
         n_chips: cell.n_chips,
@@ -306,56 +311,63 @@ pub fn run_hostile_scenario(spec: &HostileSpec, threads: usize) -> HostileReport
     let retune_paths: Vec<usize> =
         plan.batches.tested_paths().into_iter().step_by(stride).collect();
 
-    let per_chip = run_population_scratch(&model, &pop, FlowWorkspace::new, |ws, _k, chip| {
-        // Phase t0: the ordinary tuning flow on fresh silicon.
-        let t0 = flow.run_chip_with(ws, &plan, chip, td).expect("plan-sampled chip");
-        let mut contradictions = t0.contradictions;
-        let mut widenings = t0.widenings;
+    let per_chip: Vec<HostileChip> = run_population_scratch(
+        &model,
+        &pop,
+        FlowWorkspace::new,
+        |ws, _k, chip| -> Result<HostileChip, FlowError> {
+            // Phase t0: the ordinary tuning flow on fresh silicon.
+            let t0 = flow.run_chip_with(ws, &plan, chip, td)?;
+            let mut contradictions = t0.contradictions;
+            let mut widenings = t0.widenings;
 
-        let aged = spec.drift.aged(chip, spec.drift_time);
+            let aged = spec.drift.aged(chip, spec.drift_time);
 
-        // Leg A — keep the shipped configuration on the aged chip.
-        let pass_kept = t0.configured.as_ref().is_some_and(|cfg| {
-            let shifts = shifts_for(&model, &plan.buffers, cfg);
-            chip_passes(&aged, td, &shifts)
-        });
+            // Leg A — keep the shipped configuration on the aged chip.
+            let pass_kept = t0.configured.as_ref().is_some_and(|cfg| {
+                let shifts = shifts_for(&model, &plan.buffers, cfg);
+                chip_passes(&aged, td, &shifts)
+            });
 
-        // Leg B — adaptive re-tuning: path-wise re-measurement of the
-        // sparse subset on the aged chip, prediction of everything else
-        // from the existing plan's groups, then re-configuration.
-        let mut vt = VirtualTester::with_model(&aged, tester);
-        let mut measured: HashMap<usize, DelayBounds> = HashMap::new();
-        for &p in &retune_paths {
-            let mut b = DelayBounds::from_gaussian(
-                model.path_mean(p),
-                model.path_sigma(p),
-                flow.config().bound_sigma,
-            );
-            path_wise_binary_search(&mut vt, p, &mut b, plan.epsilon);
-            measured.insert(p, b);
-        }
-        let iterations_adaptive = vt.iterations();
-        let pred = predict_ranges(&model, &plan.groups, &measured, flow.config().bound_sigma);
-        let (_, pass_adaptive, _) = flow.configure_and_check(&plan, &aged, &pred.ranges, td);
+            // Leg B — adaptive re-tuning: path-wise re-measurement of the
+            // sparse subset on the aged chip, prediction of everything else
+            // from the existing plan's groups, then re-configuration.
+            let mut vt = VirtualTester::with_model(&aged, tester);
+            let mut measured: HashMap<usize, DelayBounds> = HashMap::new();
+            for &p in &retune_paths {
+                let mut b = DelayBounds::from_gaussian(
+                    model.path_mean(p),
+                    model.path_sigma(p),
+                    flow.config().bound_sigma,
+                );
+                path_wise_binary_search(&mut vt, p, &mut b, plan.epsilon);
+                measured.insert(p, b);
+            }
+            let iterations_adaptive = vt.iterations();
+            let pred = predict_ranges(&model, &plan.groups, &measured, flow.config().bound_sigma);
+            let (_, pass_adaptive, _) = flow.configure_and_check(&plan, &aged, &pred.ranges, td);
 
-        // Leg C — the full re-test ceiling: run the whole flow again on
-        // the aged chip.
-        let retest = flow.run_chip_with(ws, &plan, &aged, td).expect("plan-sampled chip");
-        contradictions += retest.contradictions;
-        widenings += retest.widenings;
+            // Leg C — the full re-test ceiling: run the whole flow again on
+            // the aged chip.
+            let retest = flow.run_chip_with(ws, &plan, &aged, td)?;
+            contradictions += retest.contradictions;
+            widenings += retest.widenings;
 
-        HostileChip {
-            pass_t0: t0.passes,
-            pass_kept,
-            pass_adaptive,
-            pass_retest: retest.passes,
-            iterations_t0: t0.iterations,
-            iterations_adaptive,
-            iterations_retest: retest.iterations,
-            contradictions,
-            widenings,
-        }
-    });
+            Ok(HostileChip {
+                pass_t0: t0.passes,
+                pass_kept,
+                pass_adaptive,
+                pass_retest: retest.passes,
+                iterations_t0: t0.iterations,
+                iterations_adaptive,
+                iterations_retest: retest.iterations,
+                contradictions,
+                widenings,
+            })
+        },
+    )
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
     let n = cell.n_chips.max(1) as f64;
     let frac =
@@ -364,7 +376,7 @@ pub fn run_hostile_scenario(spec: &HostileSpec, threads: usize) -> HostileReport
 
     let yield_aged_kept = frac(&|m| m.pass_kept);
     let yield_aged_adaptive = frac(&|m| m.pass_adaptive);
-    HostileReport {
+    Ok(HostileReport {
         id: spec.id(),
         topology: cell.topology.name(),
         variation: cell.variation.name(),
@@ -390,14 +402,21 @@ pub fn run_hostile_scenario(spec: &HostileSpec, threads: usize) -> HostileReport
         widenings: per_chip.iter().map(|m| m.widenings).sum(),
         prediction_fallbacks: plan.predictor.fallback_count(),
         sigma_fallbacks: plan.sigma_fallbacks,
-    }
+    })
 }
 
 /// Runs every cell of the hostile matrix (cells sequentially, each cell's
-/// population on `threads` workers) and returns the reports in cell
-/// order.
-pub fn run_hostile_matrix(axes: &HostileAxes, threads: usize) -> Vec<HostileReport> {
-    axes.cells().iter().map(|spec| run_hostile_scenario(spec, threads)).collect()
+/// population on `threads` workers). Failed cells are skipped and
+/// recorded in [`MatrixRun::failures`].
+pub fn run_hostile_matrix(axes: &HostileAxes, threads: usize) -> MatrixRun<HostileReport> {
+    let mut run = MatrixRun::default();
+    for spec in axes.cells() {
+        match run_hostile_scenario(&spec, threads) {
+            Ok(report) => run.reports.push(report),
+            Err(e) => run.failures.push((spec.id(), e)),
+        }
+    }
+    run
 }
 
 /// Serializes one hostile report as a JSON object (stable key order, no
@@ -505,7 +524,7 @@ mod tests {
             .into_iter()
             .find(|c| c.noise_rel == 0.0 && c.drift.is_none())
             .expect("baseline leg present");
-        let r = run_hostile_scenario(&spec, 1);
+        let r = run_hostile_scenario(&spec, 1).expect("feasible cell");
         assert_eq!(r.noise_sigma, 0.0);
         assert_eq!(r.yield_aged_kept, r.yield_t0);
         assert_eq!(r.yield_aged_retest, r.yield_t0);
@@ -519,7 +538,7 @@ mod tests {
     fn hostile_cells_report_finite_ordered_metrics() {
         let axes = tiny_axes();
         for spec in axes.cells() {
-            let r = run_hostile_scenario(&spec, 1);
+            let r = run_hostile_scenario(&spec, 1).expect("feasible cell");
             for y in [r.yield_t0, r.yield_aged_kept, r.yield_aged_adaptive, r.yield_aged_retest] {
                 assert!((0.0..=1.0).contains(&y), "{}: fraction out of range: {y}", r.id);
             }
@@ -551,9 +570,10 @@ mod tests {
             .rev()
             .find(|c| c.noise_rel > 0.0 && !c.drift.is_none())
             .expect("hostile leg present");
-        let serial = hostile_report_to_json(&run_hostile_scenario(&spec, 1));
+        let serial = hostile_report_to_json(&run_hostile_scenario(&spec, 1).expect("feasible"));
         for threads in [2, 4] {
-            let parallel = hostile_report_to_json(&run_hostile_scenario(&spec, threads));
+            let parallel =
+                hostile_report_to_json(&run_hostile_scenario(&spec, threads).expect("feasible"));
             assert_eq!(serial, parallel, "hostile reports drifted at {threads} threads");
         }
     }
@@ -569,7 +589,7 @@ mod tests {
         let mut axes = tiny_axes();
         axes.noise_rel = vec![128.0];
         for spec in axes.cells().into_iter().filter(|c| c.noise_rel > 0.0) {
-            let r = run_hostile_scenario(&spec, 1);
+            let r = run_hostile_scenario(&spec, 1).expect("feasible cell");
             assert!(r.widenings > 0, "{}: brutal noise produced no widenings", r.id);
             assert!(r.mean_iterations_t0 > 0.0);
         }

@@ -61,6 +61,8 @@
 
 pub mod aligned_test;
 pub mod batch;
+pub mod cache;
+pub mod codec;
 pub mod configure;
 pub mod experiments;
 mod flow;
@@ -68,8 +70,10 @@ pub mod hold;
 pub mod hostile;
 pub mod population;
 pub mod predict;
+pub mod report;
 pub mod scenarios;
 pub mod select;
+pub mod service;
 
 /// The deterministic parallel-execution utility every threaded plan stage
 /// runs on (re-exported from `effitest-parallel`): ordered chunked

@@ -41,6 +41,27 @@ use effitest_tester::DelayBounds;
 
 use crate::select::PathGroup;
 
+/// Writes a dense matrix as `(rows, cols, data)` for the plan codec.
+fn put_matrix(w: &mut crate::codec::Writer, m: &effitest_linalg::Matrix) {
+    w.put_usize(m.rows());
+    w.put_usize(m.cols());
+    w.put_f64_slice(m.as_slice());
+}
+
+/// Fallible inverse of [`put_matrix`].
+fn get_matrix(
+    r: &mut crate::codec::Reader<'_>,
+) -> Result<effitest_linalg::Matrix, crate::codec::CodecError> {
+    let rows = r.get_usize()?;
+    let cols = r.get_usize()?;
+    let data = r.get_f64_vec()?;
+    if data.len() != rows.saturating_mul(cols) {
+        return Err(crate::codec::CodecError::Invalid("matrix data length mismatch"));
+    }
+    effitest_linalg::Matrix::from_vec(rows, cols, data)
+        .map_err(|_| crate::codec::CodecError::Invalid("matrix shape rejected"))
+}
+
 /// Per-path delay ranges after test + prediction, covering all paths.
 #[derive(Debug, Clone)]
 pub struct PredictedRanges {
@@ -343,10 +364,114 @@ impl Predictor {
         self.planned.len()
     }
 
+    /// The planned tested paths, ascending — the exact key set every
+    /// per-chip `tested` map must carry.
+    pub fn planned_paths(&self) -> &[usize] {
+        &self.planned
+    }
+
     /// Groups downgraded to the prior at plan time because their observed
     /// covariance block could not be factorized.
     pub fn fallback_count(&self) -> u64 {
         self.fallbacks
+    }
+
+    /// Serializes the engine's factored state: planned set, per-group
+    /// observed/predicted index lists, each group's conditioner parts
+    /// (Cholesky factor + conditioning gain inputs), and the prior bound
+    /// endpoints. The priors *are* a pure function of `(model, sigma_k)`,
+    /// but rebuilding all `n_paths` of them costs more than everything
+    /// else in a cached load combined, so the blob spends 16 bytes/path
+    /// to carry their exact bit patterns instead.
+    pub(crate) fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_usize(self.n_paths);
+        w.put_usize_slice(&self.planned);
+        w.put_f64(self.sigma_k);
+        w.put_u64(self.fallbacks);
+        w.put_usize(self.groups.len());
+        for g in &self.groups {
+            w.put_usize_slice(&g.observed);
+            w.put_usize_slice(&g.predicted);
+            let parts = g.conditioner.to_parts();
+            w.put_usize_slice(&parts.observed);
+            w.put_usize_slice(&parts.remaining);
+            w.put_f64_slice(&parts.mean_obs);
+            w.put_f64_slice(&parts.mean_rem);
+            put_matrix(w, &parts.chol_factor);
+            w.put_f64(parts.chol_jitter);
+            put_matrix(w, &parts.cross);
+            put_matrix(w, &parts.cond_cov);
+        }
+        // Priors are a pure function of the model, but recomputing all
+        // n_paths of them costs more than the entire rest of a cached
+        // load at 100k paths — so the blob carries their bit patterns.
+        for b in &self.priors {
+            w.put_f64(b.lower);
+            w.put_f64(b.upper);
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode): reassembles the engine against
+    /// `model`, which must be the model the encoded plan was built from
+    /// (the cache layer guarantees this through its content key; the path
+    /// count is re-checked here as a cheap structural backstop).
+    ///
+    /// Never panics on malformed bytes — every structural violation
+    /// surfaces as a [`CodecError`](crate::codec::CodecError).
+    pub(crate) fn decode(
+        model: &TimingModel,
+        r: &mut crate::codec::Reader<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let n_paths = r.get_usize()?;
+        if n_paths != model.path_count() {
+            return Err(CodecError::Invalid("predictor path count does not match the model"));
+        }
+        let planned = r.get_usize_vec()?;
+        if planned.windows(2).any(|w| w[0] >= w[1]) || planned.last().is_some_and(|&p| p >= n_paths)
+        {
+            return Err(CodecError::Invalid("planned tested set not sorted/in range"));
+        }
+        let sigma_k = r.get_f64()?;
+        let fallbacks = r.get_u64()?;
+        let n_groups = r.get_usize()?;
+        let mut groups = Vec::with_capacity(n_groups.min(1 << 20));
+        for _ in 0..n_groups {
+            let observed = r.get_usize_vec()?;
+            let predicted = r.get_usize_vec()?;
+            if observed.iter().chain(&predicted).any(|&p| p >= n_paths) {
+                return Err(CodecError::Invalid("group path index out of range"));
+            }
+            let parts = effitest_linalg::ConditionerParts {
+                observed: r.get_usize_vec()?,
+                remaining: r.get_usize_vec()?,
+                mean_obs: r.get_f64_vec()?,
+                mean_rem: r.get_f64_vec()?,
+                chol_factor: get_matrix(r)?,
+                chol_jitter: r.get_f64()?,
+                cross: get_matrix(r)?,
+                cond_cov: get_matrix(r)?,
+            };
+            if parts.observed.len() != observed.len() || parts.remaining.len() != predicted.len() {
+                return Err(CodecError::Invalid("group index lists disagree with conditioner"));
+            }
+            let conditioner = GaussianConditioner::from_parts(parts)
+                .map_err(|_| CodecError::Invalid("conditioner parts rejected"))?;
+            groups.push(GroupPredictor { observed, predicted, conditioner });
+        }
+        // Priors come from the blob (bit patterns of the constructor's
+        // output — see `encode`); the flags of a prior bound are always
+        // unproven, so endpoint pairs reconstruct them exactly.
+        let mut priors = Vec::with_capacity(n_paths.min(1 << 24));
+        for _ in 0..n_paths {
+            let lower = r.get_f64()?;
+            let upper = r.get_f64()?;
+            if !(lower.is_finite() && upper.is_finite() && lower <= upper) {
+                return Err(CodecError::Invalid("prior bounds malformed"));
+            }
+            priors.push(DelayBounds::new(lower, upper));
+        }
+        Ok(Predictor { n_paths, planned, sigma_k, priors, groups, fallbacks })
     }
 
     /// Predicts all ranges from one chip's measured bounds, reusing a

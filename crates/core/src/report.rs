@@ -1,0 +1,324 @@
+//! Fallible readback of the repo's flat JSON reports.
+//!
+//! Every report emitter in this workspace (scenario matrices, hostile
+//! matrices, service decision logs, bench JSON) writes *flat* JSON
+//! objects: string keys mapping to quoted strings or plain finite
+//! numbers, no nesting inside a cell. Tests and CI assertions need to
+//! read those documents back without a JSON dependency — and without the
+//! hand-rolled, panicky string splitting that used to be copy-pasted into
+//! each test. This module is the one shared parser: strict about what the
+//! emitters actually produce, and **fallible** (typed errors, no panics)
+//! so corrupt output fails a test with a message instead of a `[index out
+//! of bounds]`.
+//!
+//! The parser deliberately rejects non-finite numbers: `NaN` / `inf` are
+//! not JSON, and a report containing them is a bug the reader must
+//! surface (Rust's `f64::from_str` would happily accept them).
+
+use std::collections::HashMap;
+
+/// A scalar field value of a flat report object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatValue {
+    /// A quoted string (unescaped).
+    Str(String),
+    /// A finite JSON number.
+    Num(f64),
+}
+
+/// Readback failures. Each carries enough context to locate the offense
+/// in the document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The text is not a `{ ... }` object.
+    NotAnObject,
+    /// A field did not parse as `"key": value`.
+    MalformedField {
+        /// The offending fragment (truncated).
+        fragment: String,
+    },
+    /// A numeric field failed to parse or was non-finite.
+    BadNumber {
+        /// The field's key.
+        key: String,
+        /// The offending token.
+        token: String,
+    },
+    /// A key appeared twice.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
+    /// A lookup for a key the object does not contain.
+    MissingKey {
+        /// The requested key.
+        key: String,
+    },
+    /// A lookup found the key with the other scalar type.
+    WrongType {
+        /// The requested key.
+        key: String,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::NotAnObject => write!(f, "report text is not a JSON object"),
+            ReportError::MalformedField { fragment } => {
+                write!(f, "malformed report field near {fragment:?}")
+            }
+            ReportError::BadNumber { key, token } => {
+                write!(f, "non-finite or unparseable number {token:?} for key {key:?}")
+            }
+            ReportError::DuplicateKey { key } => write!(f, "duplicate report key {key:?}"),
+            ReportError::MissingKey { key } => write!(f, "report lacks key {key:?}"),
+            ReportError::WrongType { key } => {
+                write!(f, "report key {key:?} holds the other scalar type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// One parsed flat report object: ordered fields plus a key index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatReport {
+    fields: Vec<(String, FlatValue)>,
+    index: HashMap<String, usize>,
+}
+
+impl FlatReport {
+    /// Parses one flat JSON object.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError`] on anything the workspace's emitters never
+    /// produce: nesting, arrays, bare words, non-finite numbers,
+    /// duplicate keys.
+    pub fn parse(text: &str) -> Result<Self, ReportError> {
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or(ReportError::NotAnObject)?
+            .trim();
+        let mut fields = Vec::new();
+        let mut index = HashMap::new();
+        if body.is_empty() {
+            return Ok(FlatReport { fields, index });
+        }
+        let mut rest = body;
+        while !rest.is_empty() {
+            let (key, after_key) = take_string(rest)?;
+            let after_colon = after_key
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| malformed(after_key))?
+                .trim_start();
+            let (value, after_value) = if after_colon.starts_with('"') {
+                let (s, tail) = take_string(after_colon)?;
+                (FlatValue::Str(s), tail)
+            } else {
+                let end = after_colon.find([',', '}']).unwrap_or(after_colon.len());
+                let token = after_colon[..end].trim();
+                let ok = !token.is_empty()
+                    && token.bytes().all(|b| {
+                        b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                    });
+                let x: f64 =
+                    if ok { token.parse().map_err(|_| ()) } else { Err(()) }.map_err(|()| {
+                        ReportError::BadNumber { key: key.clone(), token: token.to_string() }
+                    })?;
+                if !x.is_finite() {
+                    return Err(ReportError::BadNumber {
+                        key: key.clone(),
+                        token: token.to_string(),
+                    });
+                }
+                (FlatValue::Num(x), &after_colon[end..])
+            };
+            if index.insert(key.clone(), fields.len()).is_some() {
+                return Err(ReportError::DuplicateKey { key });
+            }
+            fields.push((key, value));
+            rest = after_value.trim_start();
+            match rest.strip_prefix(',') {
+                Some(tail) => {
+                    rest = tail.trim_start();
+                    if rest.is_empty() {
+                        return Err(malformed(","));
+                    }
+                }
+                None if rest.is_empty() => break,
+                None => return Err(malformed(rest)),
+            }
+        }
+        Ok(FlatReport { fields, index })
+    }
+
+    /// The fields, in document order.
+    pub fn fields(&self) -> &[(String, FlatValue)] {
+        &self.fields
+    }
+
+    /// The value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&FlatValue> {
+        self.index.get(key).map(|&i| &self.fields[i].1)
+    }
+
+    /// The numeric value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::MissingKey`] / [`ReportError::WrongType`].
+    pub fn num(&self, key: &str) -> Result<f64, ReportError> {
+        match self.get(key) {
+            Some(FlatValue::Num(x)) => Ok(*x),
+            Some(FlatValue::Str(_)) => Err(ReportError::WrongType { key: key.to_string() }),
+            None => Err(ReportError::MissingKey { key: key.to_string() }),
+        }
+    }
+
+    /// The string value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::MissingKey`] / [`ReportError::WrongType`].
+    pub fn str(&self, key: &str) -> Result<&str, ReportError> {
+        match self.get(key) {
+            Some(FlatValue::Str(s)) => Ok(s),
+            Some(FlatValue::Num(_)) => Err(ReportError::WrongType { key: key.to_string() }),
+            None => Err(ReportError::MissingKey { key: key.to_string() }),
+        }
+    }
+}
+
+/// Extracts every flat object embedded in a larger document (a matrix
+/// wrapper, a decision log) by brace matching, parsing each. Objects that
+/// themselves contain objects are walked into, so only the *flat* leaves
+/// are returned.
+///
+/// # Errors
+///
+/// Any [`ReportError`] from a leaf object.
+pub fn parse_embedded_reports(text: &str) -> Result<Vec<FlatReport>, ReportError> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut in_string = false;
+    let mut starts: Vec<usize> = Vec::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1,
+            b'"' => in_string = !in_string,
+            b'{' if !in_string => starts.push(i),
+            b'}' if !in_string => {
+                if let Some(start) = starts.pop() {
+                    let inner = &text[start..=i];
+                    // Flat leaves only: an object containing another
+                    // object was just decomposed into its leaves.
+                    if !inner[1..inner.len() - 1].contains('{') {
+                        out.push(FlatReport::parse(inner)?);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn malformed(fragment: &str) -> ReportError {
+    ReportError::MalformedField { fragment: fragment.chars().take(40).collect() }
+}
+
+/// Takes a leading quoted string (honoring `\"` / `\\` / `\uXXXX`
+/// escapes), returning it unescaped plus the remaining text.
+fn take_string(text: &str) -> Result<(String, &str), ReportError> {
+    let inner = text.strip_prefix('"').ok_or_else(|| malformed(text))?;
+    let mut out = String::new();
+    let mut chars = inner.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &inner[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((j, 'u')) => {
+                    let hex = inner.get(j + 1..j + 5).ok_or_else(|| malformed(text))?;
+                    let code = u32::from_str_radix(hex, 16).map_err(|_| malformed(text))?;
+                    out.push(char::from_u32(code).ok_or_else(|| malformed(text))?);
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                }
+                _ => return Err(malformed(text)),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(malformed(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_typical_report_cell() {
+        let r = FlatReport::parse(
+            r#"{"id": "mesh/independent/r0.125/c4/s1", "yield": 0.75, "chips": 4, "tf": 1e-3}"#,
+        )
+        .expect("parse");
+        assert_eq!(r.str("id").unwrap(), "mesh/independent/r0.125/c4/s1");
+        assert_eq!(r.num("yield").unwrap(), 0.75);
+        assert_eq!(r.num("chips").unwrap(), 4.0);
+        assert_eq!(r.num("tf").unwrap(), 1e-3);
+        assert_eq!(r.fields().len(), 4);
+        assert_eq!(r.fields()[0].0, "id", "document order is preserved");
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let r = FlatReport::parse(r#"{"k": "a\"b\\cA"}"#).expect("parse");
+        assert_eq!(r.str("k").unwrap(), "a\"b\\cA");
+    }
+
+    #[test]
+    fn rejects_what_emitters_never_produce() {
+        assert_eq!(FlatReport::parse("[1, 2]"), Err(ReportError::NotAnObject));
+        assert!(matches!(FlatReport::parse(r#"{"x": NaN}"#), Err(ReportError::BadNumber { .. })));
+        assert!(matches!(FlatReport::parse(r#"{"x": inf}"#), Err(ReportError::BadNumber { .. })));
+        assert!(matches!(
+            FlatReport::parse(r#"{"x": 1, "x": 2}"#),
+            Err(ReportError::DuplicateKey { .. })
+        ));
+        assert!(matches!(FlatReport::parse(r#"{"x" 1}"#), Err(ReportError::MalformedField { .. })));
+        assert!(matches!(
+            FlatReport::parse(r#"{"x": 1,}"#),
+            Err(ReportError::MalformedField { .. })
+        ));
+        let r = FlatReport::parse(r#"{"x": 1}"#).unwrap();
+        assert_eq!(r.num("y"), Err(ReportError::MissingKey { key: "y".into() }));
+        assert_eq!(r.str("x"), Err(ReportError::WrongType { key: "x".into() }));
+    }
+
+    #[test]
+    fn extracts_cells_from_a_matrix_document() {
+        let doc = concat!(
+            "{\n  \"report\": \"m\",\n  \"cells\": [\n",
+            "    {\"id\": \"a\", \"v\": 1.5},\n",
+            "    {\"id\": \"b\", \"v\": 2.5}\n",
+            "  ]\n}\n"
+        );
+        let cells = parse_embedded_reports(doc).expect("parse");
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].str("id").unwrap(), "a");
+        assert_eq!(cells[1].num("v").unwrap(), 2.5);
+    }
+}

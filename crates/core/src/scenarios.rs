@@ -36,9 +36,10 @@
 //! let mut axes = ScenarioAxes::smoke(40);
 //! axes.topologies.truncate(2);
 //! axes.variations.truncate(1);
-//! let reports = run_matrix(&axes, 1);
-//! assert_eq!(reports.len(), 2);
-//! assert!(reports.iter().all(|r| r.mean_iterations > 0.0));
+//! let run = run_matrix(&axes, 1);
+//! assert_eq!(run.reports.len(), 2);
+//! assert!(run.failures.is_empty());
+//! assert!(run.reports.iter().all(|r| r.mean_iterations > 0.0));
 //! ```
 
 use effitest_circuit::{BenchmarkSpec, GeneratedBenchmark, Topology};
@@ -47,7 +48,7 @@ use effitest_ssta::{TimingModel, VariationProfile};
 
 use crate::configure::{ideal_configure_and_check, untuned_check};
 use crate::population::{run_population, run_population_scratch, PopulationConfig};
-use crate::{EffiTestFlow, FlowConfig, FlowWorkspace};
+use crate::{EffiTestFlow, FlowConfig, FlowError, FlowWorkspace};
 
 /// The axes of a scenario matrix; cells are the full cross product.
 #[derive(Debug, Clone)]
@@ -244,11 +245,12 @@ pub struct ScenarioReport {
 /// period falls back to the model's nominal period, so the report stays
 /// finite and serializable.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the cell's spec is infeasible for the generator (the specs
-/// produced by [`ScenarioAxes`] are always feasible).
-pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
+/// A degenerate cell — most commonly a spec with zero required paths —
+/// surfaces its [`FlowError`] instead of panicking, so matrix drivers and
+/// services over attacker-shaped specs can skip and count it.
+pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> Result<ScenarioReport, FlowError> {
     let bench = GeneratedBenchmark::generate(&cell.spec, cell.seed);
     let model = TimingModel::build_with_buffer_range(
         &bench,
@@ -257,7 +259,7 @@ pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
         TimingModel::BUFFER_STEPS,
     );
     let flow = EffiTestFlow::new(cell.flow.clone());
-    let plan = flow.plan(&bench, &model).expect("generated benchmarks have paths");
+    let plan = flow.plan(&bench, &model)?;
 
     let pop = PopulationConfig {
         n_chips: cell.n_chips,
@@ -273,19 +275,22 @@ pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
         empirical_quantile(&untuned_periods, 0.5)
     };
 
-    let per_chip = run_population_scratch(&model, &pop, FlowWorkspace::new, |ws, _k, chip| {
-        let outcome = flow.run_chip_with(ws, &plan, chip, td).expect("plan-sampled chip");
-        let pred = prediction_errors(&model, &outcome, chip);
-        ChipMetrics {
-            iterations: outcome.iterations,
-            passes: outcome.passes,
-            ideal: ideal_configure_and_check(&model, &plan.buffers, chip, td),
-            untuned: untuned_check(chip, td),
-            contradictions: outcome.contradictions,
-            widenings: outcome.widenings,
-            pred,
-        }
-    });
+    let per_chip: Vec<ChipMetrics> =
+        run_population_scratch(&model, &pop, FlowWorkspace::new, |ws, _k, chip| {
+            let outcome = flow.run_chip_with(ws, &plan, chip, td)?;
+            let pred = prediction_errors(&model, &outcome, chip);
+            Ok::<_, FlowError>(ChipMetrics {
+                iterations: outcome.iterations,
+                passes: outcome.passes,
+                ideal: ideal_configure_and_check(&model, &plan.buffers, chip, td),
+                untuned: untuned_check(chip, td),
+                contradictions: outcome.contradictions,
+                widenings: outcome.widenings,
+                pred,
+            })
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
     // The max(1) keeps every 0-count / 0-chip quotient at a finite 0.0
     // instead of NaN (the counts themselves are all zero then).
@@ -307,7 +312,7 @@ pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
         covered += m.pred.covered;
     }
 
-    ScenarioReport {
+    Ok(ScenarioReport {
         id: cell.id(),
         topology: cell.topology.name(),
         variation: cell.variation.name(),
@@ -337,14 +342,38 @@ pub fn run_scenario(cell: &ScenarioSpec, threads: usize) -> ScenarioReport {
         },
         prediction_max_abs_err_sigma: err_max,
         prediction_coverage: if err_count == 0 { 1.0 } else { covered as f64 / err_count as f64 },
+    })
+}
+
+/// The outcome of a matrix sweep: the reports of every cell that ran,
+/// plus the cells that failed, skipped and counted rather than aborting
+/// the sweep (one degenerate cell must not cost the other N-1 results).
+#[derive(Debug, Clone)]
+pub struct MatrixRun<R> {
+    /// Successful cell reports, in cell order.
+    pub reports: Vec<R>,
+    /// Failed cells: `(cell id, error)`, in cell order.
+    pub failures: Vec<(String, FlowError)>,
+}
+
+impl<R> Default for MatrixRun<R> {
+    fn default() -> Self {
+        MatrixRun { reports: Vec::new(), failures: Vec::new() }
     }
 }
 
 /// Runs every cell of the matrix (cells sequentially, each cell's
-/// population on `threads` workers) and returns the reports in cell
-/// order.
-pub fn run_matrix(axes: &ScenarioAxes, threads: usize) -> Vec<ScenarioReport> {
-    axes.cells().iter().map(|cell| run_scenario(cell, threads)).collect()
+/// population on `threads` workers). Failed cells are skipped and
+/// recorded in [`MatrixRun::failures`].
+pub fn run_matrix(axes: &ScenarioAxes, threads: usize) -> MatrixRun<ScenarioReport> {
+    let mut run = MatrixRun::default();
+    for cell in axes.cells() {
+        match run_scenario(&cell, threads) {
+            Ok(report) => run.reports.push(report),
+            Err(e) => run.failures.push((cell.id(), e)),
+        }
+    }
+    run
 }
 
 /// Per-chip reduction of a scenario cell.
@@ -525,7 +554,7 @@ mod tests {
     fn one_cell_produces_sane_metrics() {
         let axes = tiny_axes();
         let cell = &axes.cells()[0];
-        let r = run_scenario(cell, 1);
+        let r = run_scenario(cell, 1).expect("feasible cell");
         assert_eq!(r.np, cell.spec.np);
         assert!(r.npt >= 1 && r.npt <= r.np);
         assert!(r.batches >= 1);
@@ -550,9 +579,9 @@ mod tests {
         axes.topologies = vec![effitest_circuit::Topology::Mesh];
         axes.variations = vec![effitest_ssta::VariationProfile::HighSigmaTail];
         let cell = &axes.cells()[0];
-        let report = run_scenario(cell, 1);
+        let report = run_scenario(cell, 1).expect("feasible cell");
         let serial = report_to_json(&report);
-        let parallel = report_to_json(&run_scenario(cell, 4));
+        let parallel = report_to_json(&run_scenario(cell, 4).expect("feasible cell"));
         assert_eq!(serial, parallel, "scenario reports drifted with the thread count");
         // The self-describing aliases are part of the byte-stable schema
         // and always mirror the terse np/npt fields.
@@ -569,7 +598,7 @@ mod tests {
         axes.chip_counts = vec![0];
         let cell = &axes.cells()[0];
         for threads in [1, 4] {
-            let r = run_scenario(cell, threads);
+            let r = run_scenario(cell, threads).expect("feasible cell");
             assert_eq!(r.n_chips, 0);
             assert_eq!(r.yield_fraction, 0.0);
             assert_eq!(r.ideal_yield, 0.0);
@@ -581,23 +610,36 @@ mod tests {
             assert_eq!(r.prediction_mean_abs_err_sigma, 0.0);
             assert_eq!(r.prediction_coverage, 1.0);
             assert!(r.designated_period > 0.0, "period must fall back to nominal");
-            let json = report_to_json(&r);
-            // Minimal parse: every field is `"key": value` with value a
-            // quoted string or a finite JSON number (Rust's f64 parser
-            // accepts "NaN"/"inf", hence the explicit finiteness check).
-            let body = json.strip_prefix('{').and_then(|s| s.strip_suffix('}')).expect("object");
-            for field in body.split(", \"") {
-                let field = field.trim_start_matches('"');
-                let (key, value) = field.split_once(": ").expect("key: value pair");
-                assert!(!key.is_empty());
-                if !value.starts_with('"') {
-                    let x: f64 = value.parse().unwrap_or_else(|_| {
-                        panic!("unparseable JSON number {value:?} for key {key:?}")
-                    });
-                    assert!(x.is_finite(), "non-finite metric for key {key:?}");
-                }
-            }
+            // The shared fallible readback (crate::report) rejects
+            // non-finite numbers, so a clean parse IS the finiteness
+            // assertion.
+            let parsed =
+                crate::report::FlatReport::parse(&report_to_json(&r)).expect("readable report");
+            assert_eq!(parsed.num("chips"), Ok(0.0));
+            assert_eq!(parsed.num("prediction_coverage"), Ok(1.0));
         }
+    }
+
+    #[test]
+    fn degenerate_zero_path_cell_errors_instead_of_panicking() {
+        // Regression: a spec with zero required paths used to blow up in
+        // `run_scenario` via `.expect("generated benchmarks have paths")`.
+        let mut axes = tiny_axes();
+        axes.base.np = 0;
+        let cell = &axes.cells()[0];
+        match run_scenario(cell, 1) {
+            Err(FlowError::EmptyPaths) => {}
+            other => panic!("expected EmptyPaths, got {other:?}"),
+        }
+        // The matrix driver skips and counts it instead of dying.
+        let mut one = axes.clone();
+        one.topologies.truncate(1);
+        one.variations.truncate(1);
+        let run = run_matrix(&one, 1);
+        assert!(run.reports.is_empty());
+        assert_eq!(run.failures.len(), 1);
+        assert!(matches!(run.failures[0].1, FlowError::EmptyPaths));
+        assert_eq!(run.failures[0].0, one.cells()[0].id());
     }
 
     #[test]
@@ -608,7 +650,9 @@ mod tests {
         let mut axes = tiny_axes();
         axes.topologies.truncate(1);
         axes.variations.truncate(1);
-        let reports = run_matrix(&axes, 1);
+        let run = run_matrix(&axes, 1);
+        assert!(run.failures.is_empty());
+        let reports = run.reports;
         let json = matrix_to_json(&axes.base.name, &reports);
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert!(json.contains("\"effitest_scenario_matrix\""));

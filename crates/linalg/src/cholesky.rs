@@ -121,6 +121,40 @@ impl CholeskyDecomposition {
         Ok(CholeskyDecomposition { l, jitter })
     }
 
+    /// Reassembles a decomposition from a previously computed factor —
+    /// the deserialization entry point for persistent plan stores, which
+    /// carry `L` and the jitter instead of refactorizing. The caller is
+    /// responsible for `l` actually being the lower-triangular factor of
+    /// whatever matrix it claims to factor; solves through a reassembled
+    /// decomposition are bitwise identical to the original because the
+    /// factor bits are identical.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `l` is not square.
+    /// * [`LinalgError::Empty`] if `l` is 0 x 0.
+    /// * [`LinalgError::NotPositiveDefinite`] if a diagonal entry of `l`
+    ///   is not strictly positive or the jitter is not finite and
+    ///   non-negative (no valid factorization produces either).
+    pub fn from_factor(l: Matrix, jitter: f64) -> Result<Self> {
+        if !l.is_square() {
+            return Err(LinalgError::NotSquare { shape: l.shape() });
+        }
+        if l.rows() == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if !(jitter.is_finite() && jitter >= 0.0) {
+            return Err(LinalgError::NotPositiveDefinite { pivot: 0, value: jitter });
+        }
+        for i in 0..l.rows() {
+            let d = l[(i, i)];
+            if !(d.is_finite() && d > 0.0) {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i, value: d });
+            }
+        }
+        Ok(CholeskyDecomposition { l, jitter })
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.l.rows()

@@ -325,10 +325,95 @@ pub struct GaussianConditioner {
     cond_sigmas: Vec<f64>,
 }
 
+/// The serializable state of a [`GaussianConditioner`]: exactly the fields
+/// a persistent plan store must carry. `cross_t` and the conditional
+/// sigmas are deliberately absent — both are pure functions of `cross` and
+/// `cond_cov` and are recomputed bit-identically by
+/// [`GaussianConditioner::from_parts`], so carrying them would only bloat
+/// the blob and add corruption surface.
+#[derive(Debug, Clone)]
+pub struct ConditionerParts {
+    /// Observed variable indices, in observation-vector order.
+    pub observed: Vec<usize>,
+    /// Unobserved variable indices, ascending.
+    pub remaining: Vec<usize>,
+    /// Prior means of the observed variables.
+    pub mean_obs: Vec<f64>,
+    /// Prior means of the unobserved variables.
+    pub mean_rem: Vec<f64>,
+    /// Lower-triangular Cholesky factor of the observed block.
+    pub chol_factor: Matrix,
+    /// Diagonal jitter the observed-block factorization needed.
+    pub chol_jitter: f64,
+    /// Cross covariance `Sigma_uo` (remaining x observed).
+    pub cross: Matrix,
+    /// Conditional covariance (remaining x remaining).
+    pub cond_cov: Matrix,
+}
+
 impl GaussianConditioner {
     /// Observed variable indices, in observation-vector order.
     pub fn observed_indices(&self) -> &[usize] {
         &self.observed
+    }
+
+    /// Extracts the serializable state (see [`ConditionerParts`]).
+    pub fn to_parts(&self) -> ConditionerParts {
+        ConditionerParts {
+            observed: self.observed.clone(),
+            remaining: self.remaining.clone(),
+            mean_obs: self.mean_obs.clone(),
+            mean_rem: self.mean_rem.clone(),
+            chol_factor: self.chol.l().clone(),
+            chol_jitter: self.chol.jitter(),
+            cross: self.cross.clone(),
+            cond_cov: self.cond_cov.clone(),
+        }
+    }
+
+    /// Reassembles a conditioner from serialized parts.
+    ///
+    /// `cross_t` is rebuilt as `cross.transpose()` and the conditional
+    /// sigmas as the clamped square roots of the `cond_cov` diagonal —
+    /// byte for byte the same expressions the original construction used,
+    /// so a reassembled conditioner produces bitwise-identical conditional
+    /// means and sigmas.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if the part dimensions are mutually
+    /// inconsistent, and the factor errors of
+    /// [`CholeskyDecomposition::from_factor`] for an invalid factor.
+    pub fn from_parts(parts: ConditionerParts) -> Result<Self> {
+        let n_obs = parts.observed.len();
+        let n_rem = parts.remaining.len();
+        if parts.mean_obs.len() != n_obs
+            || parts.mean_rem.len() != n_rem
+            || parts.chol_factor.shape() != (n_obs, n_obs)
+            || parts.cross.shape() != (n_rem, n_obs)
+            || parts.cond_cov.shape() != (n_rem, n_rem)
+        {
+            return Err(LinalgError::ShapeMismatch {
+                op: "conditioner_from_parts",
+                lhs: (n_rem, n_obs),
+                rhs: parts.cross.shape(),
+            });
+        }
+        let chol = CholeskyDecomposition::from_factor(parts.chol_factor, parts.chol_jitter)?;
+        let cond_sigmas =
+            (0..parts.cond_cov.rows()).map(|i| parts.cond_cov[(i, i)].max(0.0).sqrt()).collect();
+        let cross_t = parts.cross.transpose();
+        Ok(GaussianConditioner {
+            observed: parts.observed,
+            remaining: parts.remaining,
+            mean_obs: parts.mean_obs,
+            mean_rem: parts.mean_rem,
+            chol,
+            cross: parts.cross,
+            cross_t,
+            cond_cov: parts.cond_cov,
+            cond_sigmas,
+        })
     }
 
     /// Unobserved variable indices (ascending): the variable order of
@@ -805,6 +890,60 @@ mod tests {
         let g = MultivariateGaussian::new(vec![0.0; 3], psd).unwrap();
         let conditioner = g.conditioner(&[0, 1]).unwrap();
         assert!(conditioner.jitter() > 0.0);
+    }
+
+    #[test]
+    fn conditioner_parts_round_trip_bitwise() {
+        let g = three_var();
+        let conditioner = g.conditioner(&[1, 2]).unwrap();
+        let rebuilt = GaussianConditioner::from_parts(conditioner.to_parts()).unwrap();
+        assert_eq!(rebuilt.observed_indices(), conditioner.observed_indices());
+        assert_eq!(rebuilt.remaining_indices(), conditioner.remaining_indices());
+        for (a, b) in rebuilt.conditional_sigmas().iter().zip(conditioner.conditional_sigmas()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for values in [[2.5, 2.0], [1.0, 4.5], [-0.25, 7.5]] {
+            let a = rebuilt.condition_mean(&values).unwrap();
+            let b = conditioner.condition_mean(&values).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Batch conditioning goes through `cross_t`, which from_parts
+        // recomputes — exercise it too.
+        let chips = [[2.5, 2.0], [1.0, 4.5]];
+        let mut batch = vec![0.0; 2 * chips.len()];
+        for (c, obs) in chips.iter().enumerate() {
+            for (r, &v) in obs.iter().enumerate() {
+                batch[r * chips.len() + c] = v;
+            }
+        }
+        let (mut wt_a, mut out_a) = (Vec::new(), Vec::new());
+        let (mut wt_b, mut out_b) = (Vec::new(), Vec::new());
+        rebuilt
+            .condition_mean_batch_chipmajor_into(&mut batch.clone(), 2, &mut wt_a, &mut out_a)
+            .unwrap();
+        conditioner
+            .condition_mean_batch_chipmajor_into(&mut batch, 2, &mut wt_b, &mut out_b)
+            .unwrap();
+        for (x, y) in out_a.iter().zip(&out_b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn conditioner_from_parts_rejects_inconsistent_shapes() {
+        let g = three_var();
+        let conditioner = g.conditioner(&[1]).unwrap();
+        let mut parts = conditioner.to_parts();
+        parts.mean_rem.pop();
+        assert!(matches!(
+            GaussianConditioner::from_parts(parts),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let mut parts = conditioner.to_parts();
+        parts.chol_jitter = f64::NAN;
+        assert!(GaussianConditioner::from_parts(parts).is_err());
     }
 
     #[test]

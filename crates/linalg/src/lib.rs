@@ -57,7 +57,7 @@ pub mod stats;
 pub use cholesky::CholeskyDecomposition;
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
-pub use gaussian::{GaussianConditioner, MultivariateGaussian};
+pub use gaussian::{ConditionerParts, GaussianConditioner, MultivariateGaussian};
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use pca::{Pca, PrincipalComponent};

@@ -62,8 +62,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(header.len()));
 
     let mut reports = Vec::with_capacity(cells.len());
+    let mut skipped = 0usize;
     for cell in &cells {
-        let r = run_hostile_scenario(cell, threads);
+        // Skip-and-count: one degenerate cell must not abort the sweep.
+        let r = match run_hostile_scenario(cell, threads) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", cell.id());
+                skipped += 1;
+                continue;
+            }
+        };
         println!(
             "{:<44} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>8.1} {:>8.1} {:>6} {:>6}",
             r.id,
@@ -82,6 +91,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = hostile_matrix_to_json(&axes.scenario.base.name, &reports);
     let path = std::env::var("EFFITEST_HOSTILE_OUT").unwrap_or_else(|_| "HOSTILE.json".to_owned());
     std::fs::write(&path, &json)?;
-    println!("\nrecorded {} cells -> {path}", reports.len());
+    println!("\nrecorded {} cells ({skipped} skipped) -> {path}", reports.len());
     Ok(())
 }

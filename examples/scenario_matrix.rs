@@ -62,8 +62,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(header.len()));
 
     let mut reports = Vec::with_capacity(cells.len());
+    let mut skipped = 0usize;
     for cell in &cells {
-        let r = run_scenario(cell, threads);
+        // Skip-and-count: one degenerate cell must not abort the sweep.
+        let r = match run_scenario(cell, threads) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", cell.id());
+                skipped += 1;
+                continue;
+            }
+        };
         println!(
             "{:<34} {:>4} {:>4} {:>8.1} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.3} {:>7}",
             r.id,
@@ -83,6 +92,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path =
         std::env::var("EFFITEST_SCENARIO_OUT").unwrap_or_else(|_| "SCENARIOS.json".to_owned());
     std::fs::write(&path, &json)?;
-    println!("\nrecorded {} cells -> {path}", reports.len());
+    println!("\nrecorded {} cells ({skipped} skipped) -> {path}", reports.len());
     Ok(())
 }

@@ -21,7 +21,10 @@
 //!   `FlowPlan`, the parallel chip-population engine (`flow::population`),
 //!   drivers for every experiment in the paper (`flow::experiments`), and
 //!   the scenario-matrix engine sweeping topology, variation structure,
-//!   tuning range, and population size (`flow::scenarios`).
+//!   tuning range, and population size (`flow::scenarios`), plus the
+//!   test-floor service layer: the persistent content-addressed plan
+//!   cache (`flow::cache`) and the streaming out-of-order measurement
+//!   ingestion engine (`flow::service`).
 //!
 //! # Quickstart
 //!
@@ -54,13 +57,18 @@ pub mod prelude {
         BenchmarkSpec, FlipFlopId, GateId, GeneratedBenchmark, Netlist, PathId, Topology,
         TuningBufferSpec,
     };
+    pub use effitest_core::cache::{plan_cache_key, plan_fingerprint, CacheOutcome, PlanCache};
     pub use effitest_core::experiments::ExperimentConfig;
     pub use effitest_core::hostile::{HostileAxes, HostileReport, HostileSpec};
     pub use effitest_core::population::{
         run_flow_population, run_flow_population_batched, run_population, run_population_scratch,
         PopulationConfig,
     };
-    pub use effitest_core::scenarios::{ScenarioAxes, ScenarioReport, ScenarioSpec};
+    pub use effitest_core::scenarios::{MatrixRun, ScenarioAxes, ScenarioReport, ScenarioSpec};
+    pub use effitest_core::service::{
+        service_log_to_json, MeasurementEvent, ServiceConfig, ServiceEngine, ServiceError,
+        ServiceStats, TuningDecision,
+    };
     pub use effitest_core::{
         BatchPredictWorkspace, BatchPredictedRanges, ChipMatrix, ChipOutcome, EffiTestFlow,
         FlowConfig, FlowPlan, FlowWorkspace, PredictWorkspace, Predictor,

@@ -11,6 +11,11 @@
 
 use crate::prelude::*;
 
+/// The shared fallible readback for the workspace's flat JSON reports
+/// (scenario matrices, hostile matrices, service decision logs, bench
+/// records) — typed errors instead of panicky string splitting.
+pub use effitest_core::report::{parse_embedded_reports, FlatReport, FlatValue, ReportError};
+
 /// The seed used by golden-value fixtures throughout the test suite.
 pub const GOLDEN_SEED: u64 = 7;
 

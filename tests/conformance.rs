@@ -113,10 +113,10 @@ fn scenario_matrix_covers_cells_and_reports_are_bitwise_stable() {
 
     // Determinism: byte-identical JSON across a rerun and across worker
     // thread counts.
-    let run1 = matrix_to_json(&axes.base.name, &run_matrix(&axes, 1));
-    let run2 = matrix_to_json(&axes.base.name, &run_matrix(&axes, 1));
+    let run1 = matrix_to_json(&axes.base.name, &run_matrix(&axes, 1).reports);
+    let run2 = matrix_to_json(&axes.base.name, &run_matrix(&axes, 1).reports);
     assert_eq!(run1, run2, "scenario matrix is not deterministic across reruns");
-    let run4 = matrix_to_json(&axes.base.name, &run_matrix(&axes, 4));
+    let run4 = matrix_to_json(&axes.base.name, &run_matrix(&axes, 4).reports);
     assert_eq!(run1, run4, "scenario matrix drifted with the worker-thread count");
 
     // Every cell made it into the report, in cell order.
@@ -131,7 +131,9 @@ fn scenario_metrics_respect_flow_invariants_on_every_cell() {
     // ideal measurement dominates the proposed flow, fractions are
     // fractions, and the flow actually tested something.
     let axes = small_axes();
-    for report in run_matrix(&axes, 4) {
+    let run = run_matrix(&axes, 4);
+    assert!(run.failures.is_empty(), "feasible cells failed: {:?}", run.failures);
+    for report in run.reports {
         assert!(report.npt >= 1 && report.npt <= report.np, "{}: npt out of range", report.id);
         for y in [
             report.yield_fraction,

@@ -43,9 +43,9 @@ fn noisy_flow_fixture() -> (GeneratedBenchmark, TimingModel, EffiTestFlow) {
 #[test]
 fn hostile_matrix_json_is_bitwise_thread_invariant() {
     let axes = tiny_axes();
-    let serial = hostile_matrix_to_json("smoke", &run_hostile_matrix(&axes, 1));
+    let serial = hostile_matrix_to_json("smoke", &run_hostile_matrix(&axes, 1).reports);
     for threads in [2, 4] {
-        let parallel = hostile_matrix_to_json("smoke", &run_hostile_matrix(&axes, threads));
+        let parallel = hostile_matrix_to_json("smoke", &run_hostile_matrix(&axes, threads).reports);
         assert_eq!(serial, parallel, "hostile matrix drifted at {threads} threads");
     }
 }
